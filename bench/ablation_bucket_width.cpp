@@ -1,0 +1,54 @@
+// Ablation — Occ checkpoint spacing d (bucket width).
+//
+// The paper fixes d = 128 (one sub-array row). This sweep shows the design
+// trade: smaller d shrinks the residual count_match work per LFM but blows
+// up the Marker Table; d = 128 makes MT exactly fill its 128-row zone while
+// keeping the residual scan within one word-line. Both the software index
+// memory and the modeled hardware LFM cost are reported.
+#include <cstdio>
+
+#include "src/genome/synthetic_genome.h"
+#include "src/index/fm_index.h"
+#include "src/pim/timing_energy.h"
+#include "src/util/table.h"
+
+int main() {
+  using pim::util::TextTable;
+
+  pim::genome::SyntheticGenomeSpec spec;
+  spec.length = 1 << 20;
+  spec.seed = 5;
+  const auto reference = pim::genome::generate_reference(spec);
+
+  std::printf("=== Ablation: bucket width d ===\n");
+  std::printf("reference: %zu bp; MT entries = 4 x (n/d) x 32 bits\n\n",
+              reference.size());
+
+  const pim::hw::TimingEnergyModel timing;
+  TextTable out({"d", "MT bytes", "MT vs d=128", "avg residual (bps)",
+                 "modeled LFM worst-case (ns)"});
+  double mt128 = 0.0;
+  for (const std::uint32_t d : {32U, 64U, 128U, 256U}) {
+    const auto fm = pim::index::FmIndex::build(reference, {.bucket_width = d});
+    const auto fp = fm.memory_footprint();
+    if (d == 128) mt128 = static_cast<double>(fp.marker_bytes);
+    // Worst-case hardware LFM: the residual scan still costs one XNOR_Match
+    // row op regardless of d <= 128; d > 128 spans multiple rows.
+    const double rows_scanned = (d + 127) / 128;
+    const double lfm_ns =
+        timing.xnor_match_cost().latency_ns * rows_scanned +
+        32.0 * timing.op_cost(pim::hw::SubArrayOp::kMemWrite).latency_ns +
+        timing.im_add_cost(32).latency_ns +
+        32.0 * timing.op_cost(pim::hw::SubArrayOp::kMemRead).latency_ns;
+    out.add_row({std::to_string(d), std::to_string(fp.marker_bytes),
+                 mt128 > 0 ? TextTable::num(
+                                 static_cast<double>(fp.marker_bytes) / mt128)
+                           : "-",
+                 TextTable::num(d / 2.0), TextTable::num(lfm_ns)});
+  }
+  std::printf("%s", out.render().c_str());
+  std::printf("\nnote: d = 128 is the sweet spot in the paper's layout — one"
+              " checkpoint per BWT row,\nMT exactly fills 4 banks x 32 rows,"
+              " and every residual scan is a single XNOR_Match.\n");
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Ablation — analytic pipeline model vs discrete-event simulation.
+//
+// The chip model uses the analytic initiation interval; this bench
+// cross-validates it with the event simulator (FCFS resources, dependent
+// LFM chains, bounded reads in flight) and explores the regimes where they
+// diverge: few read slots (no overlap), short reads (fill/drain overhead),
+// and deep Pd.
+#include <cstdio>
+
+#include "src/pim/pipeline_sim.h"
+#include "src/util/table.h"
+
+int main() {
+  using pim::util::TextTable;
+  const pim::hw::TimingEnergyModel timing;
+
+  std::printf("=== Pipeline: analytic vs discrete-event ===\n\n");
+  TextTable out({"Pd", "slots", "reads x LFMs", "analytic ii (ns)",
+                 "simulated ii (ns)", "delta", "add-array busy", "DPU busy"});
+  for (const std::uint32_t pd : {1U, 2U, 3U, 4U}) {
+    for (const std::uint32_t slots : {0U, 1U}) {  // 0 = default 2*Pd
+      pim::hw::PipelineSimConfig cfg;
+      cfg.pd = pd;
+      cfg.num_reads = 64;
+      cfg.lfm_per_read = 50;
+      cfg.read_slots = slots;
+      const auto r = simulate_pipeline(timing, cfg);
+      const double busiest_add =
+          pd == 1 ? r.array_busy_fraction[0] : r.array_busy_fraction[1];
+      out.add_row(
+          {std::to_string(pd), slots == 0 ? "2*Pd" : std::to_string(slots),
+           "64 x 50", TextTable::num(r.analytic_ii_ns),
+           TextTable::num(r.measured_ii_ns),
+           TextTable::num((r.measured_ii_ns - r.analytic_ii_ns) /
+                          r.analytic_ii_ns * 100.0) +
+               " %",
+           TextTable::num(busiest_add * 100.0) + " %",
+           TextTable::num(r.dpu_busy_fraction * 100.0) + " %"});
+    }
+  }
+  std::printf("%s", out.render().c_str());
+
+  std::printf("\nfill/drain overhead vs read length (Pd=2):\n");
+  TextTable fd({"LFMs per read", "simulated ii (ns)", "vs steady state"});
+  double steady = 0.0;
+  for (const std::uint32_t lfms : {200U, 50U, 10U, 3U}) {
+    pim::hw::PipelineSimConfig cfg;
+    cfg.pd = 2;
+    cfg.num_reads = 64;
+    cfg.lfm_per_read = lfms;
+    const auto r = simulate_pipeline(timing, cfg);
+    if (lfms == 200U) steady = r.measured_ii_ns;
+    fd.add_row({std::to_string(lfms), TextTable::num(r.measured_ii_ns),
+                TextTable::num(r.measured_ii_ns / steady)});
+  }
+  std::printf("%s", fd.render().c_str());
+  std::printf("\ntakeaway: with >= 2 reads per group in flight, the analytic"
+              " steady-state ii holds within ~15%%;\nwith a single slot the"
+              " pipeline degenerates to the serial method-I latency.\n");
+  return 0;
+}

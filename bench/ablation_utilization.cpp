@@ -1,0 +1,37 @@
+// Ablation — the Resource Utilization Ratio model (Fig. 10c).
+//
+// RUR is modeled as group occupancy under R resident reads over G pipeline
+// groups: 1 - (1 - 1/G)^R -> 1 - e^(-R/G). This bench validates the closed
+// form against Monte-Carlo and sweeps the load factor, showing where the
+// paper's "up to ~86%" (load = 2, i.e. Pd = 2) sits on the curve.
+#include <cstdio>
+
+#include "src/accel/contention.h"
+#include "src/util/table.h"
+
+int main() {
+  using pim::util::TextTable;
+
+  std::printf("=== RUR occupancy model validation ===\n\n");
+  constexpr std::uint64_t kGroups = 32;  // the chip model's pipeline count
+  TextTable out({"resident reads", "load R/G", "closed form",
+                 "Monte-Carlo (4k trials)", "asymptotic 1-e^-x"});
+  for (const std::uint64_t reads :
+       {8ULL, 16ULL, 32ULL, 48ULL, 64ULL, 96ULL, 128ULL}) {
+    const double load = static_cast<double>(reads) / kGroups;
+    const auto mc = pim::accel::simulate_occupancy(kGroups, reads, 4000, 7);
+    out.add_row({std::to_string(reads), pim::util::TextTable::num(load),
+                 TextTable::num(pim::accel::expected_occupancy(kGroups, reads)),
+                 TextTable::num(mc.mean_occupancy) + " +- " +
+                     TextTable::num(mc.stddev),
+                 TextTable::num(pim::accel::expected_occupancy_asymptotic(load))});
+  }
+  std::printf("%s", out.render().c_str());
+
+  std::printf("\nanchors used by the chip model:\n");
+  std::printf("  Pd=1 (load 1): RUR = %.1f%%   (Fig. 10c: PIM-Aligner-n)\n",
+              pim::accel::expected_occupancy_asymptotic(1.0) * 100.0);
+  std::printf("  Pd=2 (load 2): RUR = %.1f%%   (paper: 'up to ~86%%')\n",
+              pim::accel::expected_occupancy_asymptotic(2.0) * 100.0);
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Chip-level load sweep — the dynamic view behind Fig. 9c/10c.
+//
+// Closed-loop queueing simulation of reads over pipeline groups: sweeps the
+// concurrent-read population and prints throughput, group utilization
+// (the dynamic RUR), and read-latency percentiles. Shows the classic
+// closed-system knee: throughput rises linearly with load until the groups
+// saturate, after which only latency grows — choosing the DPU's read-slot
+// budget IS choosing a point on this curve.
+#include <cstdio>
+
+#include "src/accel/chip_sim.h"
+#include "src/accel/contention.h"
+#include "src/accel/pim_aligner_model.h"
+#include "src/util/table.h"
+
+int main() {
+  using pim::util::TextTable;
+
+  // Service time = the Pd=2 initiation interval from the pipeline model.
+  const pim::hw::TimingEnergyModel timing;
+  const pim::hw::PipelineModel pipeline(timing);
+  const double ii = pipeline.evaluate(2).initiation_interval_ns;
+
+  pim::accel::ChipSimConfig cfg;
+  cfg.groups = 32;  // the chip model's pipeline provisioning
+  cfg.lfm_per_read = 300;
+  cfg.service_ns = ii;
+  cfg.reads_to_complete = 3000;
+
+  std::printf("=== Closed-loop load sweep (G=%u groups, ii=%.2f ns) ===\n\n",
+              cfg.groups, ii);
+  TextTable out({"reads in flight", "load C/G", "throughput (q/s)",
+                 "group util (dyn RUR)", "static occupancy",
+                 "read latency p50/p95 (us)"});
+  for (const std::uint32_t c : {8U, 16U, 32U, 64U, 96U, 128U, 256U}) {
+    cfg.concurrent_reads = c;
+    const auto r = pim::accel::simulate_chip(cfg);
+    const double load = static_cast<double>(c) / cfg.groups;
+    out.add_row(
+        {std::to_string(c), TextTable::num(load),
+         TextTable::num(r.throughput_qps),
+         TextTable::num(r.mean_group_utilization * 100.0) + " %",
+         TextTable::num(pim::accel::expected_occupancy_asymptotic(load) *
+                        100.0) +
+             " %",
+         TextTable::num(r.p50_latency_ns / 1e3) + " / " +
+             TextTable::num(r.p95_latency_ns / 1e3)});
+  }
+  std::printf("%s", out.render().c_str());
+  std::printf("\nthe chip model's operating point (Pd=2 ~ load 2, 64 reads "
+              "in flight) sits just past the knee:\n~77%% dynamic utilization"
+              " (the static occupancy law says 86.5%%; random routing leaves"
+              " some groups\nidle while others queue) for ~1.5x the zero-"
+              "contention latency. More slots buy little throughput\nand "
+              "only inflate latency — why the DPU register budget scales "
+              "with Pd and stops there.\n");
+  return 0;
+}

@@ -1,0 +1,104 @@
+// Energy breakdown — where PIM-Aligner's joules go.
+//
+// Decomposes the measured per-read sub-array energy (from real alignment
+// traffic on the functional platform) into the XNOR_Match, transpose,
+// IM_ADD, readout and DPU components, and contrasts method-I against
+// method-II including the compare/add-array split. This is the per-op view
+// behind the Fig. 8a power bar.
+#include <cstdio>
+
+#include "src/align/aligner.h"
+#include "src/genome/synthetic_genome.h"
+#include "src/pim/controller.h"
+#include "src/pim/platform.h"
+#include "src/readsim/read_simulator.h"
+#include "src/util/table.h"
+
+int main() {
+  using pim::util::TextTable;
+
+  pim::genome::SyntheticGenomeSpec spec;
+  spec.length = 1 << 18;
+  spec.seed = 29;
+  const auto reference = pim::genome::generate_reference(spec);
+  const auto fm = pim::index::FmIndex::build(reference, {.bucket_width = 128});
+  const pim::hw::TimingEnergyModel timing;
+
+  pim::readsim::ReadSimSpec rspec;
+  rspec.read_length = 100;
+  rspec.num_reads = 200;
+  rspec.population_variation_rate = 0.001;
+  rspec.sequencing_error_rate = 0.002;
+  rspec.seed = 30;
+  const auto set = pim::readsim::ReadSimulator(rspec).generate(reference);
+  std::vector<std::vector<pim::genome::Base>> reads;
+  for (const auto& r : set.reads) reads.push_back(r.bases);
+
+  pim::align::AlignerOptions options;
+  options.inexact.max_diffs = 2;
+
+  const auto run = [&](pim::hw::AddPlacement placement) {
+    pim::hw::PimAlignerPlatform platform(fm, timing, pim::hw::ZoneLayout{},
+                                         placement);
+    pim::hw::PimBatchDriver driver(platform, options);
+    const auto report = driver.run(reads);
+    return std::make_pair(report, platform.aggregate_duplicate_stats());
+  };
+
+  const auto [m1, m1dup] = run(pim::hw::AddPlacement::kMethodI);
+  const auto [m2, m2dup] = run(pim::hw::AddPlacement::kMethodII);
+
+  const auto read_c = timing.op_cost(pim::hw::SubArrayOp::kMemRead);
+  const auto write_c = timing.op_cost(pim::hw::SubArrayOp::kMemWrite);
+  const auto triple_c = timing.op_cost(pim::hw::SubArrayOp::kTripleSense);
+  const auto dpu_c = timing.op_cost(pim::hw::SubArrayOp::kDpuWord);
+
+  std::printf("=== Per-read sub-array energy breakdown ===\n");
+  std::printf("workload: %zu x 100 bp reads, z = 2, two-stage pipeline\n\n",
+              reads.size());
+
+  const double n = static_cast<double>(m1.stats.reads_total);
+  const auto& ops = m1.hardware.ops;
+  // Attribute energy: XNOR triples = dpu_word_ops (one per XNOR_Match);
+  // adder triples = the rest; writes split 32:65 transpose:adder per the
+  // 97-writes-per-LFM protocol; reads are result readouts + marker reads.
+  const double xnor_triples = static_cast<double>(ops.dpu_word_ops);
+  const double add_triples =
+      static_cast<double>(ops.triple_senses) - xnor_triples;
+  const double transpose_writes =
+      static_cast<double>(ops.writes) * 32.0 / 97.0;
+  const double adder_writes = static_cast<double>(ops.writes) - transpose_writes;
+
+  TextTable out({"component", "energy/read (pJ)", "share"});
+  const double total_pj = ops.energy_pj;
+  const auto row = [&](const char* name, double pj) {
+    out.add_row({name, TextTable::num(pj / n),
+                 TextTable::num(pj / total_pj * 100.0) + " %"});
+  };
+  row("XNOR_Match (compare)", xnor_triples * triple_c.energy_pj);
+  row("IM_ADD senses", add_triples * triple_c.energy_pj);
+  row("IM_ADD write-backs", adder_writes * write_c.energy_pj);
+  row("count transpose", transpose_writes * write_c.energy_pj);
+  row("result/marker readout",
+      static_cast<double>(ops.reads) * read_c.energy_pj);
+  row("DPU", static_cast<double>(ops.dpu_word_ops) * dpu_c.energy_pj);
+  out.add_row({"TOTAL", TextTable::num(total_pj / n), "100 %"});
+  std::printf("%s", out.render().c_str());
+
+  std::printf("\nmethod-I vs method-II (same reads):\n");
+  TextTable split({"placement", "total energy (uJ)", "compare-side share",
+                   "add-side share"});
+  split.add_row({"method-I", TextTable::num(m1.energy_pj * 1e-6), "100 %",
+                 "(same array)"});
+  const double m2_total = m2.hardware.ops.energy_pj;
+  split.add_row(
+      {"method-II", TextTable::num(m2_total * 1e-6),
+       TextTable::num((m2_total - m2dup.energy_pj) / m2_total * 100.0) + " %",
+       TextTable::num(m2dup.energy_pj / m2_total * 100.0) + " %"});
+  std::printf("%s", split.render().c_str());
+  std::printf("\nthe adder (senses + write-backs) dominates per-read energy;"
+              " method-II moves ~%.0f%% of it to the\nduplicate array, which"
+              " is exactly the work the Pd=2 pipeline overlaps.\n",
+              m2dup.energy_pj / m2_total * 100.0);
+  return 0;
+}

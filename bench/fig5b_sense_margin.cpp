@@ -1,0 +1,95 @@
+// Figure 5b — Monte-Carlo V_sense distributions and sense margins.
+//
+// Reproduces: 10'000-trial Monte-Carlo of the sensed voltage for 1/2/3-cell
+// parallel sensing under sigma_RA = 2% and sigma_TMR = 5% process variation,
+// the per-fan-in worst-case sense margins (paper: 43.31 / 14.62 / 5.82 /
+// 4.28 mV), and the tox 1.5 -> 2.0 nm reliability fix (~45 mV margin gain).
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/pim/sense_amp.h"
+#include "src/pim/sot_mram.h"
+#include "src/util/stats.h"
+#include "src/util/table.h"
+
+namespace {
+
+constexpr std::size_t kTrials = 10000;
+
+void print_fanin(const pim::hw::SotMramModel& model, std::uint32_t fan_in,
+                 double paper_margin_mv) {
+  const auto report =
+      pim::hw::monte_carlo_sense_margin(model, fan_in, kTrials, 100 + fan_in);
+  std::printf("\n-- fan-in %u (%zu trials) --\n", fan_in, kTrials);
+  pim::util::TextTable table(
+      {"AP cells", "mean Vsense (mV)", "sigma (mV)", "min", "max"});
+  for (const auto& dist : report.distributions) {
+    table.add_row({std::to_string(dist.num_ap),
+                   pim::util::TextTable::num(dist.stats.mean()),
+                   pim::util::TextTable::num(dist.stats.stddev()),
+                   pim::util::TextTable::num(dist.stats.min()),
+                   pim::util::TextTable::num(dist.stats.max())});
+  }
+  std::printf("%s", table.render().c_str());
+  std::printf(
+      "worst-case 3-sigma margin: %.2f mV   (paper Fig. 5b: %.2f mV)\n",
+      report.worst_margin_mv, paper_margin_mv);
+
+  // Histogram of all distributions overlaid, as the figure plots them.
+  double lo = 1e18, hi = -1e18;
+  for (const auto& d : report.distributions) {
+    lo = std::min(lo, d.stats.min());
+    hi = std::max(hi, d.stats.max());
+  }
+  pim::util::Histogram hist(lo - 1.0, hi + 1.0, 40);
+  pim::util::Xoshiro256 rng(500 + fan_in);
+  std::vector<pim::hw::CellResistances> cells(fan_in);
+  for (std::size_t t = 0; t < 2000; ++t) {
+    for (auto& c : cells) c = model.sample_cell(rng);
+    for (std::uint32_t ap = 0; ap <= fan_in; ++ap) {
+      hist.add(model.v_sense(cells, ap == 0 ? 0 : ((1U << ap) - 1U)) * 1e3);
+    }
+  }
+  std::printf("V_sense histogram (mV):\n%s", hist.render(40).c_str());
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Fig. 5b: Monte-Carlo V_sense distributions ===\n");
+  std::printf(
+      "Setup: sigma(RA) = 2%%, sigma(TMR) = 5%%, %zu trials (Sec. IV-B).\n",
+      kTrials);
+
+  const pim::hw::SotMramModel model;  // tox = 1.5 nm defaults
+  std::printf("nominal R_P = %.0f ohm, R_AP = %.0f ohm\n",
+              model.nominal().r_p_ohm, model.nominal().r_ap_ohm);
+
+  print_fanin(model, 1, 43.31);
+  print_fanin(model, 2, 14.62);
+  print_fanin(model, 3, 5.82);  // paper quotes 5.82 and 4.28 for fan-in 3
+
+  // The tox fix: thicker barrier raises all levels, widening mV margins
+  // against the fixed SA offset.
+  std::printf("\n=== tox study: 1.5 nm -> 2.0 nm (MAJ3 reliability fix) ===\n");
+  pim::hw::SotMramParams thick_params;
+  thick_params.tox_nm = 2.0;
+  const pim::hw::SotMramModel thick(thick_params);
+  const auto thin3 = pim::hw::monte_carlo_sense_margin(model, 3, kTrials, 7);
+  const auto thick3 = pim::hw::monte_carlo_sense_margin(thick, 3, kTrials, 7);
+  std::printf("fan-in-3 margin @1.5nm: %.2f mV, @2.0nm: %.2f mV, gain %.2f mV"
+              "  (paper: ~45 mV gain)\n",
+              thin3.worst_margin_mv, thick3.worst_margin_mv,
+              thick3.worst_margin_mv - thin3.worst_margin_mv);
+
+  const auto rel_thin = pim::hw::monte_carlo_logic_reliability(model, 50000, 11);
+  const auto rel_thick =
+      pim::hw::monte_carlo_logic_reliability(thick, 50000, 11);
+  std::printf("triple-sense logic failure rate: %.4f%% @1.5nm -> %.4f%% @2.0nm"
+              "  (paper: tox increase 'considerably enhances reliability')\n",
+              rel_thin.failure_rate() * 100.0,
+              rel_thick.failure_rate() * 100.0);
+  return 0;
+}

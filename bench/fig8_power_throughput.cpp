@@ -1,0 +1,66 @@
+// Figure 8 — (a) power consumption and (b) throughput of the ten platforms
+// on the 10M x 100-bp short-read workload against the 3.2 Gbp reference.
+//
+// Baseline rows are literature constants (see baseline_models.cpp for
+// provenance); the two PIM-Aligner rows come from the chip model driven by
+// the sub-array timing/energy model. The paper's qualitative findings
+// are checked and printed at the end.
+#include <cstdio>
+
+#include "src/accel/comparison.h"
+#include "src/util/table.h"
+
+int main() {
+  using pim::util::TextTable;
+  const auto table = pim::accel::build_default_comparison();
+
+  std::printf("=== Fig. 8a/8b: power and throughput ===\n");
+  std::printf("workload: 10M 100-bp reads vs 3.2 Gbp reference (Sec. VI)\n\n");
+  TextTable out({"accelerator", "family", "power (W)", "throughput (q/s)"});
+  for (const auto& row : table.rows) {
+    out.add_row({row.name,
+                 row.family == pim::accel::AlgorithmFamily::kSmithWaterman
+                     ? "SW"
+                     : "FM-index",
+                 TextTable::num(row.power_w),
+                 TextTable::num(row.throughput_qps)});
+  }
+  std::printf("%s", out.render().c_str());
+
+  const auto ratios = pim::accel::compute_headline_ratios(table);
+  std::printf("\npipeline gain (Pd=2 vs baseline): %.2fx  (paper: ~1.4x)\n",
+              ratios.pipeline_gain);
+  std::printf("PIM-Aligner-p at Pd=2: %.1f W / %.2fe6 q/s"
+              "  (paper Fig. 9c annotation: 28.4 W / 6.7e6 q/s)\n",
+              table.pim_p.power_w, table.pim_p.throughput_qps / 1e6);
+
+  // Qualitative checks from the Fig. 8 discussion.
+  bool race_fastest = true;
+  for (const auto& row : table.rows) {
+    if (row.name != "RaceLogic" &&
+        row.throughput_qps > table.row("RaceLogic").throughput_qps) {
+      race_fastest = false;
+    }
+  }
+  std::printf("\nchecks:\n");
+  std::printf("  [%s] SW platforms (except RaceLogic) draw the most power\n",
+              (table.row("Darwin").power_w > 100 &&
+               table.row("ReCAM").power_w > 100 &&
+               table.row("RaceLogic").power_w <
+                   table.row("Darwin").power_w)
+                  ? "ok"
+                  : "!!");
+  std::printf("  [%s] PIM-Aligner-p fastest except RaceLogic (Fig. 8b)\n",
+              race_fastest &&
+                      table.pim_p.throughput_qps >
+                          table.row("AligneR").throughput_qps
+                  ? "ok"
+                  : "!!");
+  std::printf("  [%s] AligneR, ASIC, AlignS consume the least power\n",
+              (table.row("AlignS").power_w < 10 &&
+               table.row("ASIC").power_w < 1 &&
+               table.row("AligneR").power_w < 15)
+                  ? "ok"
+                  : "!!");
+  return 0;
+}

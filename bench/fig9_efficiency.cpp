@@ -1,0 +1,49 @@
+// Figure 9a/9b — throughput per Watt and throughput per Watt per mm^2.
+//
+// Prints the two efficiency axes for all ten platforms and the headline
+// ratios the paper's abstract states: 3.1x over the best SW accelerator
+// (RaceLogic), ~2x / 43.8x / 458x over ASIC / FPGA / GPU, and ~9x / 1.9x
+// per-mm2 over the FM-index ASIC and the processing-in-ReRAM AligneR.
+#include <cstdio>
+
+#include "src/accel/comparison.h"
+#include "src/util/table.h"
+
+int main() {
+  using pim::util::TextTable;
+  const auto table = pim::accel::build_default_comparison();
+
+  std::printf("=== Fig. 9a/9b: efficiency ===\n\n");
+  TextTable out({"accelerator", "q/s/W", "area (mm^2)", "q/s/W/mm^2"});
+  for (const auto& row : table.rows) {
+    out.add_row({row.name, TextTable::num(row.throughput_per_watt()),
+                 TextTable::num(row.area_mm2),
+                 TextTable::num(row.throughput_per_watt_per_mm2())});
+  }
+  std::printf("%s", out.render().c_str());
+
+  const auto r = pim::accel::compute_headline_ratios(table);
+  std::printf("\nheadline ratios (measured vs paper):\n");
+  TextTable ratios({"ratio", "measured", "paper"});
+  ratios.add_row({"TPW vs RaceLogic (best SW)", TextTable::num(r.tpw_vs_racelogic),
+                  "~3.1x"});
+  ratios.add_row({"TPW vs ASIC", TextTable::num(r.tpw_vs_asic), "~2x"});
+  ratios.add_row({"TPW vs FPGA", TextTable::num(r.tpw_vs_fpga), "43.8x"});
+  ratios.add_row({"TPW vs GPU", TextTable::num(r.tpw_vs_gpu), "458x"});
+  ratios.add_row({"TPW/mm^2 vs ASIC", TextTable::num(r.tpwa_vs_asic), "~9x"});
+  ratios.add_row(
+      {"TPW/mm^2 vs AligneR", TextTable::num(r.tpwa_vs_aligner), "1.9x"});
+  std::printf("%s", ratios.render().c_str());
+
+  // Fig. 9a ordering: AlignS first, PIM-Aligner-n second.
+  const double best = table.row("AlignS").throughput_per_watt();
+  const double second = table.row("PIM-Aligner-n").throughput_per_watt();
+  bool ordering = best > second;
+  for (const auto& row : table.rows) {
+    if (row.name == "AlignS" || row.name == "PIM-Aligner-n") continue;
+    if (row.throughput_per_watt() >= second) ordering = false;
+  }
+  std::printf("\n[%s] AlignS highest TPW, PIM-Aligner-n second (Fig. 9a)\n",
+              ordering ? "ok" : "!!");
+  return 0;
+}

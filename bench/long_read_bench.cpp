@@ -1,0 +1,92 @@
+// Long-read alignment — seed-and-extend vs z-bounded backtracking.
+//
+// The paper's introduction motivates reads "from 50 to thousands nt"; its
+// algorithm evaluates at 100 bp with z <= 2. This bench shows where the
+// crossover lies: backtracking recall collapses once the expected
+// difference count exceeds z, while seed-and-extend (exact seeds via the
+// same LFM machinery + banded SW verification) keeps placing kilobase
+// reads at realistic divergence.
+#include <chrono>
+#include <cstdio>
+
+#include "src/align/inexact_search.h"
+#include "src/align/seed_extend.h"
+#include "src/genome/synthetic_genome.h"
+#include "src/readsim/read_simulator.h"
+#include "src/util/rng.h"
+#include "src/util/table.h"
+
+namespace {
+
+double ms_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace
+
+int main() {
+  using pim::util::TextTable;
+
+  pim::genome::SyntheticGenomeSpec spec;
+  spec.length = 1 << 20;
+  spec.seed = 41;
+  const auto reference = pim::genome::generate_reference(spec);
+  const auto fm = pim::index::FmIndex::build(reference, {.bucket_width = 128});
+
+  std::printf("=== Long reads: backtracking (z=2) vs seed-and-extend ===\n");
+  std::printf("reference: %zu bp; 0.3%% per-base divergence; 40 reads per "
+              "length\n\n",
+              reference.size());
+
+  TextTable out({"length", "backtrack recall", "backtrack ms/read",
+                 "seed-extend recall", "seed-extend ms/read"});
+  pim::util::Xoshiro256 rng(43);
+
+  for (const std::size_t len : {100UL, 250UL, 500UL, 1000UL, 2000UL}) {
+    std::size_t bt_hits = 0, se_hits = 0;
+    double bt_ms = 0.0, se_ms = 0.0;
+    constexpr int kReads = 40;
+    for (int r = 0; r < kReads; ++r) {
+      const std::size_t start = rng.bounded(reference.size() - len);
+      auto read = reference.slice(start, start + len);
+      // ~0.3% substitutions.
+      const auto subs = std::max<std::size_t>(1, len * 3 / 1000);
+      for (std::size_t s = 0; s < subs; ++s) {
+        const std::size_t p = rng.bounded(read.size());
+        read[p] = static_cast<pim::genome::Base>(
+            (static_cast<int>(read[p]) + 1) % 4);
+      }
+
+      pim::align::InexactOptions opt;
+      opt.max_diffs = 2;
+      opt.max_states = 500000;  // cap pathological blowups
+      auto t0 = std::chrono::steady_clock::now();
+      const auto bt = pim::align::inexact_search(fm, read, opt);
+      bt_ms += ms_since(t0);
+      if (bt.found()) ++bt_hits;
+
+      t0 = std::chrono::steady_clock::now();
+      const auto se = pim::align::seed_extend_align(fm, reference, read);
+      se_ms += ms_since(t0);
+      if (se.found() &&
+          se.hits[0].ref_begin + 64 >= start &&
+          se.hits[0].ref_begin <= start + 64) {
+        ++se_hits;
+      }
+    }
+    out.add_row({std::to_string(len),
+                 TextTable::num(100.0 * bt_hits / kReads) + " %",
+                 TextTable::num(bt_ms / kReads),
+                 TextTable::num(100.0 * se_hits / kReads) + " %",
+                 TextTable::num(se_ms / kReads)});
+  }
+  std::printf("%s", out.render().c_str());
+  std::printf("\ntakeaway: past ~500 bp the expected difference count "
+              "exceeds z=2 and backtracking recall collapses;\nseed-and-"
+              "extend keeps near-perfect recall at bounded cost because "
+              "every 20-bp seed is still an O(20)\nexact LFM search — the "
+              "same in-memory primitives, recomposed.\n");
+  return 0;
+}

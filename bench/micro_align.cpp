@@ -1,0 +1,148 @@
+// Micro-benchmarks of the alignment algorithms (google-benchmark):
+// O(m) FM-index backward search versus O(nm) Smith-Waterman — the
+// complexity contrast of Section II — plus inexact-search cost versus
+// mismatch budget and the effect of lower-bound pruning.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "src/align/backward_search.h"
+#include "src/align/inexact_search.h"
+#include "src/align/smith_waterman.h"
+#include "src/genome/synthetic_genome.h"
+#include "src/util/rng.h"
+
+namespace {
+
+struct Workload {
+  pim::genome::PackedSequence reference;
+  std::vector<pim::genome::Base> ref_bases;
+  pim::index::FmIndex fm;
+  std::vector<std::vector<pim::genome::Base>> reads;
+
+  explicit Workload(std::size_t n = 1 << 18) {
+    pim::genome::SyntheticGenomeSpec spec;
+    spec.length = n;
+    spec.seed = 11;
+    reference = pim::genome::generate_reference(spec);
+    ref_bases = reference.unpack();
+    fm = pim::index::FmIndex::build(reference, {.bucket_width = 128});
+    pim::util::Xoshiro256 rng(13);
+    for (int i = 0; i < 64; ++i) {
+      const std::size_t start = rng.bounded(reference.size() - 100);
+      auto read = reference.slice(start, start + 100);
+      if (i % 3 == 1) read[50] = static_cast<pim::genome::Base>(rng.bounded(4));
+      if (i % 3 == 2) {
+        read[20] = static_cast<pim::genome::Base>(rng.bounded(4));
+        read[80] = static_cast<pim::genome::Base>(rng.bounded(4));
+      }
+      reads.push_back(std::move(read));
+    }
+  }
+};
+
+Workload& workload() {
+  static Workload w;
+  return w;
+}
+
+void BM_FmExactSearch(benchmark::State& state) {
+  auto& w = workload();
+  const auto read_len = static_cast<std::size_t>(state.range(0));
+  std::size_t i = 0;
+  for (auto _ : state) {
+    auto read = w.reads[i++ % w.reads.size()];
+    read.resize(read_len);
+    benchmark::DoNotOptimize(pim::align::exact_search(w.fm, read));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_FmExactSearch)->Arg(25)->Arg(50)->Arg(100)->Complexity();
+
+void BM_SmithWatermanFull(benchmark::State& state) {
+  auto& w = workload();
+  // Full O(nm) DP against a reference window (full 262 kbp would dominate
+  // the suite's runtime; the point is the per-cell cost).
+  const std::vector<pim::genome::Base> window(
+      w.ref_bases.begin(), w.ref_bases.begin() + (1 << 14));
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto& read = w.reads[i++ % w.reads.size()];
+    benchmark::DoNotOptimize(pim::align::smith_waterman(window, read));
+  }
+}
+BENCHMARK(BM_SmithWatermanFull);
+
+void BM_SmithWatermanBanded(benchmark::State& state) {
+  auto& w = workload();
+  const std::vector<pim::genome::Base> window(
+      w.ref_bases.begin(), w.ref_bases.begin() + (1 << 14));
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto& read = w.reads[i++ % w.reads.size()];
+    benchmark::DoNotOptimize(pim::align::smith_waterman_banded(
+        window, read, 0, static_cast<std::uint32_t>(state.range(0))));
+  }
+}
+BENCHMARK(BM_SmithWatermanBanded)->Arg(8)->Arg(32)->Arg(128);
+
+void BM_InexactSearch(benchmark::State& state) {
+  auto& w = workload();
+  pim::align::InexactOptions opt;
+  opt.max_diffs = static_cast<std::uint32_t>(state.range(0));
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        pim::align::inexact_search(w.fm, w.reads[i++ % w.reads.size()], opt));
+  }
+}
+BENCHMARK(BM_InexactSearch)->Arg(0)->Arg(1)->Arg(2);
+
+void BM_InexactSearchNoPruning(benchmark::State& state) {
+  auto& w = workload();
+  pim::align::InexactOptions opt;
+  opt.max_diffs = static_cast<std::uint32_t>(state.range(0));
+  opt.use_lower_bound_pruning = false;
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        pim::align::inexact_search(w.fm, w.reads[i++ % w.reads.size()], opt));
+  }
+}
+BENCHMARK(BM_InexactSearchNoPruning)->Arg(1)->Arg(2);
+
+void BM_IndexBuild(benchmark::State& state) {
+  pim::genome::SyntheticGenomeSpec spec;
+  spec.length = static_cast<std::size_t>(state.range(0));
+  spec.seed = 17;
+  const auto text = pim::genome::generate_reference(spec);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        pim::index::FmIndex::build(text, {.bucket_width = 128}));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_IndexBuild)->Arg(1 << 14)->Arg(1 << 16)->Arg(1 << 18)->Complexity();
+
+void print_complexity_contrast() {
+  auto& w = workload();
+  const auto& read = w.reads[0];
+  const auto exact = pim::align::exact_search(w.fm, read);
+  const auto sw =
+      pim::align::smith_waterman(w.ref_bases, read);
+  std::printf("\n=== O(m) vs O(nm) work contrast (Sec. II) ===\n");
+  std::printf("backward search: %u LFM steps for a %zu-bp read\n",
+              exact.steps * 2, read.size());
+  std::printf("Smith-Waterman:  %llu DP cells for the same read vs %zu bp\n",
+              static_cast<unsigned long long>(sw.cells_computed),
+              w.ref_bases.size());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  print_complexity_contrast();
+  return 0;
+}

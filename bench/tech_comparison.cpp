@@ -1,0 +1,83 @@
+// Technology corner comparison — why SOT-MRAM (Section I's argument).
+//
+// Runs the full chip model under the shipped NVSim-style configs:
+// calibrated SOT-MRAM, a conservative SOT corner, and a ReRAM-like corner
+// (AligneR-class write cost). The write-heavy IM_ADD dataflow is what
+// separates them: ReRAM's 10x write latency/energy lands directly on the
+// adder's 65 write-backs per LFM. This is the quantitative version of the
+// paper's "ultra-low switching energy" motivation for MRAM.
+//
+// Usage: tech_comparison [configs_dir]   (default: ../configs or ./configs)
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "src/accel/pim_aligner_model.h"
+#include "src/util/config.h"
+#include "src/util/table.h"
+
+namespace {
+
+std::string find_configs_dir(const char* arg) {
+  if (arg != nullptr) return arg;
+  for (const char* candidate : {"configs", "../configs", "../../configs"}) {
+    std::ifstream probe(std::string(candidate) + "/sot_mram_default.cfg");
+    if (probe) return candidate;
+  }
+  return "";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using pim::util::TextTable;
+  const std::string dir = find_configs_dir(argc > 1 ? argv[1] : nullptr);
+  if (dir.empty()) {
+    std::fprintf(stderr,
+                 "cannot find the configs/ directory; pass it as argv[1]\n");
+    return 1;
+  }
+  std::printf("=== Technology corners (configs from %s/) ===\n\n",
+              dir.c_str());
+
+  struct Corner {
+    const char* file;
+    const char* label;
+  };
+  const Corner corners[] = {
+      {"sot_mram_default.cfg", "SOT-MRAM 3-SA (PIM-Aligner)"},
+      {"aligns_like.cfg", "SOT-MRAM 2-SA (AlignS-like)"},
+      {"sot_mram_conservative.cfg", "SOT-MRAM (conservative)"},
+      {"reram_like.cfg", "ReRAM-like (AligneR-class)"},
+  };
+
+  TextTable out({"corner", "LFM serial (ns)", "energy/LFM (pJ)",
+                 "chip q/s (Pd=2)", "chip W (Pd=2)", "q/s/W"});
+  for (const auto& corner : corners) {
+    const auto cfg =
+        pim::util::Config::load_file(dir + "/" + std::string(corner.file));
+    const pim::hw::TimingEnergyModel timing(cfg);
+    const pim::hw::PipelineModel pipeline(timing);
+    const pim::accel::PimChipModel chip(timing);
+    const auto p = pipeline.evaluate(2);
+    const auto c = chip.evaluate(2);
+    out.add_row({corner.label, TextTable::num(p.serial_lfm_ns),
+                 TextTable::num(p.energy_per_lfm_pj),
+                 TextTable::num(c.throughput_qps), TextTable::num(c.power_w),
+                 TextTable::num(c.throughput_qps / c.power_w)});
+  }
+  std::printf("%s", out.render().c_str());
+  std::printf("\ntakeaways:\n"
+              " * the 2-SA AlignS-like corner senses cheaper but its "
+              "two-cycle adder costs ~13%% LFM latency —\n   the exact trade "
+              "the paper describes (third SA: more power, single-cycle "
+              "add, more throughput).\n   At AlignS's own smaller "
+              "provisioning/power point it still tops Fig. 9a's "
+              "throughput/Watt.\n"
+              " * the IM_ADD write-backs (65 per LFM) dominate the dataflow,"
+              " so ReRAM-class write latency/energy\n   cuts throughput/Watt"
+              " several-fold — on top of the endurance liability shown by "
+              "wear_analysis.\n   This is the quantified version of the "
+              "paper's MRAM-over-ReRAM argument.\n");
+  return 0;
+}

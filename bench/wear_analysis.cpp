@@ -1,0 +1,82 @@
+// Extension — write-endurance analysis of the computational sub-array.
+//
+// IM_ADD rewrites the carry row every adder cycle, concentrating wear on a
+// single reserved-zone row. This bench drives a tile with realistic LFM
+// traffic, prints the per-zone write densities, and projects lifetime at
+// chip-scale per-tile LFM rates for MRAM vs ReRAM endurance classes —
+// quantifying the SOT-MRAM endurance advantage the paper's introduction
+// cites against the TCAM/ReRAM approaches.
+#include <cstdio>
+
+#include "src/genome/synthetic_genome.h"
+#include "src/pim/endurance.h"
+#include "src/util/rng.h"
+#include "src/util/table.h"
+
+int main() {
+  using pim::util::TextTable;
+
+  pim::genome::SyntheticGenomeSpec spec;
+  spec.length = 30000;
+  spec.seed = 21;
+  const auto reference = pim::genome::generate_reference(spec);
+  const auto fm = pim::index::FmIndex::build(reference, {.bucket_width = 128});
+
+  pim::hw::TimingEnergyModel timing;
+  pim::hw::ZoneLayout layout;
+  pim::hw::PimTile tile(timing, layout, fm, 0);
+  tile.array().enable_write_tracking();
+
+  // Drive 20k LFMs with random ids and bases — a tile's-eye view of
+  // steady-state alignment traffic.
+  pim::util::Xoshiro256 rng(5);
+  std::uint64_t lfm_count = 0;
+  for (int i = 0; i < 20000; ++i) {
+    const std::uint64_t id = 1 + rng.bounded(tile.size() - 1);
+    tile.lfm(static_cast<pim::genome::Base>(rng.bounded(4)), id);
+    ++lfm_count;
+  }
+
+  const auto report =
+      pim::hw::analyze_endurance(tile.array(), layout, lfm_count);
+  std::printf("=== Sub-array wear after %llu LFMs ===\n\n",
+              static_cast<unsigned long long>(lfm_count));
+  TextTable zones({"zone", "rows", "writes", "writes/row"});
+  for (const auto& z : report.by_zone) {
+    zones.add_row({z.zone, std::to_string(z.rows), std::to_string(z.writes),
+                   TextTable::num(z.writes_per_row())});
+  }
+  std::printf("%s", zones.render().c_str());
+  std::printf("\nhot spot: row %u (%s zone), %llu writes = %.1f per LFM "
+              "(the IM_ADD carry row)\n",
+              report.hottest_row, report.hottest_zone.c_str(),
+              static_cast<unsigned long long>(report.hottest_row_writes),
+              report.hottest_writes_per_lfm());
+
+  // Lifetime projection at the chip model's per-tile LFM rate.
+  const double per_tile_lfm_hz = 2.0e9 / 97657.0;  // total LFM rate / tiles
+  std::printf("\nlifetime projection at %.1f LFM/s per tile:\n",
+              per_tile_lfm_hz);
+  TextTable life({"endurance class", "cycles", "hottest-row lifetime"});
+  const auto fmt_years = [](double years) {
+    if (years > 100.0) return std::string(">100 years");
+    if (years >= 1.0) return TextTable::num(years) + " years";
+    if (years * 365.25 >= 1.0) return TextTable::num(years * 365.25) + " days";
+    return TextTable::num(years * 365.25 * 24.0) + " hours";
+  };
+  life.add_row({"SOT-MRAM (typical)", "1e15",
+                fmt_years(report.projected_lifetime_years(per_tile_lfm_hz, 1e15))});
+  life.add_row({"SOT-MRAM (conservative)", "1e12",
+                fmt_years(report.projected_lifetime_years(per_tile_lfm_hz, 1e12))});
+  life.add_row({"ReRAM (optimistic)", "1e10",
+                fmt_years(report.projected_lifetime_years(per_tile_lfm_hz, 1e10))});
+  life.add_row({"ReRAM (typical)", "1e8",
+                fmt_years(report.projected_lifetime_years(per_tile_lfm_hz, 1e8))});
+  std::printf("%s", life.render().c_str());
+  std::printf("\ntakeaway: even the carry-row hot spot outlives the system on"
+              " MRAM endurance; the same dataflow\non typical ReRAM would "
+              "wear out the reserved zone within days — one more reason the"
+              " paper's\nSOT-MRAM substrate suits write-heavy in-memory "
+              "arithmetic.\n");
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Accelerator survey — the evaluation of Section VI as a program.
+//
+// Prints the full ten-platform comparison (Figures 8-10 in tabular form),
+// the headline ratios, and a Pd sweep, so a user can reproduce the paper's
+// conclusions or re-run them after changing the NVSim-style configuration.
+#include <cstdio>
+
+#include "src/accel/comparison.h"
+#include "src/util/table.h"
+
+int main() {
+  using pim::util::TextTable;
+
+  // A user can override any timing/energy/area scalar here, NVSim-style:
+  //   util::Config over = util::Config::parse("-TripleSenseLatencyNs: 5\n");
+  //   hw::TimingEnergyModel timing(over);
+  const pim::hw::TimingEnergyModel timing;
+  const pim::accel::PimChipModel chip(timing);
+  const auto table = pim::accel::build_comparison(chip);
+
+  std::printf("=== Short-read accelerator survey (paper Sec. VI) ===\n\n");
+  TextTable out({"accelerator", "family", "W", "q/s", "q/s/W", "q/s/W/mm^2",
+                 "off-chip GB", "MBR %", "RUR %"});
+  for (const auto& row : table.rows) {
+    out.add_row({row.name,
+                 row.family == pim::accel::AlgorithmFamily::kSmithWaterman
+                     ? "SW"
+                     : "FM",
+                 TextTable::num(row.power_w),
+                 TextTable::num(row.throughput_qps),
+                 TextTable::num(row.throughput_per_watt()),
+                 TextTable::num(row.throughput_per_watt_per_mm2()),
+                 TextTable::num(row.offchip_gb), TextTable::num(row.mbr_pct),
+                 TextTable::num(row.rur_pct)});
+  }
+  std::printf("%s", out.render().c_str());
+
+  const auto r = pim::accel::compute_headline_ratios(table);
+  std::printf("\nheadline results:\n");
+  std::printf("  throughput/Watt vs best DP accelerator (RaceLogic): %.1fx"
+              "  (paper: ~3.1x)\n", r.tpw_vs_racelogic);
+  std::printf("  throughput/Watt/mm^2 vs FM-index ASIC: %.1fx (paper: ~9x),"
+              " vs AligneR: %.1fx (paper: 1.9x)\n",
+              r.tpwa_vs_asic, r.tpwa_vs_aligner);
+  std::printf("  pipelining (Pd=2): +%.0f%% throughput (paper: ~40%%)\n",
+              (r.pipeline_gain - 1.0) * 100.0);
+
+  std::printf("\nparallelism-degree sweep:\n");
+  TextTable pd_table({"Pd", "q/s", "W", "q/s/W"});
+  for (std::uint32_t pd = 1; pd <= 4; ++pd) {
+    const auto rep = chip.evaluate(pd);
+    pd_table.add_row({std::to_string(pd), TextTable::num(rep.throughput_qps),
+                      TextTable::num(rep.power_w),
+                      TextTable::num(rep.throughput_qps / rep.power_w)});
+  }
+  std::printf("%s", pd_table.render().c_str());
+  return 0;
+}

@@ -1,0 +1,147 @@
+// Index-once, align-many CLI — the production workflow around the
+// serialized FM-index.
+//
+//   ./index_cli build <ref.fasta> <index.pim>         # pre-computation
+//   ./index_cli align <index.pim> <reads.fastq> <out.sam>
+//   ./index_cli info  <index.pim>
+//   ./index_cli                                        # self-contained demo
+//
+// `build` runs the paper's Fig. 2 pre-computation (SA-IS, BWT, Marker
+// Table, SA) and persists it; `align` loads it back (skipping SA-IS) and
+// runs the multithreaded two-stage pipeline.
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "src/align/parallel_aligner.h"
+#include "src/align/sam_writer.h"
+#include "src/genome/fasta.h"
+#include "src/genome/fastq.h"
+#include "src/genome/synthetic_genome.h"
+#include "src/index/index_io.h"
+#include "src/readsim/read_simulator.h"
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+int cmd_build(const std::string& fasta_path, const std::string& index_path) {
+  using namespace pim;
+  const auto records = genome::read_fasta_file(fasta_path);
+  if (records.empty()) {
+    std::fprintf(stderr, "no FASTA records in %s\n", fasta_path.c_str());
+    return 1;
+  }
+  const auto& reference = records[0].sequence;
+  std::printf("building index for %s (%zu bp)...\n", records[0].name.c_str(),
+              reference.size());
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto fm = index::FmIndex::build(reference, {.bucket_width = 128});
+  std::printf("  built in %.2f s\n", seconds_since(t0));
+  index::save_index_file(index_path, fm, reference);
+  std::ifstream probe(index_path, std::ios::binary | std::ios::ate);
+  std::printf("  saved %s (%lld bytes)\n", index_path.c_str(),
+              static_cast<long long>(probe.tellg()));
+  return 0;
+}
+
+int cmd_info(const std::string& index_path) {
+  using namespace pim;
+  const auto loaded = index::load_index_file(index_path);
+  const auto fp = loaded.index.memory_footprint();
+  std::printf("index: %s\n", index_path.c_str());
+  std::printf("  reference: %llu bp\n",
+              static_cast<unsigned long long>(loaded.index.reference_size()));
+  std::printf("  bucket width d: %u, SA sample rate: %u\n",
+              loaded.index.config().bucket_width,
+              loaded.index.config().sa_sample_rate);
+  std::printf("  resident: BWT %zu B, MT %zu B, SA %zu B (total %zu B)\n",
+              fp.bwt_bytes, fp.marker_bytes, fp.sa_bytes, fp.total());
+  return 0;
+}
+
+int cmd_align(const std::string& index_path, const std::string& fastq_path,
+              const std::string& sam_path) {
+  using namespace pim;
+  auto t0 = std::chrono::steady_clock::now();
+  const auto loaded = index::load_index_file(index_path);
+  std::printf("index loaded in %.2f s (no SA-IS rebuild)\n",
+              seconds_since(t0));
+
+  const auto reads = genome::read_fastq_file(fastq_path);
+  std::vector<std::vector<genome::Base>> bases;
+  bases.reserve(reads.size());
+  for (const auto& r : reads) bases.push_back(r.sequence.unpack());
+
+  align::AlignerOptions options;
+  options.inexact.max_diffs = 2;
+  const align::Aligner aligner(loaded.index, options);
+  align::AlignerStats stats;
+  t0 = std::chrono::steady_clock::now();
+  const auto results = align::align_batch_parallel(aligner, bases, 0, &stats);
+  const double align_s = seconds_since(t0);
+
+  std::ofstream out(sam_path);
+  align::SamWriter writer(out, "ref", loaded.reference);
+  writer.write_header();
+  for (std::size_t i = 0; i < reads.size(); ++i) {
+    writer.write_alignment(reads[i].name.substr(0, reads[i].name.find(' ')),
+                           bases[i], results[i], reads[i].qualities);
+  }
+  std::printf("aligned %llu reads in %.2f s (%.0f reads/s): "
+              "%llu exact, %llu inexact, %llu unaligned -> %s\n",
+              static_cast<unsigned long long>(stats.reads_total), align_s,
+              static_cast<double>(stats.reads_total) / align_s,
+              static_cast<unsigned long long>(stats.reads_exact),
+              static_cast<unsigned long long>(stats.reads_inexact),
+              static_cast<unsigned long long>(stats.reads_unaligned),
+              sam_path.c_str());
+  return 0;
+}
+
+int demo() {
+  using namespace pim;
+  std::printf("no arguments: running the build -> info -> align demo\n\n");
+  genome::SyntheticGenomeSpec gspec;
+  gspec.length = 80000;
+  gspec.seed = 31;
+  const auto reference = genome::generate_reference(gspec);
+  genome::write_fasta_file("/tmp/pim_cli_ref.fasta",
+                           {{"demo", reference, 0}});
+  readsim::ReadSimSpec rspec;
+  rspec.read_length = 80;
+  rspec.num_reads = 300;
+  rspec.emit_qualities = true;
+  rspec.seed = 32;
+  const auto set = readsim::ReadSimulator(rspec).generate(reference);
+  genome::write_fastq_file("/tmp/pim_cli_reads.fastq", readsim::to_fastq(set));
+
+  int rc = cmd_build("/tmp/pim_cli_ref.fasta", "/tmp/pim_cli.index");
+  if (rc != 0) return rc;
+  rc = cmd_info("/tmp/pim_cli.index");
+  if (rc != 0) return rc;
+  return cmd_align("/tmp/pim_cli.index", "/tmp/pim_cli_reads.fastq",
+                   "/tmp/pim_cli.sam");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc == 1) return demo();
+  const std::string cmd = argv[1];
+  if (cmd == "build" && argc == 4) return cmd_build(argv[2], argv[3]);
+  if (cmd == "info" && argc == 3) return cmd_info(argv[2]);
+  if (cmd == "align" && argc == 5) {
+    return cmd_align(argv[2], argv[3], argv[4]);
+  }
+  std::fprintf(stderr,
+               "usage:\n  %s build <ref.fasta> <index>\n  %s info <index>\n"
+               "  %s align <index> <reads.fastq> <out.sam>\n",
+               argv[0], argv[0], argv[0]);
+  return 2;
+}

@@ -1,0 +1,76 @@
+// Inexact alignment walkthrough — Algorithm 2 in action.
+//
+// Shows how the mismatch budget z, the edit mode (substitutions-only vs
+// full edit), and the lower-bound pruning affect what is found and how much
+// backtracking the search does — "handles mismatches to reduce excessive
+// backtracking" is the abstract's claim this example makes concrete.
+#include <cstdio>
+
+#include "src/align/inexact_search.h"
+#include "src/genome/synthetic_genome.h"
+#include "src/util/table.h"
+
+int main() {
+  using namespace pim;
+  using util::TextTable;
+
+  genome::SyntheticGenomeSpec spec;
+  spec.length = 100000;
+  spec.seed = 7;
+  const auto reference = genome::generate_reference(spec);
+  const auto fm = index::FmIndex::build(reference, {.bucket_width = 128});
+
+  // A read from position 40'000 with two planted substitutions and, for the
+  // full-edit demo, one deleted base.
+  auto read = reference.slice(40000, 40060);
+  read[10] = static_cast<genome::Base>((static_cast<int>(read[10]) + 1) % 4);
+  read[45] = static_cast<genome::Base>((static_cast<int>(read[45]) + 2) % 4);
+
+  std::printf("read: 60 bp from position 40000 with 2 substitutions\n\n");
+  TextTable table({"z", "mode", "pruning", "hits", "best diffs",
+                   "states explored"});
+  for (std::uint32_t z = 0; z <= 3; ++z) {
+    for (const bool prune : {true, false}) {
+      align::InexactOptions opt;
+      opt.max_diffs = z;
+      opt.use_lower_bound_pruning = prune;
+      const auto result = align::inexact_search(fm, read, opt);
+      table.add_row({std::to_string(z), "subst-only", prune ? "on" : "off",
+                     std::to_string(result.hits.size()),
+                     result.found() ? std::to_string(result.best_diffs()) : "-",
+                     std::to_string(result.states_explored)});
+    }
+  }
+  std::printf("%s", table.render().c_str());
+  std::printf("\nnote how pruning cuts the explored states by orders of "
+              "magnitude at the same results —\nthe D-array lower bound is "
+              "what keeps backtracking from exploding.\n");
+
+  // Full-edit mode: delete a base so substitutions alone cannot rescue it.
+  auto indel_read = reference.slice(70000, 70050);
+  indel_read.erase(indel_read.begin() + 25);
+  std::printf("\nread: 49 bp from position 70000 with 1 deleted base\n\n");
+  TextTable table2({"mode", "z", "hits", "best diffs", "positions"});
+  for (const auto mode :
+       {align::EditMode::kSubstitutionsOnly, align::EditMode::kFullEdit}) {
+    align::InexactOptions opt;
+    opt.max_diffs = 1;
+    opt.mode = mode;
+    const auto result = align::inexact_search(fm, indel_read, opt);
+    std::string positions;
+    for (const auto& [pos, diffs] : align::inexact_locate(fm, indel_read, opt)) {
+      positions += std::to_string(pos) + "(" + std::to_string(diffs) + ") ";
+      if (positions.size() > 40) break;
+    }
+    table2.add_row(
+        {mode == align::EditMode::kFullEdit ? "full edit" : "subst-only", "1",
+         std::to_string(result.hits.size()),
+         result.found() ? std::to_string(result.best_diffs()) : "-",
+         positions.empty() ? "-" : positions});
+  }
+  std::printf("%s", table2.render().c_str());
+  std::printf("\nsubstitutions alone cannot absorb an indel: only the "
+              "full-edit mode (insertion/deletion moves\nof Algorithm 2) "
+              "recovers the origin at 70000.\n");
+  return 0;
+}

@@ -1,0 +1,95 @@
+// Paired-end walkthrough: simulate an FR library, align pairs with the
+// insert-size model, show a repeat-rescue case, and emit paired SAM.
+#include <cstdio>
+#include <sstream>
+
+#include "src/align/paired.h"
+#include "src/align/sam_writer.h"
+#include "src/genome/synthetic_genome.h"
+#include "src/readsim/paired_simulator.h"
+#include "src/util/table.h"
+
+int main() {
+  using namespace pim;
+  using util::TextTable;
+
+  genome::SyntheticGenomeSpec gspec;
+  gspec.length = 300000;
+  gspec.seed = 47;
+  gspec.repeat_fraction = 0.5;  // repeat-rich: pairing has work to do
+  const auto reference = genome::generate_reference(gspec);
+  const auto fm = index::FmIndex::build(reference, {.bucket_width = 128});
+
+  readsim::PairedReadSimSpec rspec;
+  rspec.base.read_length = 100;
+  rspec.base.num_reads = 300;
+  rspec.base.population_variation_rate = 0.001;
+  rspec.base.sequencing_error_rate = 0.002;
+  rspec.base.emit_qualities = true;
+  rspec.base.seed = 48;
+  rspec.insert_mean = 350;
+  rspec.insert_sd = 35;
+  const auto set = readsim::PairedReadSimulator(rspec).generate(reference);
+  std::printf("simulated %zu FR pairs (insert %u +- %u, repeat-rich "
+              "reference)\n\n",
+              set.pairs.size(), rspec.insert_mean, rspec.insert_sd);
+
+  align::PairedOptions options;
+  options.single.inexact.max_diffs = 2;
+  options.insert_mean = rspec.insert_mean;
+  options.insert_sd = rspec.insert_sd;
+  const align::PairedAligner aligner(fm, options);
+
+  std::size_t proper = 0, discordant = 0, one_mate = 0, neither = 0;
+  std::size_t origin_ok = 0, rescued = 0;
+  std::ostringstream sam;
+  align::SamWriter writer(sam, "demo", reference);
+  writer.write_header();
+  for (std::size_t i = 0; i < set.pairs.size(); ++i) {
+    const auto& pair = set.pairs[i];
+    const auto result = aligner.align_pair(pair.read1.bases, pair.read2.bases);
+    switch (result.cls) {
+      case align::PairClass::kProperPair: ++proper; break;
+      case align::PairClass::kDiscordant: ++discordant; break;
+      case align::PairClass::kOneMate: ++one_mate; break;
+      case align::PairClass::kNeither: ++neither; break;
+    }
+    if (result.cls == align::PairClass::kProperPair) {
+      if (result.pair->first.position == pair.read1.origin ||
+          result.pair->second.position == pair.read2.origin) {
+        ++origin_ok;
+      }
+      // A "rescue": some mate was multi-hit alone, yet the pair is unique.
+      if (result.mate1.hits.size() > 1 || result.mate2.hits.size() > 1) {
+        ++rescued;
+      }
+    }
+    writer.write_pair("pair" + std::to_string(i), pair.read1.bases,
+                      pair.read2.bases, result, pair.read1.qualities,
+                      pair.read2.qualities);
+  }
+
+  TextTable out({"class", "pairs", "share"});
+  const double n = static_cast<double>(set.pairs.size());
+  const auto row = [&](const char* label, std::size_t v) {
+    out.add_row({label, std::to_string(v),
+                 TextTable::num(100.0 * static_cast<double>(v) / n) + " %"});
+  };
+  row("proper pairs", proper);
+  row("discordant", discordant);
+  row("one mate only", one_mate);
+  row("neither", neither);
+  std::printf("%s", out.render().c_str());
+  std::printf("\n%zu/%zu proper pairs anchored at their true origin;\n"
+              "%zu pairs had a repeat-ambiguous mate that the insert-size "
+              "constraint disambiguated.\n",
+              origin_ok, proper, rescued);
+
+  std::printf("\nfirst paired SAM records:\n");
+  std::istringstream lines(sam.str());
+  std::string line;
+  for (int i = 0; i < 7 && std::getline(lines, line); ++i) {
+    std::printf("  %.120s\n", line.c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,94 @@
+#include "src/accel/chip_sim.h"
+
+#include <algorithm>
+#include <queue>
+#include <stdexcept>
+
+#include "src/util/stats.h"
+
+namespace pim::accel {
+
+namespace {
+
+struct Event {
+  double time_ns;
+  std::uint32_t read_id;
+  bool operator>(const Event& other) const { return time_ns > other.time_ns; }
+};
+
+}  // namespace
+
+ChipSimReport simulate_chip(const ChipSimConfig& config) {
+  if (config.groups == 0 || config.concurrent_reads == 0 ||
+      config.lfm_per_read == 0 || config.service_ns <= 0.0 ||
+      config.reads_to_complete == 0) {
+    throw std::invalid_argument("simulate_chip: bad config");
+  }
+  util::Xoshiro256 rng(config.seed);
+
+  // Per-read state: remaining LFMs and start time of the current pass.
+  std::vector<std::uint32_t> remaining(config.concurrent_reads,
+                                       config.lfm_per_read);
+  std::vector<double> started(config.concurrent_reads, 0.0);
+  std::vector<double> group_free(config.groups, 0.0);
+  std::vector<double> group_busy(config.groups, 0.0);
+
+  // Min-heap of "read ready to issue its next LFM" events.
+  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> ready;
+  for (std::uint32_t r = 0; r < config.concurrent_reads; ++r) {
+    ready.push(Event{0.0, r});
+  }
+
+  std::vector<double> latencies;
+  latencies.reserve(config.reads_to_complete);
+  std::uint64_t completed = 0;
+  double wall = 0.0;
+
+  while (completed < config.reads_to_complete) {
+    const Event ev = ready.top();
+    ready.pop();
+    const std::uint32_t r = ev.read_id;
+    // Issue one LFM at a random group (FIFO: service starts when the group
+    // frees up).
+    const auto g = static_cast<std::size_t>(rng.bounded(config.groups));
+    const double start = std::max(ev.time_ns, group_free[g]);
+    const double end = start + config.service_ns;
+    group_free[g] = end;
+    group_busy[g] += config.service_ns;
+    wall = std::max(wall, end);
+
+    if (--remaining[r] == 0) {
+      latencies.push_back(end - started[r]);
+      ++completed;
+      // The slot recirculates immediately with a fresh read.
+      remaining[r] = config.lfm_per_read;
+      started[r] = end;
+    }
+    ready.push(Event{end, r});
+  }
+
+  ChipSimReport report;
+  report.wall_ns = wall;
+  report.reads_completed = completed;
+  report.throughput_qps = static_cast<double>(completed) / (wall * 1e-9);
+  double busy_total = 0.0;
+  for (const auto b : group_busy) busy_total += b;
+  report.mean_group_utilization =
+      busy_total / (wall * static_cast<double>(config.groups));
+  double latency_sum = 0.0;
+  for (const auto l : latencies) latency_sum += l;
+  report.mean_read_latency_ns =
+      latency_sum / static_cast<double>(latencies.size());
+  report.p50_latency_ns = util::quantile(latencies, 0.50);
+  report.p95_latency_ns = util::quantile(latencies, 0.95);
+  report.p99_latency_ns = util::quantile(latencies, 0.99);
+  // Little's law: C = X * R with X in reads/ns.
+  const double x_per_ns = static_cast<double>(completed) / wall;
+  const double implied_c = x_per_ns * report.mean_read_latency_ns;
+  report.littles_law_residual =
+      std::abs(implied_c - static_cast<double>(config.concurrent_reads)) /
+      static_cast<double>(config.concurrent_reads);
+  return report;
+}
+
+}  // namespace pim::accel

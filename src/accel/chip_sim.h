@@ -1,0 +1,46 @@
+// Time-domain chip simulation — a closed queueing network of pipeline
+// groups.
+//
+// The analytic chip model treats throughput as pipelines x (1/ii) and RUR
+// as static occupancy. This simulator checks both dynamically: C reads
+// circulate (closed-loop) over G pipeline groups; each LFM is a service of
+// duration ii at a uniformly random group (the SA-interval jumps of
+// backward search make successive LFMs effectively random across slices);
+// groups serve FIFO. Outputs: sustained throughput, per-group utilization,
+// and the read-latency distribution — plus a Little's-law consistency check
+// (C = X * R) that ties the three together.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/util/rng.h"
+
+namespace pim::accel {
+
+struct ChipSimConfig {
+  std::uint32_t groups = 32;          ///< Pipeline groups on the chip.
+  std::uint32_t concurrent_reads = 64;  ///< Closed-loop population C.
+  std::uint32_t lfm_per_read = 300;
+  double service_ns = 16.0;           ///< Initiation interval per LFM.
+  std::uint32_t reads_to_complete = 2000;  ///< Simulation horizon.
+  std::uint64_t seed = 1;
+};
+
+struct ChipSimReport {
+  double wall_ns = 0.0;
+  std::uint64_t reads_completed = 0;
+  double throughput_qps = 0.0;
+  double mean_group_utilization = 0.0;
+  double mean_read_latency_ns = 0.0;
+  double p50_latency_ns = 0.0;
+  double p95_latency_ns = 0.0;
+  double p99_latency_ns = 0.0;
+  /// |C - X*R| / C — Little's-law residual; ~0 in steady state.
+  double littles_law_residual = 0.0;
+};
+
+/// Run the closed-loop simulation. Deterministic in the seed.
+ChipSimReport simulate_chip(const ChipSimConfig& config);
+
+}  // namespace pim::accel

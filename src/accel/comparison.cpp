@@ -1,0 +1,50 @@
+#include "src/accel/comparison.h"
+
+#include <stdexcept>
+
+namespace pim::accel {
+
+const AcceleratorMetrics& ComparisonTable::row(const std::string& name) const {
+  for (const auto& r : rows) {
+    if (r.name == name) return r;
+  }
+  throw std::out_of_range("ComparisonTable: unknown accelerator " + name);
+}
+
+ComparisonTable build_comparison(const PimChipModel& model) {
+  ComparisonTable table;
+  table.rows = baseline_accelerators();
+  table.pim_n = model.evaluate(1);
+  table.pim_p = model.evaluate(2);
+  table.rows.push_back(table.pim_n.as_metrics("PIM-Aligner-n"));
+  table.rows.push_back(table.pim_p.as_metrics("PIM-Aligner-p"));
+  return table;
+}
+
+ComparisonTable build_default_comparison() {
+  static const hw::TimingEnergyModel timing;  // default 512x256 organisation
+  const PimChipModel model(timing);
+  return build_comparison(model);
+}
+
+HeadlineRatios compute_headline_ratios(const ComparisonTable& table) {
+  HeadlineRatios r;
+  const auto& pim_n = table.row("PIM-Aligner-n");
+  const auto& pim_p = table.row("PIM-Aligner-p");
+  r.tpw_vs_racelogic =
+      pim_n.throughput_per_watt() / table.row("RaceLogic").throughput_per_watt();
+  r.tpw_vs_asic =
+      pim_n.throughput_per_watt() / table.row("ASIC").throughput_per_watt();
+  r.tpw_vs_fpga =
+      pim_n.throughput_per_watt() / table.row("FPGA").throughput_per_watt();
+  r.tpw_vs_gpu =
+      pim_n.throughput_per_watt() / table.row("GPU").throughput_per_watt();
+  r.tpwa_vs_asic = pim_p.throughput_per_watt_per_mm2() /
+                   table.row("ASIC").throughput_per_watt_per_mm2();
+  r.tpwa_vs_aligner = pim_p.throughput_per_watt_per_mm2() /
+                      table.row("AligneR").throughput_per_watt_per_mm2();
+  r.pipeline_gain = pim_p.throughput_qps / pim_n.throughput_qps;
+  return r;
+}
+
+}  // namespace pim::accel

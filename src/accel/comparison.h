@@ -1,0 +1,41 @@
+// Comparison harness: assembles the 10-platform table of Figures 8-10
+// (8 literature baselines + PIM-Aligner-n at Pd=1 + PIM-Aligner-p at Pd=2)
+// and computes the headline ratios the paper states in prose, so every
+// bench can print paper-vs-measured side by side.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/accel/baseline_models.h"
+#include "src/accel/pim_aligner_model.h"
+
+namespace pim::accel {
+
+struct ComparisonTable {
+  std::vector<AcceleratorMetrics> rows;  ///< Paper figure order.
+  ChipReport pim_n;                      ///< Pd=1 (method-I baseline).
+  ChipReport pim_p;                      ///< Pd=2 (pipelined).
+
+  const AcceleratorMetrics& row(const std::string& name) const;
+};
+
+/// Build the full table from a chip model (defaults reproduce the paper's
+/// configuration).
+ComparisonTable build_comparison(const PimChipModel& model);
+ComparisonTable build_default_comparison();
+
+/// The headline ratios of the abstract / Section VI, measured from a table.
+struct HeadlineRatios {
+  double tpw_vs_racelogic = 0.0;  ///< Paper: ~3.1x (PIM-n vs best SW).
+  double tpw_vs_asic = 0.0;       ///< Paper: ~2x.
+  double tpw_vs_fpga = 0.0;       ///< Paper: 43.8x.
+  double tpw_vs_gpu = 0.0;        ///< Paper: 458x.
+  double tpwa_vs_asic = 0.0;      ///< Paper: ~9x (per-mm2, PIM-p).
+  double tpwa_vs_aligner = 0.0;   ///< Paper: ~1.9x.
+  double pipeline_gain = 0.0;     ///< Paper: ~1.4x (Pd=2 over baseline).
+};
+
+HeadlineRatios compute_headline_ratios(const ComparisonTable& table);
+
+}  // namespace pim::accel

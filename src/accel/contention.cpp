@@ -1,0 +1,49 @@
+#include "src/accel/contention.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "src/util/rng.h"
+#include "src/util/stats.h"
+
+namespace pim::accel {
+
+double expected_occupancy(std::uint64_t groups, std::uint64_t resident_reads) {
+  if (groups == 0) throw std::invalid_argument("expected_occupancy: 0 groups");
+  const double miss =
+      std::pow(1.0 - 1.0 / static_cast<double>(groups),
+               static_cast<double>(resident_reads));
+  return 1.0 - miss;
+}
+
+double expected_occupancy_asymptotic(double load) {
+  return 1.0 - std::exp(-load);
+}
+
+OccupancySample simulate_occupancy(std::uint64_t groups,
+                                   std::uint64_t resident_reads,
+                                   std::size_t trials, std::uint64_t seed) {
+  if (groups == 0 || trials == 0) {
+    throw std::invalid_argument("simulate_occupancy: bad arguments");
+  }
+  util::Xoshiro256 rng(seed);
+  util::RunningStats stats;
+  std::vector<bool> occupied(groups);
+  for (std::size_t t = 0; t < trials; ++t) {
+    std::fill(occupied.begin(), occupied.end(), false);
+    std::uint64_t hit = 0;
+    for (std::uint64_t r = 0; r < resident_reads; ++r) {
+      const auto g = static_cast<std::size_t>(rng.bounded(groups));
+      if (!occupied[g]) {
+        occupied[g] = true;
+        ++hit;
+      }
+    }
+    stats.add(static_cast<double>(hit) / static_cast<double>(groups));
+  }
+  return {stats.mean(), stats.stddev()};
+}
+
+}  // namespace pim::accel

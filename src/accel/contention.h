@@ -1,0 +1,32 @@
+// Group-occupancy Monte Carlo — the queueing argument behind the RUR model.
+//
+// Reads jump between sub-array tiles as their SA intervals move, so at any
+// instant the R in-flight reads occupy a random subset of the G pipeline
+// groups. The fraction of groups doing useful work is the occupancy of a
+// balls-in-bins process: E[occupancy] = 1 - (1 - 1/G)^R -> 1 - e^(-R/G).
+// The chip model uses the closed form with R/G = Pd; this module provides
+// both the closed form and a Monte-Carlo validation of it.
+#pragma once
+
+#include <cstdint>
+
+namespace pim::accel {
+
+/// Closed-form expected fraction of occupied groups.
+double expected_occupancy(std::uint64_t groups, std::uint64_t resident_reads);
+
+/// Asymptotic form 1 - e^(-load) with load = resident_reads / groups.
+double expected_occupancy_asymptotic(double load);
+
+struct OccupancySample {
+  double mean_occupancy = 0.0;
+  double stddev = 0.0;
+};
+
+/// Monte-Carlo estimate: `trials` rounds of throwing `resident_reads` reads
+/// uniformly over `groups` groups and measuring the occupied fraction.
+OccupancySample simulate_occupancy(std::uint64_t groups,
+                                   std::uint64_t resident_reads,
+                                   std::size_t trials, std::uint64_t seed);
+
+}  // namespace pim::accel

@@ -1,0 +1,33 @@
+// Accelerator comparison metrics — the axes of Figures 8, 9 and 10.
+#pragma once
+
+#include <string>
+
+namespace pim::accel {
+
+enum class AlgorithmFamily {
+  kSmithWaterman,  ///< Dynamic-programming platforms (Darwin/ReCAM/RaceLogic).
+  kFmIndex,        ///< BWT/FM-index platforms (GPU/FPGA/ASIC/PIMs).
+};
+
+struct AcceleratorMetrics {
+  std::string name;
+  AlgorithmFamily family = AlgorithmFamily::kFmIndex;
+  double power_w = 0.0;           ///< Fig. 8a.
+  double throughput_qps = 0.0;    ///< Fig. 8b (queries/second).
+  double area_mm2 = 0.0;          ///< Compute-engine silicon, Fig. 9b.
+  double offchip_gb = 0.0;        ///< Fig. 10a.
+  double mbr_pct = 0.0;           ///< Memory Bottleneck Ratio, Fig. 10b.
+  double rur_pct = 0.0;           ///< Resource Utilization Ratio, Fig. 10c.
+
+  double throughput_per_watt() const {
+    return power_w > 0.0 ? throughput_qps / power_w : 0.0;
+  }
+  double throughput_per_watt_per_mm2() const {
+    return (power_w > 0.0 && area_mm2 > 0.0)
+               ? throughput_qps / power_w / area_mm2
+               : 0.0;
+  }
+};
+
+}  // namespace pim::accel

@@ -1,0 +1,89 @@
+// Two-stage alignment pipeline (Section III): stage one attempts exact
+// alignment; reads that fail (genome variation and sequencing error carriers)
+// go through stage two's inexact search. For typical data ~70% of reads
+// finish at stage one — a figure the integration tests and the
+// alignment_pipeline bench reproduce from the read simulator's error rates.
+//
+// Reads may come from either strand, so each stage tries the read and its
+// reverse complement, as BWA/Bowtie do.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "src/align/backward_search.h"
+#include "src/align/inexact_search.h"
+#include "src/genome/alphabet.h"
+#include "src/index/fm_index.h"
+
+namespace pim::align {
+
+enum class Strand : std::uint8_t { kForward, kReverseComplement };
+
+struct AlignmentHit {
+  std::uint64_t position = 0;  ///< Start in the reference (forward coords).
+  std::uint32_t diffs = 0;
+  Strand strand = Strand::kForward;
+};
+
+enum class AlignmentStage : std::uint8_t {
+  kUnaligned,  ///< Neither stage found a hit within the difference budget.
+  kExact,      ///< Stage one.
+  kInexact,    ///< Stage two.
+};
+
+struct AlignmentResult {
+  AlignmentStage stage = AlignmentStage::kUnaligned;
+  std::vector<AlignmentHit> hits;  ///< Sorted by position.
+  bool aligned() const { return stage != AlignmentStage::kUnaligned; }
+  /// The best (fewest-diff, leftmost) hit, if any.
+  std::optional<AlignmentHit> best() const;
+};
+
+struct AlignerOptions {
+  InexactOptions inexact;       ///< Stage-two budget (z, edit mode, pruning).
+  bool try_reverse_complement = true;
+  /// Cap on reported hits per read (a read landing in a huge repeat family
+  /// can hit thousands of loci); 0 = unlimited.
+  std::size_t max_hits = 64;
+};
+
+struct AlignerStats {
+  std::uint64_t reads_total = 0;
+  std::uint64_t reads_exact = 0;
+  std::uint64_t reads_inexact = 0;
+  std::uint64_t reads_unaligned = 0;
+  double exact_fraction() const {
+    return reads_total ? static_cast<double>(reads_exact) /
+                             static_cast<double>(reads_total)
+                       : 0.0;
+  }
+};
+
+class Aligner {
+ public:
+  explicit Aligner(const index::FmIndex& index, AlignerOptions options = {})
+      : index_(index), options_(options) {}
+
+  /// Align one read through the two-stage pipeline.
+  AlignmentResult align(const std::vector<genome::Base>& read) const;
+
+  /// Align a batch, accumulating stage statistics.
+  std::vector<AlignmentResult> align_batch(
+      const std::vector<std::vector<genome::Base>>& reads,
+      AlignerStats* stats = nullptr) const;
+
+  const AlignerOptions& options() const { return options_; }
+
+ private:
+  void collect_exact(const std::vector<genome::Base>& read, Strand strand,
+                     std::vector<AlignmentHit>& hits) const;
+  void collect_inexact(const std::vector<genome::Base>& read, Strand strand,
+                       std::vector<AlignmentHit>& hits) const;
+
+  const index::FmIndex& index_;
+  AlignerOptions options_;
+};
+
+}  // namespace pim::align

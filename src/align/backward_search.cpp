@@ -1,0 +1,23 @@
+#include "src/align/backward_search.h"
+
+#include "src/align/search_core.h"
+
+namespace pim::align {
+
+ExactResult exact_search(const index::FmIndex& index,
+                         const std::vector<genome::Base>& read) {
+  return exact_search_core(index, read);
+}
+
+std::vector<std::uint64_t> exact_locate(const index::FmIndex& index,
+                                        const std::vector<genome::Base>& read) {
+  const ExactResult result = exact_search(index, read);
+  return index.locate_all(result.interval);
+}
+
+std::vector<index::SaInterval> exact_search_trace(
+    const index::FmIndex& index, const std::vector<genome::Base>& read) {
+  return exact_search_trace_core(index, read);
+}
+
+}  // namespace pim::align

@@ -1,0 +1,51 @@
+// Bidirectional FM-index support (Section IV-A's "bi-directional
+// backtracking" control logic).
+//
+// Pairing the forward index with an index of the *reversed* reference lets
+// the DPU compute the D-array lower bound in O(m) with one forward sweep —
+// occurrence of read[j..i] in S equals occurrence of its reverse in
+// reverse(S), and extending i by one is a single backward-extension step on
+// the reverse index. This replaces the O(m^2)-worst-case restart method of
+// compute_lower_bound_d and is the same trick BWA uses.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/align/types.h"
+#include "src/genome/packed_sequence.h"
+#include "src/index/fm_index.h"
+
+namespace pim::align {
+
+class BiFmIndex {
+ public:
+  BiFmIndex() = default;
+
+  /// Builds both directions. Costs twice the single-index build.
+  static BiFmIndex build(const genome::PackedSequence& reference,
+                         const index::FmIndexConfig& config = {});
+
+  const index::FmIndex& forward() const { return forward_; }
+  const index::FmIndex& reverse() const { return reverse_; }
+
+  /// O(m) D-array: D[i] = lower bound on the differences needed to align
+  /// R[0..i]. Identical values to compute_lower_bound_d (tested), one
+  /// reverse-index extension per read base.
+  std::vector<std::uint32_t> compute_lower_bound_d(
+      const std::vector<genome::Base>& read) const;
+
+ private:
+  index::FmIndex forward_;
+  index::FmIndex reverse_;
+};
+
+/// Algorithm 2 with the D-array supplied by the reverse index: same results
+/// as inexact_search, but the pruning pre-pass is O(m) instead of O(m^2)
+/// worst case — the "reduce excessive backtracking" machinery at full
+/// strength.
+InexactResult inexact_search_bidirectional(const BiFmIndex& bi,
+                                           const std::vector<genome::Base>& read,
+                                           const InexactOptions& options = {});
+
+}  // namespace pim::align

@@ -1,0 +1,36 @@
+// Semi-global ("glocal") alignment: the whole read against a reference
+// window, free leading/trailing gaps on the reference side only.
+//
+// This is the correct model for anchoring a read at a known hit position:
+// unlike local Smith-Waterman it cannot soft-clip away the read's ends
+// (every read base is accounted for), so the CIGAR spans the full read and
+// the NM tag equals the alignment's true edit count. SamWriter uses it for
+// hit CIGARs; the variant-calling pileup depends on the full-read property.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/align/smith_waterman.h"
+#include "src/genome/alphabet.h"
+
+namespace pim::align {
+
+struct GlocalResult {
+  std::int32_t score = 0;
+  /// Reference window span actually consumed (half-open).
+  std::uint64_t ref_begin = 0, ref_end = 0;
+  std::vector<CigarEntry> cigar;  ///< Consumes the entire read.
+  std::uint32_t edits = 0;        ///< Mismatches + inserted + deleted bases.
+};
+
+/// Align `read` (fully) against `window` (reference side free at both
+/// ends). Throws std::invalid_argument on an empty read or empty window.
+GlocalResult glocal_align(const std::vector<genome::Base>& window,
+                          const std::vector<genome::Base>& read,
+                          const SwScoring& scoring = {});
+
+/// Render with mismatches folded into M (SAM convention).
+std::string glocal_cigar_string(const GlocalResult& result);
+
+}  // namespace pim::align

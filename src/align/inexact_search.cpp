@@ -1,0 +1,53 @@
+#include "src/align/inexact_search.h"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+
+#include "src/align/search_core.h"
+
+namespace pim::align {
+
+std::uint32_t InexactResult::best_diffs() const {
+  std::uint32_t best = std::numeric_limits<std::uint32_t>::max();
+  for (const auto& hit : hits) best = std::min(best, hit.diffs);
+  return best;
+}
+
+std::uint64_t InexactResult::total_occurrences() const {
+  std::uint64_t total = 0;
+  for (const auto& hit : hits) total += hit.interval.count();
+  return total;
+}
+
+std::vector<std::uint32_t> compute_lower_bound_d(
+    const index::FmIndex& index, const std::vector<genome::Base>& read) {
+  return compute_lower_bound_d_core(index, read);
+}
+
+InexactResult inexact_search(const index::FmIndex& index,
+                             const std::vector<genome::Base>& read,
+                             const InexactOptions& options) {
+  return inexact_search_core(index, read, options);
+}
+
+std::vector<std::pair<std::uint64_t, std::uint32_t>> inexact_locate(
+    const index::FmIndex& index, const std::vector<genome::Base>& read,
+    const InexactOptions& options) {
+  const InexactResult result = inexact_search(index, read, options);
+  std::map<std::uint64_t, std::uint32_t> by_position;
+  for (const auto& hit : result.hits) {
+    for (std::uint64_t row = hit.interval.low; row < hit.interval.high; ++row) {
+      const std::uint64_t pos = index.locate(static_cast<std::size_t>(row));
+      const auto it = by_position.find(pos);
+      if (it == by_position.end()) {
+        by_position.emplace(pos, hit.diffs);
+      } else {
+        it->second = std::min(it->second, hit.diffs);
+      }
+    }
+  }
+  return {by_position.begin(), by_position.end()};
+}
+
+}  // namespace pim::align

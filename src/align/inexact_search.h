@@ -1,0 +1,42 @@
+// Inexact alignment-in-memory algorithm (the paper's Algorithm 2).
+//
+// Recursive backward search tolerating up to z differences between read and
+// reference. At each read position the candidate intervals take the union of
+// the match continuation, the three mismatch substitutions, and (in full-edit
+// mode) read-insertion / reference-deletion moves — each continuation still
+// driven by the same LFM procedure, which is why the PIM platform accelerates
+// stage two with the identical in-memory primitives. Lower-bound pruning
+// (the D-array of BWA) is available to "reduce excessive backtracking" as the
+// abstract promises.
+//
+// These are the FmIndex instantiations of the backend-generic cores in
+// search_core.h.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "src/align/types.h"
+#include "src/genome/alphabet.h"
+#include "src/index/fm_index.h"
+
+namespace pim::align {
+
+/// Algorithm 2: all SA intervals matching `read` with <= z differences.
+InexactResult inexact_search(const index::FmIndex& index,
+                             const std::vector<genome::Base>& read,
+                             const InexactOptions& options = {});
+
+/// All start positions over all hit intervals (sorted, deduplicated), paired
+/// with the minimum diff count at that position.
+std::vector<std::pair<std::uint64_t, std::uint32_t>> inexact_locate(
+    const index::FmIndex& index, const std::vector<genome::Base>& read,
+    const InexactOptions& options = {});
+
+/// BWA's D array: D[i] = lower bound on the differences needed to align
+/// R[0..i]. Exposed for tests and for the DPU model's cycle accounting.
+std::vector<std::uint32_t> compute_lower_bound_d(
+    const index::FmIndex& index, const std::vector<genome::Base>& read);
+
+}  // namespace pim::align

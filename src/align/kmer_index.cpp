@@ -1,0 +1,98 @@
+#include "src/align/kmer_index.h"
+
+#include <stdexcept>
+
+namespace pim::align {
+
+KmerIndex KmerIndex::build(const genome::PackedSequence& reference,
+                           std::uint32_t k) {
+  if (k == 0 || k > 13) {
+    throw std::invalid_argument("KmerIndex: k must be in [1, 13]");
+  }
+  if (reference.size() < k) {
+    throw std::invalid_argument("KmerIndex: reference shorter than k");
+  }
+  KmerIndex index;
+  index.k_ = k;
+  index.reference_size_ = reference.size();
+  const std::uint64_t num_buckets = 1ULL << (2 * k);
+  const std::uint64_t num_kmers = reference.size() - k + 1;
+  const std::uint64_t mask = num_buckets - 1;
+
+  // Counting pass -> CSR offsets -> fill pass (rolling 2-bit key).
+  std::vector<std::uint32_t> counts(num_buckets + 1, 0);
+  std::uint64_t key = 0;
+  for (std::uint64_t i = 0; i < reference.size(); ++i) {
+    key = ((key << 2) | static_cast<std::uint64_t>(reference.at(i))) & mask;
+    if (i + 1 >= k) ++counts[key + 1];
+  }
+  index.bucket_offsets_.resize(num_buckets + 1, 0);
+  for (std::uint64_t b = 0; b < num_buckets; ++b) {
+    index.bucket_offsets_[b + 1] = index.bucket_offsets_[b] + counts[b + 1];
+  }
+  index.positions_.resize(num_kmers);
+  std::vector<std::uint32_t> cursor(index.bucket_offsets_.begin(),
+                                    index.bucket_offsets_.end() - 1);
+  key = 0;
+  for (std::uint64_t i = 0; i < reference.size(); ++i) {
+    key = ((key << 2) | static_cast<std::uint64_t>(reference.at(i))) & mask;
+    if (i + 1 >= k) {
+      index.positions_[cursor[key]++] =
+          static_cast<std::uint32_t>(i + 1 - k);
+    }
+  }
+  return index;
+}
+
+std::uint64_t KmerIndex::key_of(const std::vector<genome::Base>& seed) const {
+  if (seed.size() != k_) {
+    throw std::invalid_argument("KmerIndex: seed length != k");
+  }
+  std::uint64_t key = 0;
+  for (const auto b : seed) {
+    key = (key << 2) | static_cast<std::uint64_t>(b);
+  }
+  return key;
+}
+
+std::vector<std::uint64_t> KmerIndex::lookup(
+    const std::vector<genome::Base>& seed) const {
+  const std::uint64_t key = key_of(seed);
+  std::vector<std::uint64_t> out(
+      positions_.begin() + static_cast<long>(bucket_offsets_[key]),
+      positions_.begin() + static_cast<long>(bucket_offsets_[key + 1]));
+  return out;
+}
+
+std::uint64_t KmerIndex::count(const std::vector<genome::Base>& seed) const {
+  const std::uint64_t key = key_of(seed);
+  return bucket_offsets_[key + 1] - bucket_offsets_[key];
+}
+
+std::size_t KmerIndex::memory_bytes() const {
+  return bucket_offsets_.size() * sizeof(std::uint32_t) +
+         positions_.size() * sizeof(std::uint32_t);
+}
+
+ExactResult KmerIndex::search(const std::vector<genome::Base>& seed) const {
+  ExactResult result;
+  if (seed.size() != k_) {
+    // Seed-and-extend may be configured with a different seed length; a
+    // k-mismatch is "not found" rather than an error so the caller can mix
+    // substrates.
+    last_hits_.clear();
+    return result;
+  }
+  last_hits_ = lookup(seed);
+  result.interval = index::SaInterval{0, last_hits_.size()};
+  result.steps = 1;  // one hash probe
+  return result;
+}
+
+std::vector<std::uint64_t> KmerIndex::locate(
+    const index::SaInterval& interval) const {
+  (void)interval;  // the synthetic interval only carried the count
+  return last_hits_;
+}
+
+}  // namespace pim::align

@@ -1,0 +1,65 @@
+// Hash-based k-mer seed index — the BLASTN-family seeding substrate.
+//
+// The paper situates itself against two algorithm families: FM-index
+// backward search (this repo's core) and BLAST-style k-mer seeding (the
+// RADAR accelerator "directly maps ... BLASTN"). This module implements the
+// latter: an exact k-mer -> positions table over the reference, offering
+// the same Searcher interface the seed-and-extend core consumes, so the
+// two seeding substrates can be compared head-to-head (bench/seeding
+// comparison): the k-mer table answers a seed in O(1) probes but costs
+// O(n) words of memory and fixes k at build time; the FM-index answers any
+// seed length in O(k) LFM steps from the 2-bit BWT.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/align/types.h"
+#include "src/genome/packed_sequence.h"
+
+namespace pim::align {
+
+class KmerIndex {
+ public:
+  KmerIndex() = default;
+
+  /// Build the table. k <= 13 (the 4^k bucket directory is 64 MiB of
+  /// offsets at k=13, BLAST-class sizing); throws std::invalid_argument
+  /// otherwise or if the reference is shorter than k.
+  static KmerIndex build(const genome::PackedSequence& reference,
+                         std::uint32_t k);
+
+  std::uint32_t k() const { return k_; }
+  std::uint64_t reference_size() const { return reference_size_; }
+
+  /// All start positions of the exact k-mer `seed` (seed.size() must be k),
+  /// ascending.
+  std::vector<std::uint64_t> lookup(const std::vector<genome::Base>& seed) const;
+
+  /// Number of occurrences without materialising them.
+  std::uint64_t count(const std::vector<genome::Base>& seed) const;
+
+  /// Memory footprint of the table (bucket offsets + position lists) — the
+  /// number the FM-index comparison cares about.
+  std::size_t memory_bytes() const;
+
+  /// Searcher-concept adapter for seed_extend_core: `search` reports the
+  /// occurrence count in a synthetic SA-interval-shaped result (the core
+  /// only reads count/validity), `locate` returns the positions.
+  ExactResult search(const std::vector<genome::Base>& seed) const;
+  std::vector<std::uint64_t> locate(const index::SaInterval& interval) const;
+
+ private:
+  std::uint64_t key_of(const std::vector<genome::Base>& seed) const;
+
+  std::uint32_t k_ = 0;
+  std::uint64_t reference_size_ = 0;
+  /// CSR layout: bucket_offsets_[key] .. [key+1] indexes into positions_.
+  std::vector<std::uint32_t> bucket_offsets_;
+  std::vector<std::uint32_t> positions_;
+  /// Scratch for the Searcher adapter: `search` stashes the positions the
+  /// subsequent `locate` returns (the synthetic interval carries no key).
+  mutable std::vector<std::uint64_t> last_hits_;
+};
+
+}  // namespace pim::align

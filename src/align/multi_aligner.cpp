@@ -1,0 +1,52 @@
+#include "src/align/multi_aligner.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace pim::align {
+
+MultiAligner::MultiAligner(const genome::MultiReference& reference,
+                           const index::FmIndex& index,
+                           AlignerOptions options)
+    : reference_(&reference), aligner_(index, options) {
+  if (index.reference_size() != reference.total_length()) {
+    throw std::invalid_argument(
+        "MultiAligner: index not built over this MultiReference");
+  }
+}
+
+MultiAlignmentResult MultiAligner::align(
+    const std::vector<genome::Base>& read) const {
+  const AlignmentResult raw = aligner_.align(read);
+  MultiAlignmentResult result;
+
+  // The matched reference span can stretch by the difference budget when
+  // indels are allowed; be conservative at junctions.
+  const std::uint64_t span =
+      read.size() + aligner_.options().inexact.max_diffs;
+
+  for (const auto& hit : raw.hits) {
+    // Clamp to the concatenation end: a hit whose worst-case span would run
+    // off the end is fine as long as it stays within its chromosome.
+    const std::uint64_t clamped = std::min<std::uint64_t>(
+        span, reference_->total_length() - hit.position);
+    if (reference_->spans_boundary(hit.position, clamped)) {
+      ++result.boundary_artifacts_dropped;
+      continue;
+    }
+    const auto loc = reference_->locate(hit.position);
+    if (!loc) {
+      ++result.boundary_artifacts_dropped;
+      continue;
+    }
+    result.hits.push_back(
+        ChromosomeHit{loc->chromosome, loc->offset, hit.diffs, hit.strand});
+  }
+  // The stage only counts if real (non-artefact) hits survive.
+  if (!result.hits.empty()) {
+    result.stage = raw.stage;
+  }
+  return result;
+}
+
+}  // namespace pim::align

@@ -1,0 +1,44 @@
+// Chromosome-aware alignment: Aligner over a MultiReference concatenation,
+// with junction-artefact filtering and (chromosome, offset) hit coordinates.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/align/aligner.h"
+#include "src/genome/multi_reference.h"
+#include "src/index/fm_index.h"
+
+namespace pim::align {
+
+struct ChromosomeHit {
+  std::size_t chromosome = 0;
+  std::uint64_t offset = 0;   ///< 0-based within the chromosome.
+  std::uint32_t diffs = 0;
+  Strand strand = Strand::kForward;
+};
+
+struct MultiAlignmentResult {
+  AlignmentStage stage = AlignmentStage::kUnaligned;
+  std::vector<ChromosomeHit> hits;
+  std::size_t boundary_artifacts_dropped = 0;
+  bool aligned() const { return stage != AlignmentStage::kUnaligned; }
+};
+
+class MultiAligner {
+ public:
+  /// `reference` and `index` must both outlive the aligner; the index must
+  /// have been built over reference.concatenated().
+  MultiAligner(const genome::MultiReference& reference,
+               const index::FmIndex& index, AlignerOptions options = {});
+
+  MultiAlignmentResult align(const std::vector<genome::Base>& read) const;
+
+  const genome::MultiReference& reference() const { return *reference_; }
+
+ private:
+  const genome::MultiReference* reference_;
+  Aligner aligner_;
+};
+
+}  // namespace pim::align

@@ -1,0 +1,53 @@
+#include "src/align/parallel_aligner.h"
+
+#include <atomic>
+#include <thread>
+
+namespace pim::align {
+
+std::vector<AlignmentResult> align_batch_parallel(
+    const Aligner& aligner, const std::vector<std::vector<genome::Base>>& reads,
+    std::size_t num_threads, AlignerStats* stats) {
+  if (num_threads == 0) {
+    num_threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  num_threads = std::min(num_threads, std::max<std::size_t>(1, reads.size()));
+
+  std::vector<AlignmentResult> results(reads.size());
+  std::atomic<std::size_t> cursor{0};
+  std::vector<AlignerStats> partial(num_threads);
+
+  auto worker = [&](std::size_t worker_id) {
+    AlignerStats& local = partial[worker_id];
+    while (true) {
+      const std::size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
+      if (i >= reads.size()) break;
+      results[i] = aligner.align(reads[i]);
+      ++local.reads_total;
+      switch (results[i].stage) {
+        case AlignmentStage::kExact: ++local.reads_exact; break;
+        case AlignmentStage::kInexact: ++local.reads_inexact; break;
+        case AlignmentStage::kUnaligned: ++local.reads_unaligned; break;
+      }
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(num_threads);
+  for (std::size_t t = 0; t < num_threads; ++t) {
+    threads.emplace_back(worker, t);
+  }
+  for (auto& t : threads) t.join();
+
+  if (stats != nullptr) {
+    for (const auto& p : partial) {
+      stats->reads_total += p.reads_total;
+      stats->reads_exact += p.reads_exact;
+      stats->reads_inexact += p.reads_inexact;
+      stats->reads_unaligned += p.reads_unaligned;
+    }
+  }
+  return results;
+}
+
+}  // namespace pim::align

@@ -1,0 +1,23 @@
+// Multithreaded batch alignment.
+//
+// The FM-index is immutable after construction and Aligner::align is const,
+// so reads shard trivially across threads: a shared atomic cursor hands out
+// read indices, each worker accumulates private stage statistics, and the
+// partial stats merge at join. Results land at their read's index, so the
+// output order is deterministic regardless of scheduling.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "src/align/aligner.h"
+
+namespace pim::align {
+
+/// Align `reads` using `num_threads` workers (0 = hardware concurrency).
+/// Results are positionally identical to Aligner::align_batch.
+std::vector<AlignmentResult> align_batch_parallel(
+    const Aligner& aligner, const std::vector<std::vector<genome::Base>>& reads,
+    std::size_t num_threads = 0, AlignerStats* stats = nullptr);
+
+}  // namespace pim::align

@@ -1,0 +1,102 @@
+// SAM output — the interchange format downstream genomics pipelines expect.
+//
+// Converts AlignmentResults into SAM 1.6 records: header (@HD/@SQ/@PG),
+// flags (reverse-strand 0x10, unmapped 0x4, secondary 0x100), 1-based
+// positions, CIGAR strings (recomputed by banded Smith-Waterman traceback
+// for hits with differences), MAPQ from hit multiplicity and difference
+// count, and NM edit-distance tags.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/align/aligner.h"
+#include "src/align/paired.h"
+#include "src/genome/packed_sequence.h"
+
+namespace pim::align {
+
+struct SamRecord {
+  std::string qname;
+  std::uint16_t flag = 0;
+  std::string rname = "*";
+  std::uint64_t pos = 0;  ///< 1-based; 0 = unmapped.
+  std::uint8_t mapq = 0;
+  std::string cigar = "*";
+  std::string rnext = "*";
+  std::uint64_t pnext = 0;
+  std::int64_t tlen = 0;
+  std::string seq;
+  std::string qual = "*";
+  std::uint32_t edit_distance = 0;  ///< Emitted as NM:i: tag when mapped.
+
+  static constexpr std::uint16_t kFlagPaired = 0x1;
+  static constexpr std::uint16_t kFlagProperPair = 0x2;
+  static constexpr std::uint16_t kFlagUnmapped = 0x4;
+  static constexpr std::uint16_t kFlagMateUnmapped = 0x8;
+  static constexpr std::uint16_t kFlagReverse = 0x10;
+  static constexpr std::uint16_t kFlagMateReverse = 0x20;
+  static constexpr std::uint16_t kFlagFirstInPair = 0x40;
+  static constexpr std::uint16_t kFlagSecondInPair = 0x80;
+  static constexpr std::uint16_t kFlagSecondary = 0x100;
+
+  std::string to_line() const;
+};
+
+/// MAPQ heuristic: unique hits score high (decaying with differences),
+/// multi-mapped reads score near zero, unmapped reads zero.
+std::uint8_t estimate_mapq(std::size_t num_hits, std::uint32_t diffs);
+
+class SamWriter {
+ public:
+  /// Single-reference writer; `reference` is kept (not copied) for CIGAR
+  /// recomputation and must outlive the writer.
+  SamWriter(std::ostream& out, std::string reference_name,
+            const genome::PackedSequence& reference);
+
+  /// Emit @HD, @SQ and @PG lines. Call once, first.
+  void write_header(const std::string& program_name = "pim-aligner",
+                    const std::string& version = "1.0.0");
+
+  /// Convert one read's alignment into records: the best hit is primary,
+  /// remaining hits are secondary. Unaligned reads get an unmapped record.
+  /// `qualities` (Phred+33), if given, must match the read length.
+  void write_alignment(const std::string& qname,
+                       const std::vector<genome::Base>& read,
+                       const AlignmentResult& result,
+                       const std::optional<std::string>& qualities = {});
+
+  /// Emit the two primary records of a paired alignment with full pair
+  /// flags (0x1/0x2/0x40/0x80, mate strand/unmapped, RNEXT "=", TLEN).
+  /// Proper pairs use the ProperPair hits; other classes fall back to each
+  /// mate's best hit (or an unmapped record).
+  void write_pair(const std::string& qname,
+                  const std::vector<genome::Base>& read1,
+                  const std::vector<genome::Base>& read2,
+                  const PairedResult& result,
+                  const std::optional<std::string>& qual1 = {},
+                  const std::optional<std::string>& qual2 = {});
+
+  std::size_t records_written() const { return records_; }
+
+  /// Build (without writing) the records for an alignment — exposed for
+  /// tests and custom sinks.
+  std::vector<SamRecord> make_records(
+      const std::string& qname, const std::vector<genome::Base>& read,
+      const AlignmentResult& result,
+      const std::optional<std::string>& qualities = {}) const;
+
+ private:
+  std::string cigar_for_hit(const std::vector<genome::Base>& oriented_read,
+                            const AlignmentHit& hit) const;
+
+  std::ostream* out_;
+  std::string reference_name_;
+  const genome::PackedSequence* reference_;
+  std::size_t records_ = 0;
+};
+
+}  // namespace pim::align

@@ -1,0 +1,210 @@
+// Backend-generic search cores.
+//
+// Algorithm 1 (exact backward search) and Algorithm 2 (inexact search with
+// backtracking) are written once here, templated on a Backend that provides
+// the LFM-driven interval primitives. Two backends exist:
+//   * index::FmIndex              — the pure-software path;
+//   * pim::PimSearchBackend       — LFM executed as MEM/XNOR_Match/IM_ADD
+//                                   operations on simulated SOT-MRAM
+//                                   sub-arrays, with cycle/energy accounting.
+// Because both instantiate the same core, the platform's alignment results
+// are bit-identical to software by construction — the property the paper's
+// "reconstructed algorithm" claims and our integration tests verify.
+//
+// Backend requirements:
+//   index::SaInterval whole_interval() const;
+//   index::SaInterval extend(const index::SaInterval&, genome::Base) const;
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "src/align/types.h"
+#include "src/genome/alphabet.h"
+#include "src/index/fm_index.h"
+
+namespace pim::align {
+
+template <typename Backend>
+ExactResult exact_search_core(const Backend& backend,
+                              const std::vector<genome::Base>& read) {
+  ExactResult result;
+  result.interval = backend.whole_interval();
+  if (read.empty()) return result;
+  for (auto it = read.rbegin(); it != read.rend(); ++it) {
+    result.interval = backend.extend(result.interval, *it);
+    ++result.steps;
+    if (!result.interval.valid()) break;  // low >= high: no match possible
+  }
+  return result;
+}
+
+template <typename Backend>
+std::vector<index::SaInterval> exact_search_trace_core(
+    const Backend& backend, const std::vector<genome::Base>& read) {
+  std::vector<index::SaInterval> trace;
+  trace.reserve(read.size());
+  index::SaInterval interval = backend.whole_interval();
+  for (auto it = read.rbegin(); it != read.rend(); ++it) {
+    interval = backend.extend(interval, *it);
+    trace.push_back(interval);
+    if (!interval.valid()) break;
+  }
+  return trace;
+}
+
+namespace detail {
+
+/// Does pattern[begin..end] (inclusive) occur exactly?
+template <typename Backend>
+bool chunk_occurs(const Backend& backend,
+                  const std::vector<genome::Base>& pattern, std::size_t begin,
+                  std::size_t end) {
+  index::SaInterval interval = backend.whole_interval();
+  for (std::size_t k = end + 1; k-- > begin;) {
+    interval = backend.extend(interval, pattern[k]);
+    if (!interval.valid()) return false;
+    if (k == begin) break;
+  }
+  return interval.valid();
+}
+
+}  // namespace detail
+
+/// BWA's D array: D[i] = lower bound on differences needed to align R[0..i]
+/// (number of disjoint chunks of R[0..i] absent from the reference).
+template <typename Backend>
+std::vector<std::uint32_t> compute_lower_bound_d_core(
+    const Backend& backend, const std::vector<genome::Base>& read) {
+  std::vector<std::uint32_t> d(read.size(), 0);
+  std::uint32_t z = 0;
+  std::size_t chunk_begin = 0;
+  for (std::size_t i = 0; i < read.size(); ++i) {
+    if (!detail::chunk_occurs(backend, read, chunk_begin, i)) {
+      ++z;
+      chunk_begin = i + 1;
+    }
+    d[i] = z;
+  }
+  return d;
+}
+
+/// Algorithm 2's recursive searcher, generic over the LFM backend.
+template <typename Backend>
+class InexactSearchCore {
+ public:
+  InexactSearchCore(const Backend& backend,
+                    const std::vector<genome::Base>& read,
+                    const InexactOptions& options)
+      : backend_(backend), read_(read), options_(options) {
+    if (options_.use_lower_bound_pruning && !read.empty()) {
+      d_ = compute_lower_bound_d_core(backend, read);
+    }
+  }
+
+  /// Variant with an externally supplied D-array (e.g. from the reverse
+  /// index of a BiFmIndex). `precomputed_d` must be a valid lower bound;
+  /// it is used regardless of options.use_lower_bound_pruning.
+  InexactSearchCore(const Backend& backend,
+                    const std::vector<genome::Base>& read,
+                    const InexactOptions& options,
+                    std::vector<std::uint32_t> precomputed_d)
+      : backend_(backend),
+        read_(read),
+        options_(options),
+        d_(std::move(precomputed_d)) {}
+
+  InexactResult run() {
+    recur(static_cast<std::int64_t>(read_.size()) - 1, 0,
+          backend_.whole_interval());
+    InexactResult result;
+    result.states_explored = states_;
+    result.truncated = truncated_;
+    result.hits.reserve(found_.size());
+    for (const auto& [bounds, diffs] : found_) {
+      result.hits.push_back(
+          InexactHit{index::SaInterval{bounds.first, bounds.second}, diffs});
+    }
+    return result;
+  }
+
+ private:
+  void record(const index::SaInterval& interval, std::uint32_t diffs) {
+    const auto key = std::make_pair(interval.low, interval.high);
+    const auto it = found_.find(key);
+    if (it == found_.end()) {
+      found_.emplace(key, diffs);
+    } else {
+      it->second = std::min(it->second, diffs);
+    }
+  }
+
+  bool budget_exhausted() {
+    if (options_.max_states != 0 && states_ >= options_.max_states) {
+      truncated_ = true;
+      return true;
+    }
+    return false;
+  }
+
+  // i = next read character to consume (right-to-left); i < 0 => whole read
+  // matched, record the interval.
+  void recur(std::int64_t i, std::uint32_t diffs, index::SaInterval interval) {
+    ++states_;
+    if (budget_exhausted()) return;
+    if (i >= 0 && !d_.empty() &&
+        diffs + d_[static_cast<std::size_t>(i)] > options_.max_diffs) {
+      return;  // cheapest completion already over budget
+    }
+    if (i < 0) {
+      record(interval, diffs);
+      return;
+    }
+
+    const bool can_spend = diffs < options_.max_diffs;
+
+    if (options_.mode == EditMode::kFullEdit && can_spend) {
+      // Insertion in the read: skip R[i] without consuming a reference base.
+      recur(i - 1, diffs + 1, interval);
+    }
+
+    for (const auto b : genome::kAllBases) {
+      const index::SaInterval next = backend_.extend(interval, b);
+      if (!next.valid()) continue;
+      if (options_.mode == EditMode::kFullEdit && can_spend) {
+        // Deletion from the read: consume a reference base, stay at R[i].
+        recur(i, diffs + 1, next);
+      }
+      if (b == read_[static_cast<std::size_t>(i)]) {
+        recur(i - 1, diffs, next);  // match continuation (Alg. 2 line 16)
+      } else if (can_spend) {
+        recur(i - 1, diffs + 1, next);  // mismatch (Alg. 2 line 18)
+      }
+    }
+  }
+
+  const Backend& backend_;
+  const std::vector<genome::Base>& read_;
+  const InexactOptions& options_;
+  std::vector<std::uint32_t> d_;
+  std::map<std::pair<std::uint64_t, std::uint64_t>, std::uint32_t> found_;
+  std::uint64_t states_ = 0;
+  bool truncated_ = false;
+};
+
+template <typename Backend>
+InexactResult inexact_search_core(const Backend& backend,
+                                  const std::vector<genome::Base>& read,
+                                  const InexactOptions& options) {
+  if (read.empty()) {
+    InexactResult result;
+    result.hits.push_back(InexactHit{backend.whole_interval(), 0});
+    return result;
+  }
+  InexactSearchCore<Backend> core(backend, read, options);
+  return core.run();
+}
+
+}  // namespace pim::align

@@ -1,0 +1,35 @@
+#include "src/align/seed_extend.h"
+
+#include <stdexcept>
+
+#include "src/align/backward_search.h"
+
+namespace pim::align {
+
+namespace {
+
+/// Software searcher: the FM-index instantiation of the Searcher concept.
+struct FmSearcher {
+  const index::FmIndex* index;
+
+  ExactResult search(const std::vector<genome::Base>& seed) const {
+    return exact_search(*index, seed);
+  }
+  std::vector<std::uint64_t> locate(const index::SaInterval& interval) const {
+    return index->locate_all(interval);
+  }
+};
+
+}  // namespace
+
+SeedExtendResult seed_extend_align(const index::FmIndex& index,
+                                   const genome::PackedSequence& reference,
+                                   const std::vector<genome::Base>& read,
+                                   const SeedExtendOptions& options) {
+  if (index.reference_size() != reference.size()) {
+    throw std::invalid_argument("seed_extend: index/reference mismatch");
+  }
+  return seed_extend_core(FmSearcher{&index}, reference, read, options);
+}
+
+}  // namespace pim::align

@@ -1,0 +1,78 @@
+// Seed-and-extend long-read alignment.
+//
+// Algorithm 2's z-bounded backtracking is the right tool for 100-bp short
+// reads (<= 2 differences covers the paper's error rates) but cannot place
+// the "thousands nt" reads the introduction also motivates: a 1-kb read at
+// 0.3% divergence expects ~3 differences, and the backtracking cost grows
+// exponentially in z. The classical answer — and this module — is
+// seed-and-extend:
+//   1. split the read into non-overlapping seeds (default 20 bp),
+//   2. exact-search every seed with the FM-index (O(seed) each — still the
+//      LFM machinery, still PIM-acceleratable),
+//   3. vote candidate alignment diagonals from the seed hits,
+//   4. verify the best diagonals with banded Smith-Waterman.
+// The result is score-ranked candidate placements with full SW scores.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/align/smith_waterman.h"
+#include "src/align/types.h"
+#include "src/genome/packed_sequence.h"
+#include "src/index/fm_index.h"
+
+namespace pim::align {
+
+struct SeedExtendOptions {
+  std::uint32_t seed_length = 20;
+  /// Seeds whose SA interval is wider than this are repeat junk and are
+  /// skipped (their locate() cost would explode and their votes are noise).
+  std::uint64_t max_seed_hits = 32;
+  /// Minimum seed votes for a diagonal to reach SW verification.
+  std::uint32_t min_votes = 2;
+  /// Diagonals within this distance merge into one candidate (absorbs
+  /// small indels between seeds).
+  std::uint64_t diagonal_slack = 16;
+  /// Candidates verified by banded SW, best-voted first.
+  std::uint32_t max_candidates = 8;
+  std::uint32_t band_width = 32;
+  SwScoring scoring;
+};
+
+struct SeedChainHit {
+  std::uint64_t ref_begin = 0;  ///< Start of the SW-verified window.
+  std::int32_t score = 0;       ///< Banded SW score.
+  std::uint32_t votes = 0;      ///< Seeds supporting this diagonal.
+};
+
+struct SeedExtendResult {
+  std::vector<SeedChainHit> hits;  ///< Descending by score.
+  std::uint32_t seeds_total = 0;
+  std::uint32_t seeds_matched = 0;   ///< Seeds with usable exact hits.
+  std::uint32_t candidates_tried = 0;
+  bool found() const { return !hits.empty(); }
+};
+
+/// Align a (long) read by seeding + banded extension. `reference` must be
+/// the sequence the index was built over (needed for SW verification).
+SeedExtendResult seed_extend_align(const index::FmIndex& index,
+                                   const genome::PackedSequence& reference,
+                                   const std::vector<genome::Base>& read,
+                                   const SeedExtendOptions& options = {});
+
+/// Backend-generic core: any Searcher providing
+///   ExactResult search(const std::vector<Base>&)
+///   std::vector<std::uint64_t> locate(const index::SaInterval&)
+/// can drive the seeding stage — the software FM-index or the PIM platform
+/// (each seed is still pure LFM machinery, so long reads accelerate on the
+/// same sub-arrays). Declared here, defined in seed_extend_core.h.
+template <typename Searcher>
+SeedExtendResult seed_extend_core(Searcher&& searcher,
+                                  const genome::PackedSequence& reference,
+                                  const std::vector<genome::Base>& read,
+                                  const SeedExtendOptions& options);
+
+}  // namespace pim::align
+
+#include "src/align/seed_extend_core.h"  // IWYU pragma: keep

@@ -1,0 +1,61 @@
+// Smith–Waterman local alignment — the dynamic-programming baseline family
+// (Darwin / ReCAM / RaceLogic in the paper's comparison) and the O(nm)
+// complexity contrast of Section II.
+//
+// Linear gap model by default (RaceLogic's formulation); affine gaps
+// available. A banded variant provides the usual seed-and-extend
+// acceleration and is used by the micro-benchmarks to show the
+// crossover against O(m) backward search.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/genome/alphabet.h"
+
+namespace pim::align {
+
+struct SwScoring {
+  std::int32_t match = 2;
+  std::int32_t mismatch = -1;
+  std::int32_t gap_open = -2;    ///< Charged on the first gap base.
+  std::int32_t gap_extend = -2;  ///< Equal to gap_open => linear gaps.
+};
+
+enum class CigarOp : std::uint8_t { kMatch, kMismatch, kInsertion, kDeletion };
+
+struct CigarEntry {
+  CigarOp op;
+  std::uint32_t length;
+};
+
+struct SwResult {
+  std::int32_t score = 0;
+  /// Half-open aligned spans in reference and read.
+  std::uint64_t ref_begin = 0, ref_end = 0;
+  std::uint64_t read_begin = 0, read_end = 0;
+  std::vector<CigarEntry> cigar;  ///< Empty unless traceback requested.
+  std::uint64_t cells_computed = 0;  ///< DP work, for the O(nm) comparisons.
+};
+
+/// Full O(nm) Smith–Waterman with optional traceback.
+SwResult smith_waterman(const std::vector<genome::Base>& reference,
+                        const std::vector<genome::Base>& read,
+                        const SwScoring& scoring = {},
+                        bool traceback = false);
+
+/// Banded Smith–Waterman: cells with |i - j - offset| > band are skipped.
+/// `diagonal_offset` centres the band (reference position minus read
+/// position of the expected alignment).
+SwResult smith_waterman_banded(const std::vector<genome::Base>& reference,
+                               const std::vector<genome::Base>& read,
+                               std::int64_t diagonal_offset,
+                               std::uint32_t band_width,
+                               const SwScoring& scoring = {});
+
+/// Render a CIGAR as the usual compact string ("42M1X7M" style; X =
+/// mismatch, I/D = read insertion/deletion).
+std::string cigar_to_string(const std::vector<CigarEntry>& cigar);
+
+}  // namespace pim::align

@@ -1,0 +1,49 @@
+// Shared result/option types for the exact and inexact search cores.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/index/fm_index.h"
+
+namespace pim::align {
+
+struct ExactResult {
+  index::SaInterval interval;   ///< Final interval; valid() <=> read found.
+  std::uint32_t steps = 0;      ///< Backward-extension steps executed.
+  bool found() const { return interval.valid(); }
+  std::uint64_t occurrence_count() const { return interval.count(); }
+};
+
+enum class EditMode {
+  kSubstitutionsOnly,  ///< Mismatches only (Algorithm 2's main loop).
+  kFullEdit,           ///< Substitutions + insertions + deletions.
+};
+
+struct InexactOptions {
+  std::uint32_t max_diffs = 2;      ///< z; the paper evaluates reads with <=2.
+  EditMode mode = EditMode::kSubstitutionsOnly;
+  /// Occurrence lower-bound pruning (BWA's calculate-D). Cuts search paths
+  /// that provably cannot finish within z; never changes the result set.
+  bool use_lower_bound_pruning = true;
+  /// Hard cap on explored search states, a defence against pathological
+  /// references; 0 = unlimited. When hit, the result is marked truncated.
+  std::uint64_t max_states = 0;
+};
+
+struct InexactHit {
+  index::SaInterval interval;
+  std::uint32_t diffs = 0;  ///< Differences used (minimum over paths).
+};
+
+struct InexactResult {
+  std::vector<InexactHit> hits;  ///< Distinct intervals, ascending by low.
+  std::uint64_t states_explored = 0;
+  bool truncated = false;
+
+  bool found() const { return !hits.empty(); }
+  std::uint32_t best_diffs() const;
+  std::uint64_t total_occurrences() const;
+};
+
+}  // namespace pim::align

@@ -1,0 +1,86 @@
+#include "src/genome/alphabet.h"
+
+#include <stdexcept>
+
+namespace pim::genome {
+
+std::uint8_t hardware_code(Base b) {
+  switch (b) {
+    case Base::T: return 0b00;
+    case Base::G: return 0b01;
+    case Base::A: return 0b10;
+    case Base::C: return 0b11;
+  }
+  throw std::invalid_argument("hardware_code: bad base");
+}
+
+Base base_from_hardware_code(std::uint8_t code) {
+  switch (code & 0b11) {
+    case 0b00: return Base::T;
+    case 0b01: return Base::G;
+    case 0b10: return Base::A;
+    default: return Base::C;
+  }
+}
+
+char to_char(Base b) {
+  switch (b) {
+    case Base::A: return 'A';
+    case Base::C: return 'C';
+    case Base::G: return 'G';
+    case Base::T: return 'T';
+  }
+  throw std::invalid_argument("to_char: bad base");
+}
+
+std::optional<Base> base_from_char(char c) {
+  switch (c) {
+    case 'A': case 'a': return Base::A;
+    case 'C': case 'c': return Base::C;
+    case 'G': case 'g': return Base::G;
+    case 'T': case 't': return Base::T;
+    default: return std::nullopt;
+  }
+}
+
+Base complement(Base b) {
+  switch (b) {
+    case Base::A: return Base::T;
+    case Base::T: return Base::A;
+    case Base::C: return Base::G;
+    case Base::G: return Base::C;
+  }
+  throw std::invalid_argument("complement: bad base");
+}
+
+std::vector<Base> encode(std::string_view text) {
+  std::vector<Base> out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    const auto b = base_from_char(c);
+    if (!b) {
+      throw std::invalid_argument(std::string("encode: non-ACGT character '") +
+                                  c + "'");
+    }
+    out.push_back(*b);
+  }
+  return out;
+}
+
+std::string decode(const std::vector<Base>& bases) {
+  std::string out;
+  out.reserve(bases.size());
+  for (const auto b : bases) out.push_back(to_char(b));
+  return out;
+}
+
+std::vector<Base> reverse_complement(const std::vector<Base>& bases) {
+  std::vector<Base> out;
+  out.reserve(bases.size());
+  for (auto it = bases.rbegin(); it != bases.rend(); ++it) {
+    out.push_back(complement(*it));
+  }
+  return out;
+}
+
+}  // namespace pim::genome

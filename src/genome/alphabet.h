@@ -1,0 +1,51 @@
+// DNA alphabet with the paper's 2-bit encoding (Fig. 6a):
+//   T -> 00, G -> 01, A -> 10, C -> 11
+// plus the sentinel '$' used by BWT construction (never stored in the packed
+// 2-bit representation; it lives at a known index of the BWT).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pim::genome {
+
+/// Nucleotide codes in *lexicographic* order A < C < G < T, which is the
+/// order BWT/FM-index computations (Count table, backward search) require.
+enum class Base : std::uint8_t { A = 0, C = 1, G = 2, T = 3 };
+
+inline constexpr std::size_t kNumBases = 4;
+
+/// All four bases in lexicographic order, for iteration.
+inline constexpr std::array<Base, kNumBases> kAllBases = {
+    Base::A, Base::C, Base::G, Base::T};
+
+/// The paper's hardware 2-bit cell encoding (Fig. 6a): T=00, G=01, A=10, C=11.
+/// This is distinct from the lexicographic code above; the mapping layer of
+/// the PIM platform converts between them when loading BWT slices into
+/// sub-arrays. Exposed so tests can verify the CRef match vectors.
+std::uint8_t hardware_code(Base b);
+Base base_from_hardware_code(std::uint8_t code);
+
+/// ASCII <-> Base conversions. `base_from_char` accepts upper/lower case and
+/// returns nullopt for non-ACGT characters (N, gaps, ...).
+char to_char(Base b);
+std::optional<Base> base_from_char(char c);
+
+/// Watson–Crick complement (A<->T, C<->G), per the complementary base
+/// pairing rule the paper's Introduction cites.
+Base complement(Base b);
+
+/// Encode an ASCII string; throws std::invalid_argument on non-ACGT input.
+std::vector<Base> encode(std::string_view text);
+/// Decode to ASCII.
+std::string decode(const std::vector<Base>& bases);
+
+/// Reverse complement of a base sequence (reads may originate from either
+/// strand of the reference).
+std::vector<Base> reverse_complement(const std::vector<Base>& bases);
+
+}  // namespace pim::genome

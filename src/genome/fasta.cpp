@@ -1,0 +1,80 @@
+#include "src/genome/fasta.h"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+namespace pim::genome {
+
+std::vector<FastaRecord> read_fasta(std::istream& in, NonAcgtPolicy policy) {
+  std::vector<FastaRecord> records;
+  std::string line;
+  bool have_record = false;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    if (line.front() == '>') {
+      records.push_back(FastaRecord{line.substr(1), PackedSequence{}, 0});
+      have_record = true;
+      continue;
+    }
+    if (!have_record) {
+      throw std::runtime_error("FASTA: sequence data before first header");
+    }
+    auto& rec = records.back();
+    for (const char c : line) {
+      if (c == ' ' || c == '\t') continue;
+      const auto b = base_from_char(c);
+      if (b) {
+        rec.sequence.push_back(*b);
+        continue;
+      }
+      switch (policy) {
+        case NonAcgtPolicy::kSkip:
+          ++rec.dropped;
+          break;
+        case NonAcgtPolicy::kReplaceA:
+          rec.sequence.push_back(Base::A);
+          ++rec.dropped;
+          break;
+        case NonAcgtPolicy::kThrow:
+          throw std::runtime_error(std::string("FASTA: non-ACGT character '") +
+                                   c + "' in record " + rec.name);
+      }
+    }
+  }
+  return records;
+}
+
+std::vector<FastaRecord> read_fasta_file(const std::string& path,
+                                         NonAcgtPolicy policy) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("FASTA: cannot open " + path);
+  return read_fasta(in, policy);
+}
+
+void write_fasta(std::ostream& out, const std::vector<FastaRecord>& records,
+                 std::size_t line_width) {
+  for (const auto& rec : records) {
+    out << '>' << rec.name << '\n';
+    const std::string seq = rec.sequence.to_string();
+    if (line_width == 0) {
+      out << seq << '\n';
+      continue;
+    }
+    for (std::size_t i = 0; i < seq.size(); i += line_width) {
+      out << seq.substr(i, line_width) << '\n';
+    }
+  }
+}
+
+void write_fasta_file(const std::string& path,
+                      const std::vector<FastaRecord>& records,
+                      std::size_t line_width) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("FASTA: cannot open for write " + path);
+  write_fasta(out, records, line_width);
+}
+
+}  // namespace pim::genome

@@ -1,0 +1,43 @@
+// Minimal FASTA reader/writer so examples can ingest real reference files and
+// emit simulated reads. Non-ACGT symbols (N runs, IUPAC ambiguity codes) are
+// handled by the policy the aligners actually need: either skipped or
+// replaced, recorded per record.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "src/genome/alphabet.h"
+#include "src/genome/packed_sequence.h"
+
+namespace pim::genome {
+
+struct FastaRecord {
+  std::string name;          ///< Header text after '>'.
+  PackedSequence sequence;   ///< ACGT payload (after the non-ACGT policy).
+  std::size_t dropped = 0;   ///< Non-ACGT characters removed/replaced.
+};
+
+enum class NonAcgtPolicy {
+  kSkip,       ///< Drop the character (shifts coordinates; fine for synthetic work).
+  kReplaceA,   ///< Replace with 'A' (keeps coordinates; what many aligners do to N).
+  kThrow,      ///< Reject the file.
+};
+
+/// Parse all records from a FASTA stream. Throws std::runtime_error on
+/// malformed input (sequence data before any header, or kThrow policy hit).
+std::vector<FastaRecord> read_fasta(std::istream& in,
+                                    NonAcgtPolicy policy = NonAcgtPolicy::kReplaceA);
+std::vector<FastaRecord> read_fasta_file(const std::string& path,
+                                         NonAcgtPolicy policy = NonAcgtPolicy::kReplaceA);
+
+/// Write records with the given line width (0 = single line).
+void write_fasta(std::ostream& out, const std::vector<FastaRecord>& records,
+                 std::size_t line_width = 70);
+void write_fasta_file(const std::string& path,
+                      const std::vector<FastaRecord>& records,
+                      std::size_t line_width = 70);
+
+}  // namespace pim::genome

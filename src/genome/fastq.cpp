@@ -1,0 +1,115 @@
+#include "src/genome/fastq.h"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+namespace pim::genome {
+
+char phred_to_char(int score) {
+  return static_cast<char>(33 + std::clamp(score, 0, 93));
+}
+
+int char_to_phred(char c) {
+  const int score = static_cast<int>(static_cast<unsigned char>(c)) - 33;
+  if (score < 0 || score > 93) {
+    throw std::invalid_argument("char_to_phred: not a Phred+33 character");
+  }
+  return score;
+}
+
+double phred_to_error_probability(int score) {
+  return std::pow(10.0, -static_cast<double>(score) / 10.0);
+}
+
+int error_probability_to_phred(double probability) {
+  if (probability <= 0.0) return 93;
+  const double q = -10.0 * std::log10(probability);
+  return std::clamp(static_cast<int>(std::lround(q)), 0, 93);
+}
+
+bool FastqStreamReader::next(FastqRecord& record) {
+  std::string header, bases, plus, quals;
+  auto strip_cr = [](std::string& s) {
+    if (!s.empty() && s.back() == '\r') s.pop_back();
+  };
+  // Skip blank lines between records.
+  do {
+    if (!std::getline(*in_, header)) return false;
+    strip_cr(header);
+  } while (header.empty());
+  if (header.front() != '@') {
+    throw std::runtime_error("FASTQ: expected '@' header, got: " + header);
+  }
+  if (!std::getline(*in_, bases)) {
+    throw std::runtime_error("FASTQ: truncated record (no sequence)");
+  }
+  strip_cr(bases);
+  if (!std::getline(*in_, plus) || plus.empty() || plus.front() != '+') {
+    throw std::runtime_error("FASTQ: missing '+' separator");
+  }
+  if (!std::getline(*in_, quals)) {
+    throw std::runtime_error("FASTQ: truncated record (no qualities)");
+  }
+  strip_cr(quals);
+  if (quals.size() != bases.size()) {
+    throw std::runtime_error("FASTQ: quality length mismatch in record " +
+                             header);
+  }
+  record.name = header.substr(1);
+  record.qualities = quals;
+  record.sequence = PackedSequence{};
+  for (std::size_t i = 0; i < bases.size(); ++i) {
+    const auto b = base_from_char(bases[i]);
+    if (b) {
+      record.sequence.push_back(*b);
+    } else {
+      record.sequence.push_back(Base::A);      // N call: arbitrary base...
+      record.qualities[i] = phred_to_char(0);  // ...flagged untrustworthy
+    }
+    (void)char_to_phred(record.qualities[i]);  // validate the quality range
+  }
+  ++count_;
+  return true;
+}
+
+std::vector<FastqRecord> read_fastq(std::istream& in) {
+  std::vector<FastqRecord> records;
+  FastqStreamReader reader(in);
+  FastqRecord record;
+  while (reader.next(record)) {
+    records.push_back(std::move(record));
+  }
+  return records;
+}
+
+std::vector<FastqRecord> read_fastq_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("FASTQ: cannot open " + path);
+  return read_fastq(in);
+}
+
+void write_fastq(std::ostream& out, const std::vector<FastqRecord>& records) {
+  for (const auto& rec : records) {
+    if (rec.qualities.size() != rec.sequence.size()) {
+      throw std::invalid_argument(
+          "FASTQ: quality length mismatch writing record " + rec.name);
+    }
+    out << '@' << rec.name << '\n'
+        << rec.sequence.to_string() << '\n'
+        << "+\n"
+        << rec.qualities << '\n';
+  }
+}
+
+void write_fastq_file(const std::string& path,
+                      const std::vector<FastqRecord>& records) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("FASTQ: cannot open for write " + path);
+  write_fastq(out, records);
+}
+
+}  // namespace pim::genome

@@ -1,0 +1,59 @@
+// Minimal FASTQ reader/writer with Phred+33 quality handling — the format
+// real sequencing reads (and the ART simulator the paper uses) arrive in.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "src/genome/alphabet.h"
+#include "src/genome/packed_sequence.h"
+
+namespace pim::genome {
+
+struct FastqRecord {
+  std::string name;         ///< Header text after '@'.
+  PackedSequence sequence;
+  std::string qualities;    ///< Phred+33, same length as sequence.
+};
+
+/// Phred score <-> ASCII (offset 33). Scores clamp to [0, 93].
+char phred_to_char(int score);
+int char_to_phred(char c);
+/// Error probability of a Phred score: 10^(-q/10).
+double phred_to_error_probability(int score);
+/// Nearest Phred score for an error probability (clamped to [0, 93]).
+int error_probability_to_phred(double probability);
+
+/// Parse all records. Non-ACGT sequence characters are replaced with 'A'
+/// and their quality forced to 0 ('!') — the standard aligner treatment of
+/// N calls. Throws std::runtime_error on structural errors (missing '+',
+/// quality length mismatch, truncated record).
+std::vector<FastqRecord> read_fastq(std::istream& in);
+std::vector<FastqRecord> read_fastq_file(const std::string& path);
+
+void write_fastq(std::ostream& out, const std::vector<FastqRecord>& records);
+void write_fastq_file(const std::string& path,
+                      const std::vector<FastqRecord>& records);
+
+/// Streaming reader: one record at a time, O(read) memory — the shape a
+/// 10M-read production run needs (read_fastq would hold them all).
+/// Same validation and non-ACGT policy as read_fastq.
+class FastqStreamReader {
+ public:
+  /// The stream must outlive the reader.
+  explicit FastqStreamReader(std::istream& in) : in_(&in) {}
+
+  /// Fetch the next record; false at end of stream. Throws
+  /// std::runtime_error on malformed input.
+  bool next(FastqRecord& record);
+
+  std::size_t records_read() const { return count_; }
+
+ private:
+  std::istream* in_;
+  std::size_t count_ = 0;
+};
+
+}  // namespace pim::genome

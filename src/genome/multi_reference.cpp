@@ -1,0 +1,77 @@
+#include "src/genome/multi_reference.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace pim::genome {
+
+MultiReference MultiReference::from_parts(
+    std::vector<std::pair<std::string, PackedSequence>> parts) {
+  MultiReference ref;
+  for (auto& [name, seq] : parts) {
+    Chromosome chrom;
+    chrom.name = std::move(name);
+    chrom.offset = ref.concatenated_.size();
+    chrom.length = seq.size();
+    for (std::size_t i = 0; i < seq.size(); ++i) {
+      ref.concatenated_.push_back(seq.at(i));
+    }
+    ref.chromosomes_.push_back(std::move(chrom));
+  }
+  return ref;
+}
+
+MultiReference MultiReference::from_fasta_records(
+    const std::vector<FastaRecord>& records) {
+  std::vector<std::pair<std::string, PackedSequence>> parts;
+  parts.reserve(records.size());
+  for (const auto& rec : records) {
+    // SAM reference names stop at the first whitespace.
+    const auto cut = rec.name.find_first_of(" \t");
+    parts.emplace_back(rec.name.substr(0, cut), rec.sequence);
+  }
+  return from_parts(std::move(parts));
+}
+
+std::optional<ChromosomeLocation> MultiReference::locate(
+    std::uint64_t global) const {
+  if (global >= concatenated_.size() || chromosomes_.empty()) {
+    return std::nullopt;
+  }
+  // Binary search the last chromosome with offset <= global.
+  const auto it = std::upper_bound(
+      chromosomes_.begin(), chromosomes_.end(), global,
+      [](std::uint64_t pos, const Chromosome& c) { return pos < c.offset; });
+  const auto idx = static_cast<std::size_t>(it - chromosomes_.begin()) - 1;
+  return ChromosomeLocation{idx, global - chromosomes_[idx].offset};
+}
+
+bool MultiReference::spans_boundary(std::uint64_t global,
+                                    std::uint64_t length) const {
+  if (length == 0) return false;
+  const auto begin = locate(global);
+  const auto end = locate(global + length - 1);
+  if (!begin || !end) return true;  // runs past the concatenation
+  return begin->chromosome != end->chromosome;
+}
+
+std::optional<std::size_t> MultiReference::chromosome_index(
+    const std::string& name) const {
+  for (std::size_t i = 0; i < chromosomes_.size(); ++i) {
+    if (chromosomes_[i].name == name) return i;
+  }
+  return std::nullopt;
+}
+
+std::uint64_t MultiReference::to_global(const ChromosomeLocation& loc) const {
+  if (loc.chromosome >= chromosomes_.size()) {
+    throw std::out_of_range("MultiReference::to_global: bad chromosome");
+  }
+  const auto& chrom = chromosomes_[loc.chromosome];
+  if (loc.offset >= chrom.length) {
+    throw std::out_of_range("MultiReference::to_global: offset past end");
+  }
+  return chrom.offset + loc.offset;
+}
+
+}  // namespace pim::genome

@@ -1,0 +1,66 @@
+// Multi-chromosome references.
+//
+// The human reference is 24 chromosomes; a single FM-index over their
+// concatenation is how production aligners (and the paper's 3.2 Gbp "the
+// reference genome") handle it. This class owns the concatenation and the
+// coordinate map, translating global hit positions back to
+// (chromosome, offset) and flagging hits that straddle a junction (which
+// are artefacts of concatenation, not real alignments).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/genome/fasta.h"
+#include "src/genome/packed_sequence.h"
+
+namespace pim::genome {
+
+struct Chromosome {
+  std::string name;
+  std::uint64_t offset = 0;  ///< Start in the concatenation.
+  std::uint64_t length = 0;
+};
+
+struct ChromosomeLocation {
+  std::size_t chromosome = 0;  ///< Index into chromosomes().
+  std::uint64_t offset = 0;    ///< 0-based position within it.
+  bool operator==(const ChromosomeLocation&) const = default;
+};
+
+class MultiReference {
+ public:
+  MultiReference() = default;
+
+  static MultiReference from_parts(
+      std::vector<std::pair<std::string, PackedSequence>> parts);
+  static MultiReference from_fasta_records(
+      const std::vector<FastaRecord>& records);
+
+  const PackedSequence& concatenated() const { return concatenated_; }
+  const std::vector<Chromosome>& chromosomes() const { return chromosomes_; }
+  std::uint64_t total_length() const { return concatenated_.size(); }
+
+  /// Map a global position to its chromosome; nullopt past the end.
+  std::optional<ChromosomeLocation> locate(std::uint64_t global) const;
+
+  /// Does [global, global+length) cross a chromosome junction? Such hits
+  /// are concatenation artefacts and must be filtered.
+  bool spans_boundary(std::uint64_t global, std::uint64_t length) const;
+
+  /// Chromosome lookup by name; nullopt if absent.
+  std::optional<std::size_t> chromosome_index(const std::string& name) const;
+
+  /// Global coordinate of (chromosome, offset). Throws std::out_of_range
+  /// for a bad chromosome index or an offset past its end.
+  std::uint64_t to_global(const ChromosomeLocation& loc) const;
+
+ private:
+  PackedSequence concatenated_;
+  std::vector<Chromosome> chromosomes_;
+};
+
+}  // namespace pim::genome

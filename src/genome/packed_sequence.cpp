@@ -1,0 +1,44 @@
+#include "src/genome/packed_sequence.h"
+
+#include <stdexcept>
+
+namespace pim::genome {
+
+PackedSequence::PackedSequence(const std::vector<Base>& bases) {
+  words_.reserve((bases.size() + 31) / 32);
+  for (const auto b : bases) push_back(b);
+}
+
+PackedSequence::PackedSequence(std::string_view ascii)
+    : PackedSequence(encode(ascii)) {}
+
+void PackedSequence::push_back(Base b) {
+  if (size_ % 32 == 0) words_.push_back(0);
+  words_.back() |= static_cast<std::uint64_t>(b) << ((size_ & 31) * 2);
+  ++size_;
+}
+
+void PackedSequence::set(std::size_t i, Base b) {
+  if (i >= size_) throw std::out_of_range("PackedSequence::set");
+  const std::size_t shift = (i & 31) * 2;
+  words_[i >> 5] &= ~(std::uint64_t{0b11} << shift);
+  words_[i >> 5] |= static_cast<std::uint64_t>(b) << shift;
+}
+
+std::vector<Base> PackedSequence::slice(std::size_t begin, std::size_t end) const {
+  if (begin > end || end > size_) {
+    throw std::out_of_range("PackedSequence::slice");
+  }
+  std::vector<Base> out;
+  out.reserve(end - begin);
+  for (std::size_t i = begin; i < end; ++i) out.push_back(at(i));
+  return out;
+}
+
+std::string PackedSequence::to_string() const { return decode(unpack()); }
+
+bool PackedSequence::operator==(const PackedSequence& other) const {
+  return size_ == other.size_ && words_ == other.words_;
+}
+
+}  // namespace pim::genome

@@ -1,0 +1,51 @@
+// 2-bit-packed DNA sequence.
+//
+// The human reference (3.2 Gbp) only fits in memory at 2 bits/base; the
+// paper's sub-array layout likewise stores 128 bps per 256-bit word-line
+// (Fig. 6a). PackedSequence is the canonical in-memory representation used
+// by the index builders and the PIM mapping layer.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/genome/alphabet.h"
+
+namespace pim::genome {
+
+class PackedSequence {
+ public:
+  PackedSequence() = default;
+  explicit PackedSequence(const std::vector<Base>& bases);
+  explicit PackedSequence(std::string_view ascii);
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  Base at(std::size_t i) const {
+    return static_cast<Base>((words_[i >> 5] >> ((i & 31) * 2)) & 0b11);
+  }
+
+  void push_back(Base b);
+  void set(std::size_t i, Base b);
+
+  /// Copy of the half-open range [begin, end) as unpacked bases.
+  std::vector<Base> slice(std::size_t begin, std::size_t end) const;
+  std::vector<Base> unpack() const { return slice(0, size_); }
+  std::string to_string() const;
+
+  bool operator==(const PackedSequence& other) const;
+
+  /// Approximate heap footprint in bytes (used for the off-chip-memory
+  /// accounting of Fig. 10a).
+  std::size_t memory_bytes() const { return words_.size() * sizeof(std::uint64_t); }
+
+ private:
+  std::size_t size_ = 0;
+  std::vector<std::uint64_t> words_;  // 32 bases per 64-bit word
+};
+
+}  // namespace pim::genome

@@ -1,0 +1,89 @@
+#include "src/genome/synthetic_genome.h"
+
+#include <stdexcept>
+#include <vector>
+
+#include "src/util/rng.h"
+
+namespace pim::genome {
+
+namespace {
+
+Base draw_base(pim::util::Xoshiro256& rng, double gc_content) {
+  // P(G)=P(C)=gc/2, P(A)=P(T)=(1-gc)/2.
+  const double u = rng.uniform();
+  if (u < gc_content / 2) return Base::G;
+  if (u < gc_content) return Base::C;
+  if (u < gc_content + (1.0 - gc_content) / 2) return Base::A;
+  return Base::T;
+}
+
+Base random_other_base(pim::util::Xoshiro256& rng, Base b) {
+  // Pick uniformly among the three bases != b.
+  const auto offset = static_cast<std::uint8_t>(rng.bounded(3)) + 1;
+  return static_cast<Base>((static_cast<std::uint8_t>(b) + offset) % 4);
+}
+
+}  // namespace
+
+PackedSequence generate_uniform(std::size_t length, std::uint64_t seed,
+                                double gc_content) {
+  if (gc_content < 0.0 || gc_content > 1.0) {
+    throw std::invalid_argument("gc_content out of [0,1]");
+  }
+  pim::util::Xoshiro256 rng(seed);
+  PackedSequence seq;
+  for (std::size_t i = 0; i < length; ++i) {
+    seq.push_back(draw_base(rng, gc_content));
+  }
+  return seq;
+}
+
+PackedSequence generate_reference(const SyntheticGenomeSpec& spec) {
+  if (spec.repeat_fraction < 0.0 || spec.repeat_fraction >= 1.0) {
+    throw std::invalid_argument("repeat_fraction out of [0,1)");
+  }
+  pim::util::Xoshiro256 rng(spec.seed);
+
+  // A small family of repeat elements; genomes reuse few element families
+  // many times (LINE/SINE-like behaviour).
+  constexpr std::size_t kRepeatFamilies = 8;
+  std::vector<std::vector<Base>> families;
+  if (spec.repeat_fraction > 0.0 && spec.repeat_unit_length > 0) {
+    families.reserve(kRepeatFamilies);
+    for (std::size_t f = 0; f < kRepeatFamilies; ++f) {
+      std::vector<Base> unit;
+      unit.reserve(spec.repeat_unit_length);
+      for (std::size_t i = 0; i < spec.repeat_unit_length; ++i) {
+        unit.push_back(draw_base(rng, spec.gc_content));
+      }
+      families.push_back(std::move(unit));
+    }
+  }
+
+  PackedSequence seq;
+  while (seq.size() < spec.length) {
+    const bool plant_repeat =
+        !families.empty() && rng.uniform() < spec.repeat_fraction;
+    if (plant_repeat) {
+      const auto& unit = families[rng.bounded(families.size())];
+      for (const auto b : unit) {
+        if (seq.size() >= spec.length) break;
+        // Diverged copy: point-mutate at the configured rate.
+        seq.push_back(rng.bernoulli(spec.repeat_divergence)
+                          ? random_other_base(rng, b)
+                          : b);
+      }
+    } else {
+      // Unique stretch roughly the same length as a repeat unit.
+      const std::size_t run =
+          spec.repeat_unit_length > 0 ? spec.repeat_unit_length : 256;
+      for (std::size_t i = 0; i < run && seq.size() < spec.length; ++i) {
+        seq.push_back(draw_base(rng, spec.gc_content));
+      }
+    }
+  }
+  return seq;
+}
+
+}  // namespace pim::genome

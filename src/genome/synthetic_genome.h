@@ -1,0 +1,37 @@
+// Synthetic reference genomes.
+//
+// Substitution for Hg19 (see DESIGN.md §2): the paper aligns 10M reads to the
+// 3.2 Gbp human reference; we generate references whose *local* statistics
+// exercise the same code paths — uniform base composition plus planted
+// repeats and tandem duplications (repeats are what make real genomes hard:
+// they widen SA intervals and force backtracking to consider more hits).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "src/genome/packed_sequence.h"
+
+namespace pim::genome {
+
+struct SyntheticGenomeSpec {
+  std::size_t length = 1 << 20;    ///< Total bases.
+  double gc_content = 0.41;        ///< Human-like GC fraction.
+  /// Fraction of the genome covered by copies of planted repeat elements
+  /// (human: ~50% repetitive). Copies receive point mutations at
+  /// `repeat_divergence` so they are near- but not exact duplicates.
+  double repeat_fraction = 0.3;
+  std::size_t repeat_unit_length = 300;
+  double repeat_divergence = 0.02;
+  std::uint64_t seed = 1;
+};
+
+/// Generate a reference according to the spec. Deterministic in the seed.
+PackedSequence generate_reference(const SyntheticGenomeSpec& spec);
+
+/// Uniform-random ACGT sequence (no repeat structure); the fastest generator,
+/// used by unit tests and micro-benchmarks.
+PackedSequence generate_uniform(std::size_t length, std::uint64_t seed,
+                                double gc_content = 0.5);
+
+}  // namespace pim::genome

@@ -1,0 +1,91 @@
+#include "src/index/bwt.h"
+
+#include <array>
+#include <stdexcept>
+#include <vector>
+
+namespace pim::index {
+
+genome::Base Bwt::at(std::size_t i) const {
+  if (i == primary) {
+    throw std::logic_error("Bwt::at on the sentinel row; check is_sentinel()");
+  }
+  return symbols.at(i);
+}
+
+Bwt build_bwt(const genome::PackedSequence& text, const SuffixArray& sa) {
+  if (sa.size() != text.size() + 1) {
+    throw std::invalid_argument("build_bwt: SA size != text size + 1");
+  }
+  Bwt bwt;
+  bool primary_seen = false;
+  for (std::size_t i = 0; i < sa.size(); ++i) {
+    if (sa[i] == 0) {
+      bwt.primary = static_cast<std::uint32_t>(i);
+      bwt.symbols.push_back(Bwt::kSentinelFill);
+      primary_seen = true;
+    } else {
+      bwt.symbols.push_back(text.at(sa[i] - 1));
+    }
+  }
+  if (!primary_seen) {
+    throw std::invalid_argument("build_bwt: SA does not contain index 0");
+  }
+  return bwt;
+}
+
+genome::PackedSequence invert_bwt(const Bwt& bwt) {
+  const std::size_t n = bwt.size();
+  if (n == 0) return genome::PackedSequence{};
+
+  // LF mapping built by counting: LF(i) = C(bwt[i]) + occ(bwt[i], i), where
+  // the sentinel row maps to row 0.
+  std::array<std::size_t, genome::kNumBases> base_count{};
+  for (std::size_t i = 0; i < n; ++i) {
+    if (bwt.is_sentinel(i)) continue;
+    ++base_count[static_cast<std::size_t>(bwt.symbols.at(i))];
+  }
+  std::array<std::size_t, genome::kNumBases> c{};
+  std::size_t cumulative = 1;  // the sentinel is the single smallest symbol
+  for (std::size_t a = 0; a < genome::kNumBases; ++a) {
+    c[a] = cumulative;
+    cumulative += base_count[a];
+  }
+
+  std::vector<std::size_t> lf(n);
+  std::array<std::size_t, genome::kNumBases> running{};
+  for (std::size_t i = 0; i < n; ++i) {
+    if (bwt.is_sentinel(i)) {
+      lf[i] = 0;
+      continue;
+    }
+    const auto a = static_cast<std::size_t>(bwt.symbols.at(i));
+    lf[i] = c[a] + running[a];
+    ++running[a];
+  }
+
+  // Walk backwards from the sentinel row: row `primary`'s preceding char is
+  // '$', i.e. row primary corresponds to the first text character.
+  std::vector<genome::Base> reversed;
+  reversed.reserve(n - 1);
+  std::size_t row = bwt.primary;
+  for (std::size_t step = 0; step + 1 < n; ++step) {
+    // The character at text position (n-2-step) is bwt[row'] where row' walks
+    // the LF chain starting at LF(primary)?  Equivalent, simpler statement:
+    // T reconstructed back-to-front by reading bwt along the LF chain from
+    // the row holding '$' in the first column (row 0) ... we instead start at
+    // primary and pre-apply LF, reading the symbol before each jump.
+    row = lf[row];  // first step: lf[primary] == 0, the '$'-first row
+    if (bwt.is_sentinel(row)) {
+      throw std::logic_error("invert_bwt: hit sentinel row mid-walk");
+    }
+    reversed.push_back(bwt.symbols.at(row));
+  }
+  genome::PackedSequence text;
+  for (auto it = reversed.rbegin(); it != reversed.rend(); ++it) {
+    text.push_back(*it);
+  }
+  return text;
+}
+
+}  // namespace pim::index

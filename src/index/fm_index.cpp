@@ -1,0 +1,51 @@
+#include "src/index/fm_index.h"
+
+#include <algorithm>
+
+namespace pim::index {
+
+FmIndex FmIndex::build(const genome::PackedSequence& reference,
+                       const FmIndexConfig& config) {
+  return build_from_sa(reference, build_suffix_array(reference), config);
+}
+
+FmIndex FmIndex::build_from_sa(const genome::PackedSequence& reference,
+                               const SuffixArray& sa,
+                               const FmIndexConfig& config) {
+  FmIndex index;
+  index.config_ = config;
+  index.bwt_ = build_bwt(reference, sa);
+  index.counts_ = CountTable(index.bwt_);
+  index.markers_ = MarkerTable(index.bwt_, index.counts_, config.bucket_width);
+  index.sampled_sa_ =
+      SampledSuffixArray(sa, index.bwt_, index.counts_, config.sa_sample_rate);
+  return index;
+}
+
+std::uint64_t FmIndex::locate(std::size_t row) const {
+  return sampled_sa_.locate(
+      bwt_, counts_, row,
+      [this](genome::Base nt, std::size_t i) { return occ(nt, i); });
+}
+
+std::vector<std::uint64_t> FmIndex::locate_all(
+    const SaInterval& interval) const {
+  std::vector<std::uint64_t> positions;
+  if (!interval.valid()) return positions;
+  positions.reserve(interval.count());
+  for (std::uint64_t row = interval.low; row < interval.high; ++row) {
+    positions.push_back(locate(static_cast<std::size_t>(row)));
+  }
+  std::sort(positions.begin(), positions.end());
+  return positions;
+}
+
+FmIndex::MemoryFootprint FmIndex::memory_footprint() const {
+  MemoryFootprint fp;
+  fp.bwt_bytes = bwt_.symbols.memory_bytes();
+  fp.marker_bytes = markers_.memory_bytes();
+  fp.sa_bytes = sampled_sa_.memory_bytes();
+  return fp;
+}
+
+}  // namespace pim::index

@@ -1,0 +1,106 @@
+// FM-index facade — ties together BWT, Count, Marker Table and sampled SA
+// into the structure Algorithm 1/2 and the PIM mapping layer consume.
+//
+// The three persisted structures match the paper exactly: BWT, MT, SA
+// ("only BWT, Marker Table (MT), and SA will be stored in the memory").
+// The full Occ table is never kept; occ() is always computed as
+// marker + count_match, the decomposition the hardware executes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/genome/packed_sequence.h"
+#include "src/index/bwt.h"
+#include "src/index/marker_table.h"
+#include "src/index/occ_table.h"
+#include "src/index/sampled_sa.h"
+#include "src/index/suffix_array.h"
+
+namespace pim::index {
+
+/// Half-open SA interval [low, high): the suffixes sharing the current query
+/// suffix as a prefix. `low < high` means the pattern (so far) occurs.
+struct SaInterval {
+  std::uint64_t low = 0;
+  std::uint64_t high = 0;
+
+  bool valid() const { return low < high; }
+  std::uint64_t count() const { return valid() ? high - low : 0; }
+  bool operator==(const SaInterval&) const = default;
+};
+
+struct FmIndexConfig {
+  /// Occ checkpoint spacing d. 128 bps = one sub-array row (paper default).
+  std::uint32_t bucket_width = 128;
+  /// SA sampling rate; 1 = full SA as in the paper.
+  std::uint32_t sa_sample_rate = 1;
+};
+
+class FmIndex {
+ public:
+  FmIndex() = default;
+
+  /// Build all structures from the reference. O(n) time via SA-IS.
+  static FmIndex build(const genome::PackedSequence& reference,
+                       const FmIndexConfig& config = {});
+
+  /// Build from a pre-computed suffix array (e.g. deserialized): skips
+  /// SA-IS, everything else is derived in O(n). The SA must be the
+  /// sentinel-inclusive array of `reference` (size n+1).
+  static FmIndex build_from_sa(const genome::PackedSequence& reference,
+                               const SuffixArray& sa,
+                               const FmIndexConfig& config = {});
+
+  /// Number of bases in the reference (n); BWT rows are n+1.
+  std::uint64_t reference_size() const { return bwt_.size() - 1; }
+  std::uint64_t num_rows() const { return bwt_.size(); }
+
+  const Bwt& bwt() const { return bwt_; }
+  const CountTable& counts() const { return counts_; }
+  const MarkerTable& markers() const { return markers_; }
+  const FmIndexConfig& config() const { return config_; }
+
+  /// Occ(nt, i) — computed from the marker table (marker - Count + residual).
+  std::uint64_t occ(genome::Base nt, std::size_t i) const {
+    return markers_.lfm(bwt_, nt, i) - counts_.count(nt);
+  }
+
+  /// The LFM procedure: Count(nt) + Occ(nt, id).
+  std::uint64_t lfm(genome::Base nt, std::size_t id) const {
+    return markers_.lfm(bwt_, nt, id);
+  }
+
+  /// The whole-reference interval every backward search starts from.
+  SaInterval whole_interval() const { return {0, num_rows()}; }
+
+  /// One backward-extension step: prepend `nt` to the current pattern.
+  SaInterval extend(const SaInterval& interval, genome::Base nt) const {
+    return {lfm(nt, interval.low), lfm(nt, interval.high)};
+  }
+
+  /// Text position of SA row `row`.
+  std::uint64_t locate(std::size_t row) const;
+
+  /// All text positions in an interval, sorted ascending.
+  std::vector<std::uint64_t> locate_all(const SaInterval& interval) const;
+
+  /// Memory footprint of the persisted structures, for Fig. 10a-style
+  /// accounting (scaled analytically to Hg19 in the chip model).
+  struct MemoryFootprint {
+    std::size_t bwt_bytes = 0;
+    std::size_t marker_bytes = 0;
+    std::size_t sa_bytes = 0;
+    std::size_t total() const { return bwt_bytes + marker_bytes + sa_bytes; }
+  };
+  MemoryFootprint memory_footprint() const;
+
+ private:
+  FmIndexConfig config_;
+  Bwt bwt_;
+  CountTable counts_;
+  MarkerTable markers_;
+  SampledSuffixArray sampled_sa_;
+};
+
+}  // namespace pim::index

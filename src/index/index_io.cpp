@@ -1,0 +1,150 @@
+#include "src/index/index_io.h"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+#include <type_traits>
+#include <vector>
+
+namespace pim::index {
+
+namespace {
+
+// FNV-1a over a byte range; cheap integrity check against truncation and
+// bit rot (not cryptographic).
+std::uint64_t fnv1a(std::uint64_t hash, const void* data, std::size_t bytes) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < bytes; ++i) {
+    hash ^= p[i];
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+
+void write_bytes(std::ostream& out, const void* data, std::size_t bytes,
+                 std::uint64_t& hash) {
+  out.write(static_cast<const char*>(data),
+            static_cast<std::streamsize>(bytes));
+  if (!out) throw std::runtime_error("index_io: write failed");
+  hash = fnv1a(hash, data, bytes);
+}
+
+void read_bytes(std::istream& in, void* data, std::size_t bytes,
+                std::uint64_t& hash) {
+  in.read(static_cast<char*>(data), static_cast<std::streamsize>(bytes));
+  if (static_cast<std::size_t>(in.gcount()) != bytes) {
+    throw std::runtime_error("index_io: truncated file");
+  }
+  hash = fnv1a(hash, data, bytes);
+}
+
+template <typename T>
+void write_pod(std::ostream& out, const T& value, std::uint64_t& hash) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  write_bytes(out, &value, sizeof(T), hash);
+}
+
+template <typename T>
+T read_pod(std::istream& in, std::uint64_t& hash) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  T value{};
+  read_bytes(in, &value, sizeof(T), hash);
+  return value;
+}
+
+}  // namespace
+
+void save_index(std::ostream& out, const FmIndex& index,
+                const genome::PackedSequence& reference) {
+  if (index.reference_size() != reference.size()) {
+    throw std::invalid_argument(
+        "save_index: index/reference size mismatch");
+  }
+  std::uint64_t hash = kFnvOffset;
+  write_pod(out, kIndexMagic, hash);
+  write_pod(out, kIndexVersion, hash);
+  write_pod(out, index.config().bucket_width, hash);
+  write_pod(out, index.config().sa_sample_rate, hash);
+
+  // Reference: 2-bit packed.
+  const std::uint64_t n = reference.size();
+  write_pod(out, n, hash);
+  for (std::uint64_t i = 0; i < n; i += 32) {
+    std::uint64_t word = 0;
+    for (std::uint64_t j = 0; j < 32 && i + j < n; ++j) {
+      word |= static_cast<std::uint64_t>(reference.at(i + j)) << (2 * j);
+    }
+    write_pod(out, word, hash);
+  }
+
+  // Suffix array: dumping it trades ~4 bytes/base of disk for skipping
+  // SA-IS at load. Recovered via locate() of every row (rate-independent).
+  const std::uint64_t rows = index.num_rows();
+  write_pod(out, rows, hash);
+  for (std::uint64_t row = 0; row < rows; ++row) {
+    write_pod(out, static_cast<std::uint32_t>(index.locate(row)), hash);
+  }
+  write_pod(out, hash, hash);  // trailing checksum (hash of all prior bytes)
+  if (!out) throw std::runtime_error("index_io: write failed");
+}
+
+void save_index_file(const std::string& path, const FmIndex& index,
+                     const genome::PackedSequence& reference) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("index_io: cannot open " + path);
+  save_index(out, index, reference);
+}
+
+LoadedIndex load_index(std::istream& in) {
+  std::uint64_t hash = kFnvOffset;
+  if (read_pod<std::uint32_t>(in, hash) != kIndexMagic) {
+    throw std::runtime_error("index_io: bad magic (not a PIM-Aligner index)");
+  }
+  if (read_pod<std::uint32_t>(in, hash) != kIndexVersion) {
+    throw std::runtime_error("index_io: unsupported index version");
+  }
+  FmIndexConfig config;
+  config.bucket_width = read_pod<std::uint32_t>(in, hash);
+  config.sa_sample_rate = read_pod<std::uint32_t>(in, hash);
+
+  const auto n = read_pod<std::uint64_t>(in, hash);
+  genome::PackedSequence reference;
+  for (std::uint64_t i = 0; i < n; i += 32) {
+    const auto word = read_pod<std::uint64_t>(in, hash);
+    for (std::uint64_t j = 0; j < 32 && i + j < n; ++j) {
+      reference.push_back(
+          static_cast<genome::Base>((word >> (2 * j)) & 0b11));
+    }
+  }
+
+  const auto rows = read_pod<std::uint64_t>(in, hash);
+  if (rows != n + 1) {
+    throw std::runtime_error("index_io: SA size inconsistent with reference");
+  }
+  SuffixArray sa(rows);
+  for (std::uint64_t row = 0; row < rows; ++row) {
+    sa[row] = read_pod<std::uint32_t>(in, hash);
+  }
+
+  const std::uint64_t expected = hash;
+  std::uint64_t ignored = kFnvOffset;
+  const auto stored = read_pod<std::uint64_t>(in, ignored);
+  if (stored != expected) {
+    throw std::runtime_error("index_io: checksum mismatch (corrupt index)");
+  }
+
+  LoadedIndex loaded;
+  loaded.reference = std::move(reference);
+  loaded.index = FmIndex::build_from_sa(loaded.reference, sa, config);
+  return loaded;
+}
+
+LoadedIndex load_index_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("index_io: cannot open " + path);
+  return load_index(in);
+}
+
+}  // namespace pim::index

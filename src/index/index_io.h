@@ -1,0 +1,41 @@
+// Binary serialization of the FM-index.
+//
+// Index construction is the one-time pre-computation of Fig. 2; production
+// aligners build once and reuse. The format stores exactly the structures
+// the paper persists — BWT (+primary), Marker Table parameters, sampled SA
+// — plus a magic/version header and length-prefixed sections so corrupt or
+// foreign files fail loudly instead of loading garbage.
+//
+// The marker table and count table are *rebuilt* from the BWT at load time
+// (cheaper than their disk footprint at d=128), so the file holds the BWT,
+// the SA samples, and the configuration.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "src/index/fm_index.h"
+
+namespace pim::index {
+
+inline constexpr std::uint32_t kIndexMagic = 0x50494D41;  // "PIMA"
+inline constexpr std::uint32_t kIndexVersion = 1;
+
+/// Serialize to a binary stream. Throws std::runtime_error on I/O failure.
+void save_index(std::ostream& out, const FmIndex& index,
+                const genome::PackedSequence& reference);
+void save_index_file(const std::string& path, const FmIndex& index,
+                     const genome::PackedSequence& reference);
+
+struct LoadedIndex {
+  FmIndex index;
+  genome::PackedSequence reference;
+};
+
+/// Deserialize; throws std::runtime_error on bad magic, version mismatch,
+/// truncation, or checksum failure.
+LoadedIndex load_index(std::istream& in);
+LoadedIndex load_index_file(const std::string& path);
+
+}  // namespace pim::index

@@ -1,0 +1,37 @@
+#include "src/index/marker_table.h"
+
+#include <stdexcept>
+
+namespace pim::index {
+
+MarkerTable::MarkerTable(const Bwt& bwt, const CountTable& counts,
+                         std::uint32_t bucket_width)
+    : d_(bucket_width) {
+  if (bucket_width == 0) {
+    throw std::invalid_argument("MarkerTable: bucket width must be > 0");
+  }
+  const SampledOccTable sampled(bwt, bucket_width);
+  markers_.resize(sampled.num_checkpoints());
+  for (std::size_t k = 0; k < markers_.size(); ++k) {
+    for (const auto nt : genome::kAllBases) {
+      const std::uint64_t value =
+          counts.count(nt) + sampled.checkpoint(nt, k);
+      markers_[k][static_cast<std::size_t>(nt)] =
+          static_cast<std::uint32_t>(value);
+    }
+  }
+}
+
+std::uint64_t MarkerTable::lfm(const Bwt& bwt, genome::Base nt,
+                               std::size_t id) const {
+  if (id > bwt.size()) throw std::out_of_range("MarkerTable::lfm");
+  const std::size_t start = id - (id % d_);
+  std::uint64_t count_match = 0;
+  for (std::size_t pos = start; pos < id; ++pos) {
+    if (bwt.is_sentinel(pos)) continue;
+    if (bwt.symbols.at(pos) == nt) ++count_match;
+  }
+  return marker(nt, id / d_) + count_match;
+}
+
+}  // namespace pim::index

@@ -1,0 +1,49 @@
+// Marker Table (MT) — the paper's key pre-computed structure (Fig. 2).
+//
+// MT[nt][k] = SampledOcc[nt][k] + Count(nt): markers fold the Count table
+// into the checkpoints so the LFM procedure becomes a single
+// `marker + count_match` addition, which is what the IM_ADD in-memory adder
+// computes. LFM(MT, nt, id) therefore returns the *updated interval bound*
+// directly:
+//     LFM(MT, nt, id) == Count(nt) + Occ(nt, id)
+// which is the classic LF-mapping backward-search update.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/index/bwt.h"
+#include "src/index/occ_table.h"
+
+namespace pim::index {
+
+class MarkerTable {
+ public:
+  MarkerTable() = default;
+  MarkerTable(const Bwt& bwt, const CountTable& counts,
+              std::uint32_t bucket_width);
+
+  std::uint32_t bucket_width() const { return d_; }
+  std::size_t num_checkpoints() const { return markers_.size(); }
+
+  /// marker(nt, k) = Count(nt) + Occ(nt, k*d). 32-bit, as stored in the
+  /// sub-array MT zone (4-byte values, Fig. 6a).
+  std::uint32_t marker(genome::Base nt, std::size_t k) const {
+    return markers_[k][static_cast<std::size_t>(nt)];
+  }
+
+  /// The hardware-friendly LFM procedure (Algorithm 1, line 9):
+  /// returns Count(nt) + Occ(nt, id) using one marker read plus a residual
+  /// count over at most d-1 BWT symbols.
+  std::uint64_t lfm(const Bwt& bwt, genome::Base nt, std::size_t id) const;
+
+  std::size_t memory_bytes() const {
+    return markers_.size() * sizeof(markers_[0]);
+  }
+
+ private:
+  std::uint32_t d_ = 0;
+  std::vector<std::array<std::uint32_t, genome::kNumBases>> markers_;
+};
+
+}  // namespace pim::index

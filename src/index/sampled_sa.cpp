@@ -1,0 +1,48 @@
+#include "src/index/sampled_sa.h"
+
+#include <stdexcept>
+
+namespace pim::index {
+
+SampledSuffixArray::SampledSuffixArray(const SuffixArray& sa, const Bwt& bwt,
+                                       const CountTable& counts,
+                                       std::uint32_t rate)
+    : rate_(rate) {
+  (void)counts;  // kept in the signature for symmetry with locate()
+  if (rate == 0) throw std::invalid_argument("SampledSuffixArray: rate 0");
+  if (sa.size() != bwt.size()) {
+    throw std::invalid_argument("SampledSuffixArray: SA/BWT size mismatch");
+  }
+  sampled_rows_.resize(sa.size());
+  for (std::size_t row = 0; row < sa.size(); ++row) {
+    // Value-based sampling; row 0 (SA[0] == n, the '$' suffix) is always
+    // marked so LF walks through the sentinel terminate.
+    if (sa[row] % rate_ == 0 || row == 0) {
+      sampled_rows_.set(row, true);
+    }
+  }
+  samples_.reserve(sa.size() / rate_ + 2);
+  for (std::size_t row = 0; row < sa.size(); ++row) {
+    if (sampled_rows_.get(row)) samples_.push_back(sa[row]);
+  }
+  // Rank directory: cumulative sampled count at each block boundary.
+  const std::size_t blocks = sa.size() / kRankBlockBits + 1;
+  rank_blocks_.resize(blocks + 1, 0);
+  std::uint32_t running = 0;
+  for (std::size_t b = 0; b < blocks; ++b) {
+    rank_blocks_[b] = running;
+    const std::size_t begin = b * kRankBlockBits;
+    const std::size_t end = std::min(begin + kRankBlockBits, sa.size());
+    running +=
+        static_cast<std::uint32_t>(sampled_rows_.popcount_range(begin, end));
+  }
+  rank_blocks_[blocks] = running;
+}
+
+std::size_t SampledSuffixArray::rank_sampled(std::size_t row) const {
+  const std::size_t block = row / kRankBlockBits;
+  return rank_blocks_[block] +
+         sampled_rows_.popcount_range(block * kRankBlockBits, row);
+}
+
+}  // namespace pim::index

@@ -1,0 +1,73 @@
+// Sampled suffix array for locate().
+//
+// The full SA is one of the three structures the paper keeps in memory
+// (BWT, MT, SA — the ~12 GB footprint). To let users trade memory for locate
+// latency we also provide value-based sampling: keep SA[i] whenever
+// SA[i] % rate == 0, mark those rows in a rank-indexed bit vector, and
+// recover unsampled rows by walking the LF mapping (each step moves one
+// position back in the text, so at most rate-1 steps).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/index/bwt.h"
+#include "src/index/occ_table.h"
+#include "src/index/suffix_array.h"
+#include "src/util/bit_vector.h"
+
+namespace pim::index {
+
+class SampledSuffixArray {
+ public:
+  SampledSuffixArray() = default;
+
+  /// rate == 1 stores the full SA (the paper's configuration).
+  SampledSuffixArray(const SuffixArray& sa, const Bwt& bwt,
+                     const CountTable& counts, std::uint32_t rate);
+
+  std::uint32_t rate() const { return rate_; }
+
+  /// Text position of the suffix at SA row `row`. `occ_oracle` supplies
+  /// occ(nt, i); any implementation (full or sampled) may be plugged in.
+  /// At most rate-1 LF steps.
+  template <typename OccFn>
+  std::uint64_t locate(const Bwt& bwt, const CountTable& counts,
+                       std::size_t row, OccFn&& occ) const {
+    std::uint64_t steps = 0;
+    std::size_t r = row;
+    while (!sampled_rows_.get(r)) {
+      // LF step: the sentinel row maps to row 0 (which is always sampled,
+      // because SA[0] = n and we force-mark it).
+      if (bwt.is_sentinel(r)) {
+        r = 0;
+      } else {
+        const auto nt = bwt.symbols.at(r);
+        r = static_cast<std::size_t>(counts.count(nt) + occ(nt, r));
+      }
+      ++steps;
+    }
+    const std::uint64_t base = samples_[rank_sampled(r)];
+    const std::uint64_t n_plus_1 = bwt.size();
+    return (base + steps) % n_plus_1;
+  }
+
+  std::size_t num_samples() const { return samples_.size(); }
+  std::size_t memory_bytes() const {
+    return samples_.size() * sizeof(std::uint32_t) +
+           sampled_rows_.size() / 8 + rank_blocks_.size() * sizeof(std::uint32_t);
+  }
+
+ private:
+  /// Number of sampled rows strictly before `row` == index into samples_.
+  std::size_t rank_sampled(std::size_t row) const;
+
+  static constexpr std::size_t kRankBlockBits = 512;
+
+  std::uint32_t rate_ = 1;
+  util::BitVector sampled_rows_;
+  std::vector<std::uint32_t> rank_blocks_;  ///< Cumulative popcount per block.
+  std::vector<std::uint32_t> samples_;      ///< SA values at sampled rows.
+};
+
+}  // namespace pim::index

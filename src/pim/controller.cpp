@@ -1,0 +1,96 @@
+#include "src/pim/controller.h"
+
+#include <algorithm>
+#include <map>
+
+namespace pim::hw {
+
+void PimBatchDriver::collect_exact(const std::vector<genome::Base>& read,
+                                   align::Strand strand,
+                                   std::vector<align::AlignmentHit>& hits) {
+  const align::ExactResult result = platform_->exact_align(read);
+  if (!result.found()) return;
+  for (const auto pos : platform_->locate_all(result.interval)) {
+    hits.push_back(align::AlignmentHit{pos, 0, strand});
+    if (options_.max_hits != 0 && hits.size() >= options_.max_hits) return;
+  }
+}
+
+void PimBatchDriver::collect_inexact(const std::vector<genome::Base>& read,
+                                     align::Strand strand,
+                                     std::vector<align::AlignmentHit>& hits) {
+  const align::InexactResult result =
+      platform_->inexact_align(read, options_.inexact);
+  // Deduplicate positions across intervals, keeping the minimum diff count,
+  // mirroring align::inexact_locate.
+  std::map<std::uint64_t, std::uint32_t> by_position;
+  for (const auto& hit : result.hits) {
+    for (const auto pos : platform_->locate_all(hit.interval)) {
+      const auto it = by_position.find(pos);
+      if (it == by_position.end()) {
+        by_position.emplace(pos, hit.diffs);
+      } else {
+        it->second = std::min(it->second, hit.diffs);
+      }
+    }
+  }
+  for (const auto& [pos, diffs] : by_position) {
+    hits.push_back(align::AlignmentHit{pos, diffs, strand});
+    if (options_.max_hits != 0 && hits.size() >= options_.max_hits) return;
+  }
+}
+
+align::AlignmentResult PimBatchDriver::align(
+    const std::vector<genome::Base>& read) {
+  align::AlignmentResult result;
+  collect_exact(read, align::Strand::kForward, result.hits);
+  if (options_.try_reverse_complement &&
+      (options_.max_hits == 0 || result.hits.size() < options_.max_hits)) {
+    collect_exact(genome::reverse_complement(read),
+                  align::Strand::kReverseComplement, result.hits);
+  }
+  if (!result.hits.empty()) {
+    result.stage = align::AlignmentStage::kExact;
+  } else if (options_.inexact.max_diffs > 0) {
+    collect_inexact(read, align::Strand::kForward, result.hits);
+    if (options_.try_reverse_complement &&
+        (options_.max_hits == 0 || result.hits.size() < options_.max_hits)) {
+      collect_inexact(genome::reverse_complement(read),
+                      align::Strand::kReverseComplement, result.hits);
+    }
+    if (!result.hits.empty()) {
+      result.stage = align::AlignmentStage::kInexact;
+    }
+  }
+  std::sort(result.hits.begin(), result.hits.end(),
+            [](const align::AlignmentHit& a, const align::AlignmentHit& b) {
+              if (a.position != b.position) return a.position < b.position;
+              return a.diffs < b.diffs;
+            });
+  return result;
+}
+
+HwBatchReport PimBatchDriver::run(
+    const std::vector<std::vector<genome::Base>>& reads) {
+  platform_->reset_stats();
+  HwBatchReport report;
+  for (const auto& read : reads) {
+    const align::AlignmentResult result = align(read);
+    ++report.stats.reads_total;
+    switch (result.stage) {
+      case align::AlignmentStage::kExact: ++report.stats.reads_exact; break;
+      case align::AlignmentStage::kInexact:
+        ++report.stats.reads_inexact;
+        break;
+      case align::AlignmentStage::kUnaligned:
+        ++report.stats.reads_unaligned;
+        break;
+    }
+  }
+  report.hardware = platform_->aggregate_stats();
+  report.busy_ns = report.hardware.ops.busy_ns;
+  report.energy_pj = report.hardware.ops.energy_pj;
+  return report;
+}
+
+}  // namespace pim::hw

@@ -1,0 +1,55 @@
+// DPU-driven batch alignment on the PIM platform.
+//
+// The Digital Processing Unit of Fig. 3 "takes the reference genome-S and
+// number of mismatches-z as the inputs and adjusts the controller unit to
+// govern timing and data flow of the alignment task". PimBatchDriver is that
+// role: it runs the two-stage pipeline (exact, then inexact with
+// backtracking) for whole read batches on the in-memory primitives, and
+// reports both alignment outcomes and the hardware op/energy tallies.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/align/aligner.h"
+#include "src/pim/platform.h"
+
+namespace pim::hw {
+
+struct HwBatchReport {
+  align::AlignerStats stats;                    ///< Stage outcomes per read.
+  PimAlignerPlatform::AggregateStats hardware;  ///< Op tallies over the batch.
+  /// Wall-model time: serial sum of sub-array busy time. The chip model
+  /// converts this to throughput under the pipeline/parallelism model.
+  double busy_ns = 0.0;
+  double energy_pj = 0.0;
+};
+
+class PimBatchDriver {
+ public:
+  PimBatchDriver(PimAlignerPlatform& platform,
+                 align::AlignerOptions options = {})
+      : platform_(&platform), options_(options) {}
+
+  /// Align one read: stage one exact (both strands), stage two inexact.
+  align::AlignmentResult align(const std::vector<genome::Base>& read);
+
+  /// Align a batch and report outcomes plus hardware tallies. Resets the
+  /// platform's stats at entry so the report covers exactly this batch.
+  HwBatchReport run(const std::vector<std::vector<genome::Base>>& reads);
+
+  const align::AlignerOptions& options() const { return options_; }
+
+ private:
+  void collect_exact(const std::vector<genome::Base>& read,
+                     align::Strand strand,
+                     std::vector<align::AlignmentHit>& hits);
+  void collect_inexact(const std::vector<genome::Base>& read,
+                       align::Strand strand,
+                       std::vector<align::AlignmentHit>& hits);
+
+  PimAlignerPlatform* platform_;
+  align::AlignerOptions options_;
+};
+
+}  // namespace pim::hw

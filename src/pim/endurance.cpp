@@ -1,0 +1,55 @@
+#include "src/pim/endurance.h"
+
+#include <stdexcept>
+
+namespace pim::hw {
+
+double EnduranceReport::projected_lifetime_years(
+    double lfm_rate_hz, double endurance_cycles) const {
+  const double per_lfm = hottest_writes_per_lfm();
+  if (per_lfm <= 0.0 || lfm_rate_hz <= 0.0) return 1e18;  // effectively infinite
+  const double seconds = endurance_cycles / (per_lfm * lfm_rate_hz);
+  return seconds / (365.25 * 24 * 3600);
+}
+
+EnduranceReport analyze_endurance(const SubArray& array,
+                                  const ZoneLayout& layout,
+                                  std::uint64_t lfm_count) {
+  const auto& counts = array.row_write_counts();
+  if (counts.empty()) {
+    throw std::invalid_argument(
+        "analyze_endurance: write tracking not enabled on this sub-array");
+  }
+  EnduranceReport report;
+  report.lfm_count = lfm_count;
+
+  const auto zone_of = [&](std::uint32_t row) -> std::string {
+    if (row < layout.cref_zone_begin()) return "BWT";
+    if (row < layout.mt_zone_begin()) return "CRef";
+    if (row < layout.reserved_zone_begin()) return "MT";
+    return "reserved";
+  };
+
+  report.by_zone = {
+      {"BWT", 0, layout.bwt_rows},
+      {"CRef", 0, layout.cref_rows},
+      {"MT", 0, layout.mt_rows},
+      {"reserved", 0, layout.reserved_rows},
+  };
+  for (std::uint32_t row = 0; row < counts.size(); ++row) {
+    const std::uint64_t w = counts[row];
+    report.total_writes += w;
+    const std::string zone = zone_of(row);
+    for (auto& z : report.by_zone) {
+      if (z.zone == zone) z.writes += w;
+    }
+    if (w > report.hottest_row_writes) {
+      report.hottest_row_writes = w;
+      report.hottest_row = row;
+      report.hottest_zone = zone;
+    }
+  }
+  return report;
+}
+
+}  // namespace pim::hw

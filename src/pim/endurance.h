@@ -1,0 +1,58 @@
+// Endurance analysis — a practical concern the paper leaves implicit.
+//
+// MRAM tolerates ~1e12–1e15 write cycles, far above ReRAM, which is part of
+// the SOT-MRAM pitch; but IM_ADD rewrites the carry row every adder cycle
+// (33 writes per 32-bit add), concentrating wear on a handful of reserved-
+// zone rows. This module classifies a tracked sub-array's write traffic by
+// zone, finds the hot rows, and projects array lifetime at a given LFM
+// rate — quantifying both that the hot spot exists and that SOT-MRAM
+// endurance absorbs it (a ReRAM device at 1e8 cycles would not).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/pim/mapping.h"
+#include "src/pim/subarray.h"
+
+namespace pim::hw {
+
+struct ZoneWrites {
+  std::string zone;
+  std::uint64_t writes = 0;
+  std::uint32_t rows = 0;
+  double writes_per_row() const {
+    return rows ? static_cast<double>(writes) / rows : 0.0;
+  }
+};
+
+struct EnduranceReport {
+  std::uint64_t total_writes = 0;
+  std::uint32_t hottest_row = 0;
+  std::uint64_t hottest_row_writes = 0;
+  std::string hottest_zone;
+  std::vector<ZoneWrites> by_zone;  ///< BWT, CRef, MT, reserved.
+  std::uint64_t lfm_count = 0;
+
+  /// Writes the hottest row takes per LFM executed on this tile.
+  double hottest_writes_per_lfm() const {
+    return lfm_count ? static_cast<double>(hottest_row_writes) /
+                           static_cast<double>(lfm_count)
+                     : 0.0;
+  }
+
+  /// Years until the hottest row exhausts `endurance_cycles`, at a
+  /// sustained per-tile LFM rate.
+  double projected_lifetime_years(double lfm_rate_hz,
+                                  double endurance_cycles) const;
+};
+
+/// Analyze a tracked sub-array's per-row write counts against the zone
+/// layout. `lfm_count` is the number of LFMs that produced the traffic.
+/// Throws std::invalid_argument if tracking was not enabled.
+EnduranceReport analyze_endurance(const SubArray& array,
+                                  const ZoneLayout& layout,
+                                  std::uint64_t lfm_count);
+
+}  // namespace pim::hw

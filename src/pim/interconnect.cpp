@@ -1,0 +1,53 @@
+#include "src/pim/interconnect.h"
+
+#include <stdexcept>
+
+namespace pim::hw {
+
+util::Config InterconnectModel::default_config() {
+  // 45 nm, CACTI/NVSim-class wire numbers for a DRAM-style hierarchy:
+  //  * intra-bank: short local bus shared by ~16 sub-arrays;
+  //  * inter-bank: the chip H-tree, several mm of global wire;
+  //  * off-chip: DDR-class I/O energy (~15-20 pJ/bit at this node) — the
+  //    cost the PIM premise avoids for everything but query streaming.
+  util::Config cfg;
+  cfg.set_double("IntraBankWordLatencyNs", 2.0);
+  cfg.set_double("IntraBankWordEnergyPj", 8.0);
+  cfg.set_double("InterBankWordLatencyNs", 6.0);
+  cfg.set_double("InterBankWordEnergyPj", 35.0);
+  cfg.set_double("OffChipWordLatencyNs", 12.0);
+  cfg.set_double("OffChipWordEnergyPj", 520.0);  // ~16 pJ/bit x 32
+  return cfg;
+}
+
+InterconnectModel::InterconnectModel(const util::Config& overrides) {
+  const util::Config cfg = default_config().merged_with(overrides);
+  intra_bank_ = {cfg.get_double("IntraBankWordLatencyNs"),
+                 cfg.get_double("IntraBankWordEnergyPj")};
+  inter_bank_ = {cfg.get_double("InterBankWordLatencyNs"),
+                 cfg.get_double("InterBankWordEnergyPj")};
+  off_chip_ = {cfg.get_double("OffChipWordLatencyNs"),
+               cfg.get_double("OffChipWordEnergyPj")};
+  for (const auto* c : {&intra_bank_, &inter_bank_, &off_chip_}) {
+    if (c->latency_ns <= 0.0 || c->energy_pj < 0.0) {
+      throw std::invalid_argument("InterconnectModel: bad constants");
+    }
+  }
+}
+
+OpCost InterconnectModel::transfer_cost(std::uint64_t words,
+                                        HopLevel level) const {
+  const OpCost* per_word = nullptr;
+  switch (level) {
+    case HopLevel::kIntraBank: per_word = &intra_bank_; break;
+    case HopLevel::kInterBank: per_word = &inter_bank_; break;
+    case HopLevel::kOffChip: per_word = &off_chip_; break;
+  }
+  return *per_word * static_cast<double>(words);
+}
+
+double InterconnectModel::words_per_ns(HopLevel level) const {
+  return 1.0 / transfer_cost(1, level).latency_ns;
+}
+
+}  // namespace pim::hw

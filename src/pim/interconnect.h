@@ -1,0 +1,41 @@
+// Bank/chip interconnect cost model.
+//
+// The correlated mapping makes LFM sub-array-local, but some traffic still
+// crosses the hierarchy: the DPU's SA queries at the end of each read (the
+// SA region lives in plain memory banks), query/result streaming, and — in
+// the uncorrelated counterfactual of bench/ablation_locality — per-LFM
+// marker movement. This model prices a 32-bit word transfer at each level
+// of a conventional H-tree memory hierarchy (CACTI/NVSim-class constants
+// at 45 nm), so every cross-hierarchy byte in the chip model has a
+// documented cost.
+#pragma once
+
+#include <cstdint>
+
+#include "src/pim/timing_energy.h"
+#include "src/util/config.h"
+
+namespace pim::hw {
+
+enum class HopLevel : std::uint8_t {
+  kIntraBank,   ///< Between sub-arrays sharing a bank's local bus.
+  kInterBank,   ///< Across the chip's H-tree.
+  kOffChip,     ///< Through the chip pins (the Fig. 10a axis).
+};
+
+class InterconnectModel {
+ public:
+  explicit InterconnectModel(const util::Config& overrides = {});
+
+  static util::Config default_config();
+
+  /// Cost of moving `words` 32-bit words at the given level.
+  OpCost transfer_cost(std::uint64_t words, HopLevel level) const;
+
+  double words_per_ns(HopLevel level) const;
+
+ private:
+  OpCost intra_bank_, inter_bank_, off_chip_;  ///< Per 32-bit word.
+};
+
+}  // namespace pim::hw

@@ -1,0 +1,126 @@
+// Correlated data partitioning and mapping (Section V, Fig. 6).
+//
+// Each computational sub-array is split into four zones:
+//   * BWT zone      — 256 rows x 128 bps (2-bit hardware encoding
+//                     T=00, G=01, A=10, C=11), one Occ checkpoint per row;
+//   * CRef zone     — 4 rows, one per nucleotide: the 2-bit code repeated
+//                     across the word-line, enabling the fully parallel
+//                     XNOR_Match against a BWT row;
+//   * MT zone       — 128 rows: the marker values for this sub-array's 256
+//                     checkpoints, stored *vertically* (32 rows per
+//                     nucleotide bank) so they can be IM_ADD operands;
+//   * reserved zone — 124 rows: the transposed count_match operand, the sum
+//                     rows, and the carry row of IM_ADD.
+//
+// Storing a BWT slice *with its own markers* in the same sub-array is the
+// paper's correlated-partitioning insight: every LFM becomes sub-array-local
+// (no inter-bank traffic), which is what drives the MBR below 18%.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "src/genome/alphabet.h"
+#include "src/index/fm_index.h"
+#include "src/pim/subarray.h"
+#include "src/pim/timing_energy.h"
+
+namespace pim::hw {
+
+struct ZoneLayout {
+  std::uint32_t bwt_rows = 256;
+  std::uint32_t cref_rows = 4;
+  std::uint32_t mt_rows = 128;       ///< 4 banks x marker_bits rows.
+  std::uint32_t reserved_rows = 124;
+  std::uint32_t marker_bits = 32;    ///< Marker word width (4-byte values).
+
+  std::uint32_t total_rows() const {
+    return bwt_rows + cref_rows + mt_rows + reserved_rows;
+  }
+  std::uint32_t bwt_zone_begin() const { return 0; }
+  std::uint32_t cref_zone_begin() const { return bwt_rows; }
+  std::uint32_t mt_zone_begin() const { return bwt_rows + cref_rows; }
+  std::uint32_t reserved_zone_begin() const {
+    return bwt_rows + cref_rows + mt_rows;
+  }
+
+  /// Rows inside the reserved zone (relative offsets).
+  std::uint32_t count_rows_offset() const { return 0; }
+  std::uint32_t sum_rows_offset() const { return marker_bits; }
+  std::uint32_t carry_row_offset() const { return 2 * marker_bits; }
+
+  std::uint32_t bps_per_row(std::uint32_t cols) const { return cols / 2; }
+  /// BWT indices covered by one sub-array (= bucket width d x bwt_rows).
+  std::uint64_t bps_per_tile(std::uint32_t cols) const {
+    return static_cast<std::uint64_t>(bps_per_row(cols)) * bwt_rows;
+  }
+
+  /// Throws std::invalid_argument if the layout does not fit the array
+  /// organisation (row budget, MT capacity, reserved capacity).
+  void validate(const TimingEnergyModel& model) const;
+};
+
+/// One computational sub-array loaded with a correlated BWT/MT slice.
+class PimTile {
+ public:
+  /// Loads the slice starting at BWT index `base` from the software index.
+  /// The FM-index bucket width must equal the tile's bps-per-row.
+  PimTile(const TimingEnergyModel& model, const ZoneLayout& layout,
+          const index::FmIndex& fm, std::uint64_t base);
+
+  std::uint64_t base() const { return base_; }
+  /// Number of BWT indices stored in this tile (== capacity except the tail).
+  std::uint64_t size() const { return size_; }
+  std::uint64_t capacity() const {
+    return layout_.bps_per_tile(array_.cols());
+  }
+
+  /// XNOR_Match + DPU popcount: occurrences of `nt` in
+  /// BWT[id - id mod d, id), with the sentinel-row correction applied by the
+  /// DPU (it holds the primary index). Requires residual > 0.
+  std::uint64_t count_match(genome::Base nt, std::uint64_t id);
+
+  /// Full in-memory LFM (method-I: all steps in this sub-array):
+  ///   1. XNOR_Match + popcount,
+  ///   2. transpose count_match into the reserved zone (MEM writes),
+  ///   3. IM_ADD marker + count (bit-serial MAJ/XOR3 adder),
+  ///   4. MEM read of the sum (the updated interval bound).
+  /// Returns Count(nt) + Occ(nt, id) — bit-identical to the software LFM.
+  std::uint64_t lfm(genome::Base nt, std::uint64_t id);
+
+  /// Steps 2–4 only (the add-array half of method-II, Fig. 6d): fold an
+  /// externally computed count_match into the marker held HERE. The tile
+  /// must be a duplicate of the slice owning `id`. `id` must be
+  /// off-checkpoint (a checkpoint-aligned LFM is a plain marker read).
+  std::uint64_t marker_add(genome::Base nt, std::uint64_t id,
+                           std::uint64_t count_match);
+
+  /// Marker MEM read for a checkpoint-aligned id (charged).
+  std::uint64_t read_marker(genome::Base nt, std::uint64_t id);
+
+  /// Direct (uncharged) marker readback, for tests.
+  std::uint64_t peek_marker(genome::Base nt, std::uint32_t checkpoint) const;
+
+  const SubArrayStats& stats() const { return array_.stats(); }
+  void reset_stats() { array_.reset_stats(); }
+  /// One-time cost of loading BWT/CRef/MT into the tile (setup, reported
+  /// separately from steady-state alignment cost).
+  const SubArrayStats& load_stats() const { return load_stats_; }
+
+  SubArray& array() { return array_; }
+
+ private:
+  std::uint32_t checkpoint_column(std::uint64_t id) const;
+  void load_bwt_and_cref(const index::FmIndex& fm);
+  void load_markers(const index::FmIndex& fm);
+
+  const ZoneLayout layout_;
+  SubArray array_;
+  std::uint64_t base_ = 0;
+  std::uint64_t size_ = 0;
+  std::uint64_t primary_ = 0;        ///< Global sentinel row (DPU register).
+  bool tile_holds_primary_ = false;
+  SubArrayStats load_stats_;
+};
+
+}  // namespace pim::hw

@@ -1,0 +1,96 @@
+#include "src/pim/pipeline.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace pim::hw {
+
+PipelineModel::PipelineModel(const TimingEnergyModel& model,
+                             const PipelineConfig& config)
+    : model_(&model), config_(config) {
+  if (config_.add_batch_columns == 0) {
+    throw std::invalid_argument("PipelineModel: batch factor must be > 0");
+  }
+}
+
+StageTimes PipelineModel::stage_times() const {
+  const double batch = static_cast<double>(config_.add_batch_columns);
+  const OpCost read = model_->op_cost(SubArrayOp::kMemRead);
+  const OpCost write = model_->op_cost(SubArrayOp::kMemWrite);
+  const OpCost triple = model_->op_cost(SubArrayOp::kTripleSense);
+  const OpCost dpu = model_->op_cost(SubArrayOp::kDpuWord);
+  const double bits = static_cast<double>(config_.marker_bits);
+
+  StageTimes t;
+  t.xnor_ns = triple.latency_ns;
+  t.dpu_ns = dpu.latency_ns *
+             static_cast<double>(config_.dpu_words_per_match +
+                                 config_.dpu_words_per_update);
+  t.count_write_ns = bits * write.latency_ns / batch;
+  t.im_add_ns = model_->im_add_cost(config_.marker_bits).latency_ns / batch;
+  t.readout_ns = bits * read.latency_ns / batch;
+  return t;
+}
+
+PipelineReport PipelineModel::evaluate(std::uint32_t pd) const {
+  if (pd == 0) throw std::invalid_argument("PipelineModel: Pd must be >= 1");
+  const StageTimes t = stage_times();
+
+  PipelineReport report;
+  report.pd = pd;
+  report.stages = t;
+  report.serial_lfm_ns = t.serial_ns();
+
+  // Resource-constrained initiation interval. The add chain is carry-serial
+  // and never splits; movement stages can move to a third array; further
+  // duplicates only replicate the XNOR resource.
+  double ii = 0.0;
+  switch (pd) {
+    case 1:
+      ii = t.serial_ns();  // method-I: everything serialises on one array
+      break;
+    case 2:
+      ii = std::max({t.xnor_ns + t.dpu_ns,
+                     t.count_write_ns + t.im_add_ns + t.readout_ns});
+      break;
+    default: {  // pd >= 3
+      const double xnor_share =
+          t.xnor_ns / static_cast<double>(pd - 2);  // replicated XNOR arrays
+      ii = std::max({xnor_share + t.dpu_ns, t.im_add_ns, t.movement_ns()});
+      break;
+    }
+  }
+  report.initiation_interval_ns = ii;
+  report.speedup = t.serial_ns() / ii;
+  report.lfm_rate_per_group_hz = 1e9 / ii;
+  // Movement share of the total per-LFM work: the fraction of busy time
+  // spent on pure data movement (count transpose + result readout) rather
+  // than compute — the platform's Memory Bottleneck Ratio contribution.
+  report.movement_fraction = t.movement_ns() / t.serial_ns();
+  report.utilization = 1.0 - std::exp(-static_cast<double>(pd));
+
+  // Dynamic energy per LFM: every stage's energy is paid once per LFM
+  // regardless of pipelining; duplication adds the (amortised-small) copy
+  // traffic, charged as one extra row write per LFM per duplicate.
+  const OpCost read = model_->op_cost(SubArrayOp::kMemRead);
+  const OpCost write = model_->op_cost(SubArrayOp::kMemWrite);
+  const OpCost triple = model_->op_cost(SubArrayOp::kTripleSense);
+  const OpCost dpu = model_->op_cost(SubArrayOp::kDpuWord);
+  const double bits = static_cast<double>(config_.marker_bits);
+  const double batch = static_cast<double>(config_.add_batch_columns);
+  double energy = triple.energy_pj  // XNOR
+                  + dpu.energy_pj * static_cast<double>(
+                                        config_.dpu_words_per_match +
+                                        config_.dpu_words_per_update)
+                  + bits * write.energy_pj / batch          // transpose
+                  + model_->im_add_cost(config_.marker_bits).energy_pj / batch
+                  + bits * read.energy_pj / batch;          // readout
+  if (pd > 1) {
+    energy += static_cast<double>(pd - 1) * write.energy_pj;
+  }
+  report.energy_per_lfm_pj = energy;
+  return report;
+}
+
+}  // namespace pim::hw

@@ -1,0 +1,86 @@
+// Pipeline / parallelism-degree model (Section V "Pipeline Design", Fig. 7).
+//
+// One LFM iteration decomposes into the stages of Fig. 7:
+//   XNOR_Match -> DPU popcount -> count transpose (MEM writes) -> IM_ADD
+//   -> result readout (MEM reads) -> index update (DPU)
+// Vertical (bit-line) operations are column-batched: one 32-row vertical
+// write/add/read services up to `add_batch_columns` independent LFMs whose
+// checkpoints map to different columns, so their per-LFM cost is the row
+// cost divided by the batch factor — this is the "massive data-parallel"
+// property of the sub-array.
+//
+// Parallelism degree Pd = sub-arrays per pipeline group (method-II
+// duplication):
+//   Pd=1  method-I: every stage serialises on the single sub-array.
+//   Pd=2  the comparison sub-array is freed while the duplicate runs IM_ADD
+//         (exactly Fig. 7): initiation interval = max(stage-resource times).
+//   Pd=3  a third duplicate takes the data-movement stages (transpose +
+//         readout) off the add array.
+//   Pd>3  further duplicates replicate the XNOR resource; the add chain is
+//         a carry-serial loop and cannot split further, so gains saturate —
+//         the diminishing returns visible in the paper's Fig. 9c.
+#pragma once
+
+#include <cstdint>
+
+#include "src/pim/timing_energy.h"
+
+namespace pim::hw {
+
+struct PipelineConfig {
+  /// Independent LFMs sharing one vertical (32-row) operation batch.
+  std::uint32_t add_batch_columns = 16;
+  /// DPU words to absorb a 256-bit match vector into the embedded counter
+  /// (streamed 128 bits per word through the paired popcount tree).
+  std::uint32_t dpu_words_per_match = 2;
+  /// DPU words for the interval compare / pointer update / reissue.
+  std::uint32_t dpu_words_per_update = 1;
+  std::uint32_t marker_bits = 32;
+};
+
+struct StageTimes {
+  double xnor_ns = 0.0;         ///< Triple sense of BWT row vs CRef.
+  double dpu_ns = 0.0;          ///< Popcount + update (CMOS, off-array).
+  double count_write_ns = 0.0;  ///< Transpose count_match (per-LFM share).
+  double im_add_ns = 0.0;       ///< Bit-serial add (per-LFM share).
+  double readout_ns = 0.0;      ///< Result MEM reads (per-LFM share).
+
+  double array_work_ns() const {
+    return xnor_ns + count_write_ns + im_add_ns + readout_ns;
+  }
+  double movement_ns() const { return count_write_ns + readout_ns; }
+  double serial_ns() const { return array_work_ns() + dpu_ns; }
+};
+
+struct PipelineReport {
+  std::uint32_t pd = 1;
+  StageTimes stages;
+  double serial_lfm_ns = 0.0;          ///< Method-I full-serial latency.
+  double initiation_interval_ns = 0.0; ///< Steady-state time per LFM.
+  double speedup = 1.0;                ///< serial / ii.
+  double lfm_rate_per_group_hz = 0.0;  ///< 1 / ii.
+  /// Data-movement share of the critical path — the platform's contribution
+  /// to the Memory Bottleneck Ratio of Fig. 10b.
+  double movement_fraction = 0.0;
+  /// Group occupancy under Poisson read load with ~Pd reads resident per
+  /// group: 1 - exp(-Pd). Feeds the Resource Utilization Ratio of Fig. 10c.
+  double utilization = 0.0;
+  /// Dynamic energy per LFM (pJ), including the duplication write traffic.
+  double energy_per_lfm_pj = 0.0;
+};
+
+class PipelineModel {
+ public:
+  PipelineModel(const TimingEnergyModel& model, const PipelineConfig& config = {});
+
+  StageTimes stage_times() const;
+  PipelineReport evaluate(std::uint32_t pd) const;
+
+  const PipelineConfig& config() const { return config_; }
+
+ private:
+  const TimingEnergyModel* model_;
+  PipelineConfig config_;
+};
+
+}  // namespace pim::hw

@@ -1,0 +1,142 @@
+#include "src/pim/pipeline_sim.h"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace pim::hw {
+
+namespace {
+
+// A read progresses through lfm_per_read iterations; each iteration is
+// three dependent tasks. Task kinds map to resources:
+//   0: XNOR_Match      -> xnor array (array 0)
+//   1: DPU popcount+upd-> DPU
+//   2: transpose+add+readout -> add array (round-robin over the duplicates)
+struct ReadState {
+  std::uint32_t lfm_done = 0;
+  std::uint32_t task = 0;       // 0..2 within the current LFM
+  double ready_ns = 0.0;        // earliest start of the next task
+  bool admitted = false;
+  bool finished = false;
+};
+
+}  // namespace
+
+PipelineSimReport simulate_pipeline(const TimingEnergyModel& timing,
+                                    const PipelineSimConfig& config) {
+  if (config.pd == 0 || config.num_reads == 0 || config.lfm_per_read == 0) {
+    throw std::invalid_argument("simulate_pipeline: bad config");
+  }
+  const PipelineModel model(timing, config.stages);
+  const StageTimes t = model.stage_times();
+  const double task_durations[3] = {
+      t.xnor_ns, t.dpu_ns, t.count_write_ns + t.im_add_ns + t.readout_ns};
+
+  const std::uint32_t slots =
+      config.read_slots == 0 ? 2 * config.pd : config.read_slots;
+
+  // Resources: config.pd sub-arrays + 1 DPU. Array 0 hosts XNOR; add tasks
+  // round-robin over arrays 1..pd-1 (or array 0 itself when pd == 1).
+  std::vector<double> array_free(config.pd, 0.0);
+  std::vector<double> array_busy(config.pd, 0.0);
+  double dpu_free = 0.0;
+  double dpu_busy = 0.0;
+  std::uint64_t add_rr = 0;
+
+  std::vector<ReadState> reads(config.num_reads);
+  std::uint32_t admitted = 0, finished = 0;
+  // Admit the first `slots` reads at time zero.
+  for (std::uint32_t r = 0; r < config.num_reads && r < slots; ++r) {
+    reads[r].admitted = true;
+    ++admitted;
+  }
+
+  double wall = 0.0;
+  while (finished < config.num_reads) {
+    // Pick the admitted, unfinished read whose next task can start earliest.
+    double best_start = std::numeric_limits<double>::infinity();
+    std::size_t best_read = config.num_reads;
+    std::size_t best_resource_array = 0;
+    for (std::size_t r = 0; r < reads.size(); ++r) {
+      auto& rs = reads[r];
+      if (!rs.admitted || rs.finished) continue;
+      double resource_free = 0.0;
+      std::size_t array_idx = 0;
+      switch (rs.task) {
+        case 0:
+          array_idx = 0;
+          resource_free = array_free[0];
+          break;
+        case 1:
+          resource_free = dpu_free;
+          break;
+        case 2:
+          array_idx = config.pd == 1
+                          ? 0
+                          : 1 + static_cast<std::size_t>(
+                                    (add_rr + r) % (config.pd - 1));
+          resource_free = array_free[array_idx];
+          break;
+      }
+      const double start = std::max(rs.ready_ns, resource_free);
+      if (start < best_start) {
+        best_start = start;
+        best_read = r;
+        best_resource_array = array_idx;
+      }
+    }
+    if (best_read == config.num_reads) {
+      throw std::logic_error("simulate_pipeline: deadlock (no runnable task)");
+    }
+
+    auto& rs = reads[best_read];
+    const double duration = task_durations[rs.task];
+    const double end = best_start + duration;
+    switch (rs.task) {
+      case 0:
+      case 2:
+        array_free[best_resource_array] = end;
+        array_busy[best_resource_array] += duration;
+        break;
+      case 1:
+        dpu_free = end;
+        dpu_busy += duration;
+        break;
+    }
+    rs.ready_ns = end;
+    wall = std::max(wall, end);
+
+    if (rs.task == 2) {
+      ++add_rr;
+      rs.task = 0;
+      if (++rs.lfm_done == config.lfm_per_read) {
+        rs.finished = true;
+        ++finished;
+        if (admitted < config.num_reads) {
+          reads[admitted].admitted = true;
+          reads[admitted].ready_ns = end;  // slot frees now
+          ++admitted;
+        }
+      }
+    } else {
+      ++rs.task;
+    }
+  }
+
+  PipelineSimReport report;
+  report.wall_ns = wall;
+  report.total_lfm = static_cast<std::uint64_t>(config.num_reads) *
+                     config.lfm_per_read;
+  report.measured_ii_ns = wall / static_cast<double>(report.total_lfm);
+  report.analytic_ii_ns = model.evaluate(config.pd).initiation_interval_ns;
+  report.lfm_rate_hz = 1e9 / report.measured_ii_ns;
+  report.array_busy_fraction.resize(config.pd);
+  for (std::size_t a = 0; a < config.pd; ++a) {
+    report.array_busy_fraction[a] = array_busy[a] / wall;
+  }
+  report.dpu_busy_fraction = dpu_busy / wall;
+  return report;
+}
+
+}  // namespace pim::hw

@@ -1,0 +1,127 @@
+// PIM-Aligner platform (Fig. 3 macro-architecture).
+//
+// Owns the full set of computational sub-array tiles covering the indexed
+// reference (correlated BWT+MT slices, Section V), the DPU-held registers
+// (primary index, boundary markers), and the entry points that run
+// Algorithm 1/2 *on the in-memory primitives* via the backend-generic search
+// cores. Alignment results are bit-identical to the software FM-index path
+// by construction; what the platform adds is faithful per-operation
+// cycle/energy accounting, which the chip-level model (src/accel) scales to
+// the paper's Hg19 workload.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/align/seed_extend.h"
+#include "src/align/types.h"
+#include "src/genome/alphabet.h"
+#include "src/index/fm_index.h"
+#include "src/pim/mapping.h"
+#include "src/pim/pipeline.h"
+#include "src/pim/timing_energy.h"
+
+namespace pim::hw {
+
+/// IM_ADD placement (Fig. 6d): method-I keeps the addition in the slice's
+/// own sub-array; method-II duplicates every tile and routes steps 2-4 to
+/// the duplicate, freeing the compare resources for pipelining (Pd >= 2).
+enum class AddPlacement : std::uint8_t { kMethodI, kMethodII };
+
+class PimAlignerPlatform {
+ public:
+  /// Builds all tiles for the index (twice under method-II). The FM-index
+  /// bucket width must match the layout's bps-per-row (128 for the default
+  /// 512x256 organisation).
+  PimAlignerPlatform(const index::FmIndex& fm, const TimingEnergyModel& timing,
+                     ZoneLayout layout = {},
+                     AddPlacement placement = AddPlacement::kMethodI);
+
+  // --- In-memory LFM primitives -------------------------------------------
+  /// LFM(MT, nt, id) executed on the owning tile's sub-array.
+  std::uint64_t lfm(genome::Base nt, std::uint64_t id);
+
+  index::SaInterval whole_interval() const {
+    return {0, fm_->num_rows()};
+  }
+  /// One backward-extension step: two hardware LFM calls (low and high).
+  index::SaInterval extend_hw(const index::SaInterval& interval,
+                              genome::Base nt);
+
+  // --- Alignment entry points (Algorithms 1 and 2 on hardware) ------------
+  align::ExactResult exact_align(const std::vector<genome::Base>& read);
+  align::InexactResult inexact_align(const std::vector<genome::Base>& read,
+                                     const align::InexactOptions& options = {});
+  /// Locate through the SA region (plain memory sub-arrays); charged as SA
+  /// MEM reads.
+  std::vector<std::uint64_t> locate_all(const index::SaInterval& interval);
+
+  // --- Accounting ----------------------------------------------------------
+  struct AggregateStats {
+    SubArrayStats ops;            ///< Summed over all tiles.
+    std::uint64_t lfm_calls = 0;
+    std::uint64_t boundary_marker_hits = 0;  ///< DPU-register answers.
+    std::uint64_t sa_mem_reads = 0;
+  };
+  AggregateStats aggregate_stats() const;
+  SubArrayStats aggregate_load_stats() const;
+  /// Method-II only: ops executed on the duplicate (add-side) tiles.
+  /// Included in aggregate_stats(); exposed separately so the measured
+  /// compare/add resource split can be compared with the pipeline model.
+  SubArrayStats aggregate_duplicate_stats() const;
+  void reset_stats();
+
+  AddPlacement placement() const { return placement_; }
+  std::size_t num_tiles() const { return tiles_.size(); }
+  PimTile& tile(std::size_t i) { return *tiles_[i]; }
+  const index::FmIndex& fm() const { return *fm_; }
+  const TimingEnergyModel& timing() const { return *timing_; }
+  const ZoneLayout& layout() const { return layout_; }
+
+ private:
+  const index::FmIndex* fm_;
+  const TimingEnergyModel* timing_;
+  ZoneLayout layout_;
+  AddPlacement placement_ = AddPlacement::kMethodI;
+  std::vector<std::unique_ptr<PimTile>> tiles_;
+  std::vector<std::unique_ptr<PimTile>> duplicates_;  ///< Method-II only.
+  /// DPU boundary registers: marker values at the end-of-BWT checkpoint,
+  /// needed when `high` == num_rows lands exactly on a tile boundary.
+  std::array<std::uint64_t, genome::kNumBases> final_markers_{};
+  std::uint64_t lfm_calls_ = 0;
+  std::uint64_t boundary_marker_hits_ = 0;
+  std::uint64_t sa_mem_reads_ = 0;
+};
+
+/// Seed-and-extend long-read alignment driven by the platform's in-memory
+/// primitives: each 20-bp seed is an exact backward search on the
+/// sub-arrays, SA lookups go through the (charged) SA region, and only the
+/// final banded verification runs on the host/DPU. `reference` must be the
+/// sequence the platform's index was built over.
+align::SeedExtendResult seed_extend_hw(
+    PimAlignerPlatform& platform, const genome::PackedSequence& reference,
+    const std::vector<genome::Base>& read,
+    const align::SeedExtendOptions& options = {});
+
+/// Thin const adapter satisfying the search-core Backend concept while
+/// routing every extension through the platform's in-memory LFM.
+class PimSearchBackend {
+ public:
+  explicit PimSearchBackend(PimAlignerPlatform* platform)
+      : platform_(platform) {}
+
+  index::SaInterval whole_interval() const {
+    return platform_->whole_interval();
+  }
+  index::SaInterval extend(const index::SaInterval& interval,
+                           genome::Base nt) const {
+    return platform_->extend_hw(interval, nt);
+  }
+
+ private:
+  PimAlignerPlatform* platform_;
+};
+
+}  // namespace pim::hw

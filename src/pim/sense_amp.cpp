@@ -1,0 +1,98 @@
+#include "src/pim/sense_amp.h"
+
+#include <bit>
+#include <cmath>
+
+namespace pim::hw {
+
+namespace {
+
+double geometric_mid(double a, double b) { return std::sqrt(a * b); }
+
+}  // namespace
+
+ReconfigurableSenseAmp::ReconfigurableSenseAmp(const SotMramModel& model)
+    : model_(model) {
+  const std::vector<CellResistances> one(1, model.nominal());
+  const std::vector<CellResistances> three(3, model.nominal());
+  // Req is monotone increasing in the number of AP (high-R) cells, so each
+  // reference sits between the two combinations it must distinguish.
+  const double r1_p = model.equivalent_resistance(one, 0b0);
+  const double r1_ap = model.equivalent_resistance(one, 0b1);
+  refs_.r_m_ohm = geometric_mid(r1_p, r1_ap);
+
+  const double r3_0 = model.equivalent_resistance(three, 0b000);
+  const double r3_1 = model.equivalent_resistance(three, 0b001);
+  const double r3_2 = model.equivalent_resistance(three, 0b011);
+  const double r3_3 = model.equivalent_resistance(three, 0b111);
+  refs_.r_or3_ohm = geometric_mid(r3_0, r3_1);   // >=1 AP
+  refs_.r_maj_ohm = geometric_mid(r3_1, r3_2);   // >=2 AP
+  refs_.r_and3_ohm = geometric_mid(r3_2, r3_3);  // ==3 AP
+}
+
+SenseAmpOutputs ReconfigurableSenseAmp::ideal_outputs(bool a, bool b, bool c) {
+  SenseAmpOutputs out;
+  out.and3 = ideal_and3(a, b, c);
+  out.maj3 = ideal_maj3(a, b, c);
+  out.or3 = ideal_or3(a, b, c);
+  out.xor3 = ideal_xor3(a, b, c);
+  return out;
+}
+
+bool ReconfigurableSenseAmp::sense_memory(const CellResistances& cell,
+                                          bool stored_ap) const {
+  const std::vector<CellResistances> cells(1, cell);
+  const double req =
+      model_.equivalent_resistance(cells, stored_ap ? 0b1 : 0b0);
+  return req > refs_.r_m_ohm;
+}
+
+SenseAmpOutputs ReconfigurableSenseAmp::sense_triple(
+    const std::vector<CellResistances>& cells, std::uint32_t ap_mask,
+    util::Xoshiro256* rng) const {
+  // Comparison happens in the voltage domain: V_sense = I * R_eq against
+  // V_ref = I * R_ref, each sub-SA adding its own input-referred offset.
+  const double i_sense = model_.params().sense_current_ua * 1e-6;
+  const double v = i_sense * model_.equivalent_resistance(cells, ap_mask);
+  const double offset_sigma_v = model_.params().sa_offset_sigma_mv * 1e-3;
+  const auto offset = [&]() {
+    return rng != nullptr ? rng->gaussian(0.0, offset_sigma_v) : 0.0;
+  };
+  SenseAmpOutputs out;
+  out.and3 = v > i_sense * refs_.r_and3_ohm + offset();
+  out.maj3 = v > i_sense * refs_.r_maj_ohm + offset();
+  out.or3 = v > i_sense * refs_.r_or3_ohm + offset();
+  // The six control transistors after the sub-SAs (Fig. 4b): parity is
+  // "exactly one" (OR3 and not MAJ) or "all three" (AND3).
+  out.xor3 = (out.or3 && !out.maj3) || out.and3;
+  return out;
+}
+
+bool ReconfigurableSenseAmp::triple_sense_correct(
+    const std::vector<CellResistances>& cells, std::uint32_t ap_mask,
+    util::Xoshiro256* rng) const {
+  const SenseAmpOutputs got = sense_triple(cells, ap_mask, rng);
+  const SenseAmpOutputs want = ideal_outputs(
+      (ap_mask & 1U) != 0, ((ap_mask >> 1) & 1U) != 0,
+      ((ap_mask >> 2) & 1U) != 0);
+  return got.and3 == want.and3 && got.maj3 == want.maj3 &&
+         got.or3 == want.or3 && got.xor3 == want.xor3;
+}
+
+ReliabilityReport monte_carlo_logic_reliability(const SotMramModel& model,
+                                                std::size_t trials,
+                                                std::uint64_t seed) {
+  const ReconfigurableSenseAmp sa(model);
+  util::Xoshiro256 rng(seed);
+  ReliabilityReport report;
+  std::vector<CellResistances> cells(3);
+  for (std::size_t t = 0; t < trials; ++t) {
+    for (auto& c : cells) c = model.sample_cell(rng);
+    const auto ap_mask = static_cast<std::uint32_t>(rng.bounded(8));
+    ++report.trials;
+    if (!sa.triple_sense_correct(cells, ap_mask, &rng)) ++report.failures;
+  }
+  return report;
+}
+
+}  // namespace pim::hw

@@ -1,0 +1,106 @@
+// Reconfigurable sense amplifier (Fig. 4b).
+//
+// Three sub-SAs and four reference branches (R_AND3, R_MAJ, R_OR3, R_M),
+// selected by the enable bits (C_AND3, C_MAJ, C_OR3, C_M). Activating a
+// single reference realises memory read or a one-threshold Boolean function;
+// activating the three logic references simultaneously and combining the
+// sub-SA outputs through the six control transistors realises single-cycle
+// XOR3 (sum) alongside MAJ (carry) — the full adder of IM_ADD and, with one
+// operand row preset to 1, the XNOR2 of XNOR_Match.
+//
+// Truth identity implemented by the control transistors:
+//   XOR3(a,b,c) = (OR3 & ~MAJ) | AND3   (parity: exactly-one or all-three)
+//
+// The electrical path (resistances under process variation vs reference
+// thresholds) and the ideal Boolean path are both exposed; reliability tests
+// Monte-Carlo the electrical path against the Boolean truth table.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/pim/sot_mram.h"
+
+namespace pim::hw {
+
+/// Enable bits of Fig. 4b's control table.
+struct SenseAmpEnables {
+  bool c_and3 = false;
+  bool c_maj = false;
+  bool c_or3 = false;
+  bool c_m = false;
+};
+
+/// Reference resistances, derived from the device model's nominal levels as
+/// geometric midpoints between adjacent sensed combinations.
+struct SenseReferences {
+  double r_m_ohm = 0.0;     ///< Memory read: between R_P and R_AP paths.
+  double r_and3_ohm = 0.0;  ///< Between Req(2 AP) and Req(3 AP) of 3 cells.
+  double r_maj_ohm = 0.0;   ///< Between Req(1 AP) and Req(2 AP).
+  double r_or3_ohm = 0.0;   ///< Between Req(0 AP) and Req(1 AP).
+};
+
+struct SenseAmpOutputs {
+  bool and3 = false;
+  bool maj3 = false;  ///< Also the carry of the full adder.
+  bool or3 = false;
+  bool xor3 = false;  ///< Also the sum of the full adder.
+};
+
+class ReconfigurableSenseAmp {
+ public:
+  explicit ReconfigurableSenseAmp(const SotMramModel& model);
+
+  const SenseReferences& references() const { return refs_; }
+
+  // --- Ideal (Boolean) path: used by the functional sub-array model. -------
+  static bool ideal_and3(bool a, bool b, bool c) { return a && b && c; }
+  static bool ideal_maj3(bool a, bool b, bool c) {
+    return (a && b) || (b && c) || (a && c);
+  }
+  static bool ideal_or3(bool a, bool b, bool c) { return a || b || c; }
+  static bool ideal_xor3(bool a, bool b, bool c) { return a ^ b ^ c; }
+  static SenseAmpOutputs ideal_outputs(bool a, bool b, bool c);
+
+  // --- Electrical path: thresholds against sampled resistances. ------------
+
+  /// Memory read of one cell (fan-in 1): data '1' iff path R > R_M.
+  bool sense_memory(const CellResistances& cell, bool stored_ap) const;
+
+  /// Sense three cells in parallel, thresholds applied per enabled branch;
+  /// xor3 combined from the three sub-SA outputs as the circuit does.
+  /// `rng` (optional) adds the input-referred SA offset (absolute mV,
+  /// params().sa_offset_sigma_mv) to each sub-SA comparison — the noise
+  /// source that makes small margins fail.
+  SenseAmpOutputs sense_triple(const std::vector<CellResistances>& cells,
+                               std::uint32_t ap_mask,
+                               util::Xoshiro256* rng = nullptr) const;
+
+  /// Does the electrical triple-sense reproduce the Boolean truth table for
+  /// this sample? Used by the Monte-Carlo reliability study.
+  bool triple_sense_correct(const std::vector<CellResistances>& cells,
+                            std::uint32_t ap_mask,
+                            util::Xoshiro256* rng = nullptr) const;
+
+ private:
+  const SotMramModel& model_;
+  SenseReferences refs_;
+};
+
+/// Monte-Carlo logic-failure study: fraction of trials where the electrical
+/// AND3/MAJ/OR3/XOR3 outputs deviate from the Boolean truth table. The paper
+/// limits fan-in to 3 and thickens tox to keep this at zero.
+struct ReliabilityReport {
+  std::size_t trials = 0;
+  std::size_t failures = 0;
+  double failure_rate() const {
+    return trials ? static_cast<double>(failures) / static_cast<double>(trials)
+                  : 0.0;
+  }
+};
+
+ReliabilityReport monte_carlo_logic_reliability(const SotMramModel& model,
+                                                std::size_t trials,
+                                                std::uint64_t seed);
+
+}  // namespace pim::hw

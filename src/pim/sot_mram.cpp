@@ -1,0 +1,107 @@
+#include "src/pim/sot_mram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace pim::hw {
+
+SotMramModel::SotMramModel(const SotMramParams& params) : params_(params) {
+  if (params_.mtj_area_um2 <= 0.0 || params_.ra_product_ohm_um2 <= 0.0) {
+    throw std::invalid_argument("SotMramModel: RA and area must be positive");
+  }
+  const double thickness_scale =
+      std::exp((params_.tox_nm - params_.tox0_nm) / params_.tox_lambda_nm);
+  nominal_.r_p_ohm =
+      params_.ra_product_ohm_um2 / params_.mtj_area_um2 * thickness_scale;
+  nominal_.r_ap_ohm = nominal_.r_p_ohm * (1.0 + params_.tmr);
+}
+
+CellResistances SotMramModel::sample_cell(util::Xoshiro256& rng) const {
+  // RA variation perturbs both states together; TMR variation perturbs the
+  // AP state relative to P (the two independent variation sources of the
+  // paper's Monte-Carlo setup).
+  const double ra_factor =
+      std::max(0.5, rng.gaussian(1.0, params_.sigma_ra_fraction));
+  const double tmr_sample =
+      std::max(0.0, rng.gaussian(params_.tmr, params_.tmr *
+                                                  params_.sigma_tmr_fraction));
+  CellResistances cell;
+  cell.r_p_ohm = nominal_.r_p_ohm * ra_factor;
+  cell.r_ap_ohm = cell.r_p_ohm * (1.0 + tmr_sample);
+  return cell;
+}
+
+double SotMramModel::equivalent_resistance(
+    const std::vector<CellResistances>& cells, std::uint32_t ap_mask) const {
+  if (cells.empty()) {
+    throw std::invalid_argument("equivalent_resistance: no cells");
+  }
+  double conductance = 0.0;
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const bool ap = (ap_mask >> i) & 1U;
+    const double r =
+        (ap ? cells[i].r_ap_ohm : cells[i].r_p_ohm) +
+        params_.access_resistance_ohm;
+    conductance += 1.0 / r;
+  }
+  return 1.0 / conductance;
+}
+
+double SotMramModel::v_sense(const std::vector<CellResistances>& cells,
+                             std::uint32_t ap_mask) const {
+  return params_.sense_current_ua * 1e-6 *
+         equivalent_resistance(cells, ap_mask);
+}
+
+double SotMramModel::nominal_v_sense(std::uint32_t fan_in,
+                                     std::uint32_t num_ap) const {
+  if (fan_in == 0 || num_ap > fan_in) {
+    throw std::invalid_argument("nominal_v_sense: bad fan-in/num_ap");
+  }
+  std::vector<CellResistances> cells(fan_in, nominal_);
+  const std::uint32_t mask = (num_ap == 0) ? 0U : ((1U << num_ap) - 1U);
+  return v_sense(cells, mask);
+}
+
+SenseMarginReport monte_carlo_sense_margin(const SotMramModel& model,
+                                           std::uint32_t fan_in,
+                                           std::size_t trials,
+                                           std::uint64_t seed) {
+  if (fan_in == 0 || fan_in > 31) {
+    throw std::invalid_argument("monte_carlo_sense_margin: bad fan-in");
+  }
+  SenseMarginReport report;
+  report.fan_in = fan_in;
+  util::Xoshiro256 rng(seed);
+
+  // One distribution per AP count; each trial samples fresh cells so the
+  // study covers cell-to-cell mismatch, not just global drift.
+  report.distributions.resize(fan_in + 1);
+  for (std::uint32_t num_ap = 0; num_ap <= fan_in; ++num_ap) {
+    report.distributions[num_ap].fan_in = fan_in;
+    report.distributions[num_ap].num_ap = num_ap;
+  }
+  std::vector<CellResistances> cells(fan_in);
+  for (std::size_t t = 0; t < trials; ++t) {
+    for (auto& c : cells) c = model.sample_cell(rng);
+    for (std::uint32_t num_ap = 0; num_ap <= fan_in; ++num_ap) {
+      const std::uint32_t mask = (num_ap == 0) ? 0U : ((1U << num_ap) - 1U);
+      report.distributions[num_ap].stats.add(model.v_sense(cells, mask) * 1e3);
+    }
+  }
+
+  // Worst-case margin between adjacent combinations at 3 sigma.
+  double worst = 1e18;
+  for (std::uint32_t num_ap = 0; num_ap < fan_in; ++num_ap) {
+    const auto& lo = report.distributions[num_ap].stats;
+    const auto& hi = report.distributions[num_ap + 1].stats;
+    const double margin =
+        (hi.mean() - 3.0 * hi.stddev()) - (lo.mean() + 3.0 * lo.stddev());
+    worst = std::min(worst, margin);
+  }
+  report.worst_margin_mv = worst;
+  return report;
+}
+
+}  // namespace pim::hw

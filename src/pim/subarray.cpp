@@ -1,0 +1,170 @@
+#include "src/pim/subarray.h"
+
+#include <stdexcept>
+
+#include "src/pim/trace.h"
+
+namespace pim::hw {
+
+SubArrayStats& SubArrayStats::operator+=(const SubArrayStats& other) {
+  reads += other.reads;
+  writes += other.writes;
+  triple_senses += other.triple_senses;
+  dpu_word_ops += other.dpu_word_ops;
+  energy_pj += other.energy_pj;
+  busy_ns += other.busy_ns;
+  return *this;
+}
+
+SubArray::SubArray(const TimingEnergyModel& model)
+    : model_(&model),
+      grid_(model.rows(), util::BitVector(model.cols(), false)) {}
+
+void SubArray::charge(SubArrayOp op) {
+  const OpCost cost = model_->op_cost(op);
+  stats_.energy_pj += cost.energy_pj;
+  stats_.busy_ns += cost.latency_ns;
+  switch (op) {
+    case SubArrayOp::kMemRead: ++stats_.reads; break;
+    case SubArrayOp::kMemWrite: ++stats_.writes; break;
+    case SubArrayOp::kTripleSense: ++stats_.triple_senses; break;
+    case SubArrayOp::kDpuWord: ++stats_.dpu_word_ops; break;
+  }
+}
+
+void SubArray::check_row(std::uint32_t row) const {
+  if (row >= grid_.size()) {
+    throw std::out_of_range("SubArray: row out of range");
+  }
+}
+
+void SubArray::write_row(std::uint32_t row, const util::BitVector& bits) {
+  check_row(row);
+  if (bits.size() != cols()) {
+    throw std::invalid_argument("SubArray::write_row: width mismatch");
+  }
+  grid_[row] = bits;
+  charge(SubArrayOp::kMemWrite);
+  note_write(row);
+  trace(SubArrayOp::kMemWrite, {row});
+}
+
+util::BitVector SubArray::mem_read_row(std::uint32_t row) {
+  check_row(row);
+  charge(SubArrayOp::kMemRead);
+  trace(SubArrayOp::kMemRead, {row});
+  return grid_[row];
+}
+
+const util::BitVector& SubArray::peek_row(std::uint32_t row) const {
+  check_row(row);
+  return grid_[row];
+}
+
+SubArray::TripleOutputs SubArray::triple_sense(std::uint32_t r1,
+                                               std::uint32_t r2,
+                                               std::uint32_t r3) {
+  check_row(r1);
+  check_row(r2);
+  check_row(r3);
+  charge(SubArrayOp::kTripleSense);
+  trace(SubArrayOp::kTripleSense, {r1, r2, r3});
+  TripleOutputs out;
+  out.and3 = util::BitVector::and3(grid_[r1], grid_[r2], grid_[r3]);
+  out.maj3 = util::BitVector::majority3(grid_[r1], grid_[r2], grid_[r3]);
+  out.or3 = util::BitVector::or3(grid_[r1], grid_[r2], grid_[r3]);
+  out.xor3 = util::BitVector::xor3(grid_[r1], grid_[r2], grid_[r3]);
+  return out;
+}
+
+util::BitVector SubArray::xnor2(std::uint32_t r1, std::uint32_t r2) {
+  check_row(r1);
+  check_row(r2);
+  charge(SubArrayOp::kTripleSense);
+  trace(SubArrayOp::kTripleSense, {r1, r2});
+  // XOR3(a, b, 1) = NOT (a XOR b): the all-ones init row turns the XOR3
+  // circuit into an XNOR2 in the same single cycle.
+  return ~(grid_[r1] ^ grid_[r2]);
+}
+
+std::uint64_t SubArray::read_word_vertical(std::uint32_t col,
+                                           std::uint32_t row_begin,
+                                           std::uint32_t bits) {
+  if (bits > 64) throw std::invalid_argument("read_word_vertical: bits > 64");
+  check_row(row_begin + bits - 1);
+  if (col >= cols()) throw std::out_of_range("read_word_vertical: col");
+  std::uint64_t value = 0;
+  for (std::uint32_t i = 0; i < bits; ++i) {
+    charge(SubArrayOp::kMemRead);
+    trace(SubArrayOp::kMemRead, {row_begin + i});
+    if (grid_[row_begin + i].get(col)) value |= (1ULL << i);
+  }
+  return value;
+}
+
+void SubArray::write_word_vertical(std::uint32_t col, std::uint32_t row_begin,
+                                   std::uint32_t bits, std::uint64_t value) {
+  if (bits > 64) throw std::invalid_argument("write_word_vertical: bits > 64");
+  check_row(row_begin + bits - 1);
+  if (col >= cols()) throw std::out_of_range("write_word_vertical: col");
+  for (std::uint32_t i = 0; i < bits; ++i) {
+    charge(SubArrayOp::kMemWrite);
+    note_write(row_begin + i);
+    trace(SubArrayOp::kMemWrite, {row_begin + i});
+    grid_[row_begin + i].set(col, (value >> i) & 1ULL);
+  }
+}
+
+void SubArray::im_add(std::uint32_t row_a, std::uint32_t row_b,
+                      std::uint32_t row_sum, std::uint32_t row_carry,
+                      std::uint32_t bits) {
+  check_row(row_a + bits - 1);
+  check_row(row_b + bits - 1);
+  check_row(row_sum + bits - 1);
+  check_row(row_carry);
+
+  // Clear the carry row (one write).
+  grid_[row_carry] = util::BitVector(cols(), false);
+  charge(SubArrayOp::kMemWrite);
+  note_write(row_carry);
+  trace(SubArrayOp::kMemWrite, {row_carry});
+
+  for (std::uint32_t i = 0; i < bits; ++i) {
+    // Single-cycle full-adder bit: Carry = MAJ3, Sum = XOR3, produced by the
+    // same triple sense of (a_i, b_i, carry).
+    const TripleOutputs t =
+        triple_sense(row_a + i, row_b + i, row_carry);
+    grid_[row_sum + i] = t.xor3;
+    charge(SubArrayOp::kMemWrite);
+    note_write(row_sum + i);
+    trace(SubArrayOp::kMemWrite, {row_sum + i});
+    grid_[row_carry] = t.maj3;
+    charge(SubArrayOp::kMemWrite);
+    note_write(row_carry);
+    trace(SubArrayOp::kMemWrite, {row_carry});
+  }
+}
+
+void SubArray::charge_dpu_word() {
+  charge(SubArrayOp::kDpuWord);
+  trace(SubArrayOp::kDpuWord, {});
+}
+
+void SubArray::trace(SubArrayOp op,
+                     std::initializer_list<std::uint32_t> rows) {
+  if (trace_ != nullptr) trace_->record(op, rows);
+}
+
+void SubArray::enable_write_tracking() {
+  if (row_writes_.empty()) row_writes_.assign(rows(), 0);
+}
+
+void SubArray::reset_write_counts() {
+  if (!row_writes_.empty()) row_writes_.assign(rows(), 0);
+}
+
+void SubArray::note_write(std::uint32_t row) {
+  if (!row_writes_.empty()) ++row_writes_[row];
+}
+
+}  // namespace pim::hw

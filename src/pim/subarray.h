@@ -1,0 +1,129 @@
+// Computational SOT-MRAM sub-array (Fig. 4a), functional model.
+//
+// A rows x cols bit grid supporting the dual-mode operation set of the
+// paper's micro-architecture:
+//   * memory write / read of full rows (WD / MRD / SA with C_M),
+//   * single-cycle triple-row sense producing AND3 / MAJ / OR3 / XOR3 across
+//     all bit-lines in parallel (the reconfigurable SA of Fig. 4b),
+//   * XNOR2 via XOR3 with an (assumed pre-initialised) all-ones row,
+//   * bit-serial in-memory add over vertical operands sharing bit-lines
+//     (IM_ADD: Carry = MAJ, Sum = XOR3, single cycle per bit).
+//
+// Every operation charges the TimingEnergyModel and tallies per-op counts so
+// the controller and the chip model can roll up latency / energy / MBR / RUR.
+// Logic values are ideal Booleans here; electrical fidelity (does a triple
+// sense resolve correctly under process variation?) is the sense-amp model's
+// job and is Monte-Carlo-verified separately — the paper's tox fix makes the
+// failure rate effectively zero, which is the regime this functional model
+// assumes.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <vector>
+
+#include "src/pim/timing_energy.h"
+#include "src/util/bit_vector.h"
+
+namespace pim::hw {
+
+class CommandTrace;
+
+struct SubArrayStats {
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t triple_senses = 0;
+  std::uint64_t dpu_word_ops = 0;
+  double energy_pj = 0.0;
+  double busy_ns = 0.0;  ///< Serial occupancy (sum of op latencies).
+
+  SubArrayStats& operator+=(const SubArrayStats& other);
+};
+
+class SubArray {
+ public:
+  explicit SubArray(const TimingEnergyModel& model);
+
+  std::uint32_t rows() const { return model_->rows(); }
+  std::uint32_t cols() const { return model_->cols(); }
+
+  // --- Memory mode ---------------------------------------------------------
+  void write_row(std::uint32_t row, const util::BitVector& bits);
+  /// MEM: sense one row. Charged as a read.
+  util::BitVector mem_read_row(std::uint32_t row);
+
+  /// Test/debug access without charging the cost model.
+  const util::BitVector& peek_row(std::uint32_t row) const;
+
+  // --- Compute mode ----------------------------------------------------------
+  struct TripleOutputs {
+    util::BitVector and3, maj3, or3, xor3;
+  };
+  /// Single-cycle parallel sense of three rows with all logic references.
+  TripleOutputs triple_sense(std::uint32_t r1, std::uint32_t r2,
+                             std::uint32_t r3);
+
+  /// XNOR2 of two rows (XOR3 with the all-ones init row); one triple sense.
+  util::BitVector xnor2(std::uint32_t r1, std::uint32_t r2);
+
+  // --- Vertical (bit-line local) word access -------------------------------
+  /// Read a `bits`-wide little-endian word stored down one column starting
+  /// at `row_begin`. Costs `bits` row senses.
+  std::uint64_t read_word_vertical(std::uint32_t col, std::uint32_t row_begin,
+                                   std::uint32_t bits);
+  /// Write a word vertically; costs `bits` row writes.
+  void write_word_vertical(std::uint32_t col, std::uint32_t row_begin,
+                           std::uint32_t bits, std::uint64_t value);
+
+  /// IM_ADD: bit-serial add of the vertical words at rows [row_a, row_a+bits)
+  /// and [row_b, ...) into [row_sum, ...), using `row_carry` as the carry
+  /// row. Operates on ALL bit-lines in parallel (that is the point of the
+  /// design); cost: per bit one triple sense + sum/carry write-backs, plus
+  /// one carry-row clear.
+  void im_add(std::uint32_t row_a, std::uint32_t row_b, std::uint32_t row_sum,
+              std::uint32_t row_carry, std::uint32_t bits);
+
+  /// Charge one DPU word operation (popcount / compare / pointer update on a
+  /// row-sized value). The DPU itself lives outside the array; the charge is
+  /// recorded here so per-tile accounting stays in one place.
+  void charge_dpu_word();
+
+  const SubArrayStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = SubArrayStats{}; }
+
+  // --- Endurance / wear tracking -------------------------------------------
+  // MRAM cells endure ~1e12-1e15 writes; the IM_ADD carry row is written
+  // every adder cycle, making it the wear hot spot. Tracking is off by
+  // default (zero cost); when enabled, every row write increments a
+  // per-row counter so the endurance analysis can find hot rows and
+  // project array lifetime.
+  void enable_write_tracking();
+  bool write_tracking_enabled() const { return !row_writes_.empty(); }
+  /// Per-row write counts (empty unless tracking enabled).
+  const std::vector<std::uint64_t>& row_write_counts() const {
+    return row_writes_;
+  }
+  void reset_write_counts();
+
+  // --- Command tracing -------------------------------------------------------
+  /// Attach (or detach with nullptr) a command trace; every subsequent
+  /// operation appends its Ctrl-level command. The trace is not owned and
+  /// must outlive the attachment.
+  void attach_trace(CommandTrace* trace) { trace_ = trace; }
+
+  const TimingEnergyModel& model() const { return *model_; }
+
+ private:
+  void charge(SubArrayOp op);
+  void note_write(std::uint32_t row);
+  void trace(SubArrayOp op, std::initializer_list<std::uint32_t> rows);
+  void check_row(std::uint32_t row) const;
+
+  const TimingEnergyModel* model_;
+  std::vector<util::BitVector> grid_;
+  SubArrayStats stats_;
+  std::vector<std::uint64_t> row_writes_;
+  CommandTrace* trace_ = nullptr;
+};
+
+}  // namespace pim::hw

@@ -1,0 +1,111 @@
+#include "src/pim/timing_energy.h"
+
+#include <stdexcept>
+
+namespace pim::hw {
+
+util::Config TimingEnergyModel::default_config() {
+  // Calibration notes (45 nm, 2T1R SOT-MRAM, 512x256 sub-array):
+  //  * read: SOT read is a single-reference resistive sense; 1 ns at this
+  //    node with short local bit-lines, energy dominated by bit-line
+  //    charging across 256 columns.
+  //  * write: SOT switching is sub-ns; the driver-limited row write lands
+  //    at 1 ns / 60 pJ, in line with published SOT macros.
+  //  * triple sense: three cells in parallel shrink the sense margin to a
+  //    few mV (Fig. 5b), so the triple-reference compare needs a longer
+  //    integration window: 4 ns, with three sub-SAs burning compare energy.
+  //  * DPU word op: 256-bit popcount/compare tree in CMOS at 1 GHz.
+  util::Config cfg;
+  cfg.set_int("RowsPerSubarray", 512);
+  cfg.set_int("ColsPerSubarray", 256);
+  cfg.set_double("ClockGHz", 1.0);
+  cfg.set_double("ReadLatencyNs", 1.0);
+  cfg.set_double("ReadEnergyPj", 18.0);
+  cfg.set_double("WriteLatencyNs", 1.0);
+  cfg.set_double("WriteEnergyPj", 60.0);
+  cfg.set_double("TripleSenseLatencyNs", 4.0);
+  cfg.set_double("TripleSenseEnergyPj", 30.0);
+  // Adder style: PIM-Aligner's third sub-SA produces Sum and Carry in ONE
+  // sense ("single-cycle"); the AlignS predecessor has two sub-SAs and
+  // needs two sense cycles per bit. 1 = PIM-Aligner, 2 = AlignS-style.
+  cfg.set_int("AddSensesPerBit", 1);
+  cfg.set_double("DpuWordLatencyNs", 1.0);
+  cfg.set_double("DpuWordEnergyPj", 6.0);
+  cfg.set_double("CellAreaF2", 50.0);
+  cfg.set_double("TechnologyNm", 45.0);
+  cfg.set_double("PeripheralAreaOverhead", 0.35);
+  cfg.set_double("ComputeAreaOverhead", 0.08);
+  cfg.set_double("LeakagePowerUw", 20.0);
+  return cfg;
+}
+
+TimingEnergyModel::TimingEnergyModel(const util::Config& overrides)
+    : config_(default_config().merged_with(overrides)) {
+  rows_ = static_cast<std::uint32_t>(config_.get_int("RowsPerSubarray"));
+  cols_ = static_cast<std::uint32_t>(config_.get_int("ColsPerSubarray"));
+  clock_ghz_ = config_.get_double("ClockGHz");
+  read_ = {config_.get_double("ReadLatencyNs"),
+           config_.get_double("ReadEnergyPj")};
+  write_ = {config_.get_double("WriteLatencyNs"),
+            config_.get_double("WriteEnergyPj")};
+  triple_ = {config_.get_double("TripleSenseLatencyNs"),
+             config_.get_double("TripleSenseEnergyPj")};
+  dpu_ = {config_.get_double("DpuWordLatencyNs"),
+          config_.get_double("DpuWordEnergyPj")};
+  cell_area_f2_ = config_.get_double("CellAreaF2");
+  technology_nm_ = config_.get_double("TechnologyNm");
+  peripheral_overhead_ = config_.get_double("PeripheralAreaOverhead");
+  compute_overhead_ = config_.get_double("ComputeAreaOverhead");
+  leakage_uw_ = config_.get_double("LeakagePowerUw");
+  add_senses_per_bit_ =
+      static_cast<std::uint32_t>(config_.get_int_or("AddSensesPerBit", 1));
+  if (add_senses_per_bit_ == 0) {
+    throw std::invalid_argument("TimingEnergyModel: AddSensesPerBit must be > 0");
+  }
+  if (rows_ == 0 || cols_ == 0 || clock_ghz_ <= 0.0) {
+    throw std::invalid_argument("TimingEnergyModel: bad array organisation");
+  }
+}
+
+OpCost TimingEnergyModel::op_cost(SubArrayOp op) const {
+  switch (op) {
+    case SubArrayOp::kMemRead: return read_;
+    case SubArrayOp::kMemWrite: return write_;
+    case SubArrayOp::kTripleSense: return triple_;
+    case SubArrayOp::kDpuWord: return dpu_;
+  }
+  throw std::invalid_argument("TimingEnergyModel: unknown op");
+}
+
+OpCost TimingEnergyModel::im_add_cost(std::uint32_t bits) const {
+  // Per bit: `add_senses_per_bit_` triple senses yield Sum (XOR3) and
+  // Carry (MAJ) — one for PIM-Aligner's three-sub-SA design, two for the
+  // AlignS-style two-sub-SA scheme — plus write-back of the sum row and
+  // the carry row for the next bit. The leading write clears the carry row.
+  return (triple_ * static_cast<double>(add_senses_per_bit_) +
+          write_ * 2.0) *
+             static_cast<double>(bits) +
+         write_;
+}
+
+OpCost TimingEnergyModel::xnor_match_cost() const {
+  return triple_ + dpu_;
+}
+
+double TimingEnergyModel::memory_subarray_area_mm2() const {
+  const double f_um = technology_nm_ * 1e-3;
+  const double cell_um2 = cell_area_f2_ * f_um * f_um;
+  const double cells_um2 =
+      cell_um2 * static_cast<double>(rows_) * static_cast<double>(cols_);
+  return cells_um2 * (1.0 + peripheral_overhead_) * 1e-6;
+}
+
+double TimingEnergyModel::subarray_area_mm2() const {
+  return memory_subarray_area_mm2() * (1.0 + compute_overhead_);
+}
+
+double TimingEnergyModel::compute_area_overhead_fraction() const {
+  return compute_overhead_;
+}
+
+}  // namespace pim::hw

@@ -1,0 +1,101 @@
+// NVSim-like timing / energy / area model (substitution for NVSim [17]).
+//
+// The paper's flow: device+circuit simulation produce per-operation scalars,
+// NVSim maps the array organisation to latency/energy/area, and a behavioral
+// simulator rolls them up per algorithm. This class is the middle layer: it
+// is constructed from an NVSim-flavoured Config (`-Key: value`), exposes the
+// per-operation costs the sub-array model charges, and the area roll-up that
+// substantiates the "<10% of chip area" compute-support claim.
+//
+// Default scalars are calibrated for a 45 nm 2T1R SOT-MRAM process (the
+// paper's NCSU PDK node) and documented inline; every value can be
+// overridden through the Config, which is how the bench sweeps explore the
+// design space.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "src/util/config.h"
+
+namespace pim::hw {
+
+/// Latency/energy of one sub-array-level operation across a full row
+/// (256 bit-lines) unless stated otherwise.
+struct OpCost {
+  double latency_ns = 0.0;
+  double energy_pj = 0.0;
+
+  OpCost operator+(const OpCost& other) const {
+    return {latency_ns + other.latency_ns, energy_pj + other.energy_pj};
+  }
+  OpCost operator*(double k) const { return {latency_ns * k, energy_pj * k}; }
+};
+
+enum class SubArrayOp : std::uint8_t {
+  kMemRead,      ///< MEM: single-row sense (C_M branch).
+  kMemWrite,     ///< Row write through the write drivers.
+  kTripleSense,  ///< 3-row parallel sense: AND3/MAJ/OR3/XOR3 (and XNOR2 with
+                 ///< an all-ones init row), single memory cycle.
+  kDpuWord,      ///< DPU-side processing of one 256-bit row (popcount,
+                 ///< compare, pointer update); pipelined CMOS logic.
+};
+
+class TimingEnergyModel {
+ public:
+  /// Builds from the defaults overlaid with `overrides`.
+  explicit TimingEnergyModel(const util::Config& overrides = {});
+
+  /// The full default configuration (all keys, default values) — the
+  /// starting point for sweeps and the documentation of record.
+  static util::Config default_config();
+
+  OpCost op_cost(SubArrayOp op) const;
+
+  /// Bit-serial in-memory add of `bits`-wide operands: per bit
+  /// `AddSensesPerBit` triple senses (1 for PIM-Aligner's three-sub-SA
+  /// single-cycle Sum+Carry; 2 for the AlignS-style two-sub-SA scheme) plus
+  /// write-back of the sum and carry rows.
+  OpCost im_add_cost(std::uint32_t bits = 32) const;
+
+  /// Sense cycles per adder bit (see AddSensesPerBit).
+  std::uint32_t add_senses_per_bit() const { return add_senses_per_bit_; }
+
+  /// XNOR_Match over one BWT row: one triple sense (XNOR2 via init row)
+  /// produces the 256-bit match vector; the DPU consumes it in one word op.
+  OpCost xnor_match_cost() const;
+
+  // --- Array organisation -------------------------------------------------
+  std::uint32_t rows() const { return rows_; }
+  std::uint32_t cols() const { return cols_; }
+  double clock_ghz() const { return clock_ghz_; }
+
+  // --- Area model ---------------------------------------------------------
+  /// Area of one computational sub-array including peripherals (mm^2).
+  double subarray_area_mm2() const;
+  /// Area of a conventional (memory-only) sub-array (mm^2).
+  double memory_subarray_area_mm2() const;
+  /// Fraction of sub-array area added by compute support (extra reference
+  /// branches, third sub-SA, control transistors) — the "<10%" claim.
+  double compute_area_overhead_fraction() const;
+
+  // --- Static power -------------------------------------------------------
+  double leakage_w_per_subarray() const { return leakage_uw_ * 1e-6; }
+
+  const util::Config& config() const { return config_; }
+
+ private:
+  util::Config config_;
+  std::uint32_t rows_ = 512;
+  std::uint32_t cols_ = 256;
+  double clock_ghz_ = 1.0;
+  OpCost read_, write_, triple_, dpu_;
+  double cell_area_f2_ = 50.0;
+  double technology_nm_ = 45.0;
+  double peripheral_overhead_ = 0.35;
+  double compute_overhead_ = 0.08;
+  double leakage_uw_ = 20.0;
+  std::uint32_t add_senses_per_bit_ = 1;
+};
+
+}  // namespace pim::hw

@@ -1,0 +1,61 @@
+#include "src/pim/trace.h"
+
+#include <sstream>
+
+namespace pim::hw {
+
+namespace {
+const char* op_name(SubArrayOp op) {
+  switch (op) {
+    case SubArrayOp::kMemRead: return "READ";
+    case SubArrayOp::kMemWrite: return "WRITE";
+    case SubArrayOp::kTripleSense: return "TRIPLE";
+    case SubArrayOp::kDpuWord: return "DPU";
+  }
+  return "?";
+}
+}  // namespace
+
+std::string TraceEntry::to_string() const {
+  std::ostringstream out;
+  out << op_name(op);
+  for (std::uint32_t i = 0; i < row_count; ++i) {
+    out << (i == 0 ? " r" : ",r") << rows[i];
+  }
+  return out.str();
+}
+
+void CommandTrace::record(SubArrayOp op,
+                          std::initializer_list<std::uint32_t> rows) {
+  if (entries_.size() >= capacity_) {
+    overflowed_ = true;
+    return;
+  }
+  TraceEntry entry;
+  entry.op = op;
+  for (const auto row : rows) {
+    if (entry.row_count < 3) entry.rows[entry.row_count++] = row;
+  }
+  entries_.push_back(entry);
+}
+
+void CommandTrace::clear() {
+  entries_.clear();
+  overflowed_ = false;
+}
+
+std::size_t CommandTrace::count(SubArrayOp op) const {
+  std::size_t total = 0;
+  for (const auto& e : entries_) {
+    if (e.op == op) ++total;
+  }
+  return total;
+}
+
+std::string CommandTrace::to_string() const {
+  std::ostringstream out;
+  for (const auto& e : entries_) out << e.to_string() << '\n';
+  return out.str();
+}
+
+}  // namespace pim::hw

@@ -1,0 +1,58 @@
+// Sub-array command tracing.
+//
+// The controller (Ctrl) of Fig. 4a drives each sub-array with a command
+// stream (row activations, reference-branch selects, write enables). This
+// module captures that stream from the functional model: every MEM read/
+// write, triple sense and DPU word op is appended to an attachable trace.
+// Uses:
+//   * golden-trace tests — assert the LFM procedure issues exactly the
+//     command sequence of Section V (XNOR_Match, transpose, 32x add cycle,
+//     readout), catching protocol regressions the result-level tests miss;
+//   * debugging and the trace-dump example.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/pim/subarray.h"
+
+namespace pim::hw {
+
+struct TraceEntry {
+  SubArrayOp op = SubArrayOp::kMemRead;
+  /// Activated rows: 1 for MEM ops, 3 for triple senses, 0 for DPU ops.
+  std::uint32_t rows[3] = {0, 0, 0};
+  std::uint32_t row_count = 0;
+
+  std::string to_string() const;
+  bool operator==(const TraceEntry&) const = default;
+};
+
+/// A bounded command trace. When the capacity is reached the trace stops
+/// recording and sets `overflowed` (it never drops the head: the prefix is
+/// what golden tests compare against).
+class CommandTrace {
+ public:
+  explicit CommandTrace(std::size_t capacity = 1 << 16)
+      : capacity_(capacity) {}
+
+  void record(SubArrayOp op, std::initializer_list<std::uint32_t> rows);
+
+  const std::vector<TraceEntry>& entries() const { return entries_; }
+  bool overflowed() const { return overflowed_; }
+  void clear();
+
+  /// Count of entries with the given op.
+  std::size_t count(SubArrayOp op) const;
+
+  /// Render as one line per command.
+  std::string to_string() const;
+
+ private:
+  std::size_t capacity_;
+  std::vector<TraceEntry> entries_;
+  bool overflowed_ = false;
+};
+
+}  // namespace pim::hw

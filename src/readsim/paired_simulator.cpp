@@ -1,0 +1,126 @@
+#include "src/readsim/paired_simulator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "src/genome/fastq.h"
+#include "src/util/rng.h"
+
+namespace pim::readsim {
+
+namespace {
+
+genome::Base mutate(pim::util::Xoshiro256& rng, genome::Base b) {
+  const auto offset = static_cast<std::uint8_t>(rng.bounded(3)) + 1;
+  return static_cast<genome::Base>((static_cast<std::uint8_t>(b) + offset) % 4);
+}
+
+/// Sequence one mate from a fragment-oriented template: substitution errors
+/// at the spec's rate (with the 3' ramp), optional qualities. The template
+/// must already be in read orientation.
+SimulatedRead sequence_mate(const std::vector<genome::Base>& mate_template,
+                            const ReadSimSpec& spec,
+                            pim::util::Xoshiro256& rng) {
+  SimulatedRead read;
+  read.bases.reserve(mate_template.size());
+  if (spec.emit_qualities) read.qualities.reserve(mate_template.size());
+  for (std::size_t i = 0; i < mate_template.size(); ++i) {
+    double p_error = spec.sequencing_error_rate;
+    if (spec.error_ramp != 0.0 && mate_template.size() > 1) {
+      const double frac = static_cast<double>(i) /
+                          static_cast<double>(mate_template.size() - 1);
+      p_error *= 1.0 + spec.error_ramp * (frac - 0.5);
+    }
+    genome::Base b = mate_template[i];
+    if (rng.bernoulli(p_error)) {
+      b = mutate(rng, b);
+      ++read.substitutions;
+    }
+    if (spec.emit_qualities) {
+      read.qualities.push_back(
+          genome::phred_to_char(genome::error_probability_to_phred(p_error)));
+    }
+    read.bases.push_back(b);
+  }
+  return read;
+}
+
+}  // namespace
+
+PairedReadSet PairedReadSimulator::generate(
+    const genome::PackedSequence& reference) const {
+  const auto& base = spec_.base;
+  const std::uint32_t max_insert = spec_.insert_mean + 4 * spec_.insert_sd;
+  if (spec_.insert_mean < 2 * base.read_length) {
+    throw std::invalid_argument(
+        "PairedReadSimulator: insert smaller than two reads");
+  }
+  if (reference.size() < max_insert) {
+    throw std::invalid_argument(
+        "PairedReadSimulator: reference shorter than the largest insert");
+  }
+  pim::util::Xoshiro256 rng(base.seed);
+  PairedReadSet set;
+  set.pairs.reserve(base.num_reads);
+
+  for (std::uint64_t p = 0; p < base.num_reads; ++p) {
+    // Fragment: Gaussian insert clamped to feasible bounds.
+    const double drawn = rng.gaussian(static_cast<double>(spec_.insert_mean),
+                                      static_cast<double>(spec_.insert_sd));
+    const std::uint32_t insert = std::clamp<std::uint32_t>(
+        static_cast<std::uint32_t>(std::lround(drawn)), 2 * base.read_length,
+        max_insert);
+    const std::uint64_t start = rng.bounded(reference.size() - insert + 1);
+
+    SimulatedPair pair;
+    pair.fragment_start = start;
+    pair.insert_size = insert;
+    pair.fragment_reverse = base.sample_both_strands && rng.bernoulli(0.5);
+
+    // Donor fragment with population variants.
+    std::vector<genome::Base> fragment;
+    fragment.reserve(insert);
+    std::uint32_t variant_subs = 0;
+    for (std::uint32_t k = 0; k < insert; ++k) {
+      genome::Base b = reference.at(start + k);
+      if (rng.bernoulli(base.population_variation_rate)) {
+        b = mutate(rng, b);
+        ++variant_subs;
+      }
+      fragment.push_back(b);
+    }
+    if (pair.fragment_reverse) {
+      fragment = genome::reverse_complement(fragment);
+    }
+
+    // FR protocol: mate 1 reads the fragment 5'->3'; mate 2 reads the other
+    // end on the opposite strand.
+    const std::vector<genome::Base> tpl1(fragment.begin(),
+                                         fragment.begin() + base.read_length);
+    std::vector<genome::Base> tpl2(fragment.end() - base.read_length,
+                                   fragment.end());
+    tpl2 = genome::reverse_complement(tpl2);
+
+    pair.read1 = sequence_mate(tpl1, base, rng);
+    pair.read2 = sequence_mate(tpl2, base, rng);
+    pair.read1.substitutions += variant_subs;  // attribute donor variants
+
+    // Ground truth in forward-genome coordinates.
+    if (!pair.fragment_reverse) {
+      pair.read1.origin = start;
+      pair.read1.reverse_strand = false;
+      pair.read2.origin = start + insert - base.read_length;
+      pair.read2.reverse_strand = true;
+    } else {
+      pair.read1.origin = start + insert - base.read_length;
+      pair.read1.reverse_strand = true;
+      pair.read2.origin = start;
+      pair.read2.reverse_strand = false;
+    }
+    set.pairs.push_back(std::move(pair));
+  }
+  return set;
+}
+
+}  // namespace pim::readsim

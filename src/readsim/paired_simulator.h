@@ -1,0 +1,53 @@
+// Paired-end read simulation (Illumina FR libraries).
+//
+// Real short-read data comes in pairs: a DNA fragment of ~insert_mean bp is
+// sequenced from both ends, read 1 from the 5' end forward, read 2 from the
+// 3' end reverse-complemented. The pair's insert-size constraint is what
+// lets aligners rescue a repeat-ambiguous mate — the pairing logic in
+// align/paired.h consumes exactly the ground truth this simulator records.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/genome/packed_sequence.h"
+#include "src/readsim/read_simulator.h"
+
+namespace pim::readsim {
+
+struct PairedReadSimSpec {
+  ReadSimSpec base;               ///< Per-read length/error/quality knobs.
+  std::uint32_t insert_mean = 300;
+  std::uint32_t insert_sd = 30;
+  /// Fragments are sampled from both genome strands when the base spec's
+  /// sample_both_strands is set (flipping which mate is forward).
+};
+
+struct SimulatedPair {
+  SimulatedRead read1;  ///< 5' mate (forward on the fragment).
+  SimulatedRead read2;  ///< 3' mate (reverse-complemented).
+  std::uint64_t fragment_start = 0;  ///< Forward-genome coordinates.
+  std::uint32_t insert_size = 0;
+  bool fragment_reverse = false;  ///< Fragment drawn from the minus strand.
+};
+
+struct PairedReadSet {
+  std::vector<SimulatedPair> pairs;
+};
+
+class PairedReadSimulator {
+ public:
+  explicit PairedReadSimulator(const PairedReadSimSpec& spec) : spec_(spec) {}
+
+  /// Generate base.num_reads pairs. Throws std::invalid_argument when the
+  /// reference is shorter than the largest possible insert or the insert
+  /// cannot contain two reads.
+  PairedReadSet generate(const genome::PackedSequence& reference) const;
+
+  const PairedReadSimSpec& spec() const { return spec_; }
+
+ private:
+  PairedReadSimSpec spec_;
+};
+
+}  // namespace pim::readsim

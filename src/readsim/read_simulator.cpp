@@ -1,0 +1,148 @@
+#include "src/readsim/read_simulator.h"
+
+#include <stdexcept>
+
+#include "src/util/rng.h"
+
+namespace pim::readsim {
+
+namespace {
+
+genome::Base mutate(pim::util::Xoshiro256& rng, genome::Base b) {
+  const auto offset = static_cast<std::uint8_t>(rng.bounded(3)) + 1;
+  return static_cast<genome::Base>((static_cast<std::uint8_t>(b) + offset) % 4);
+}
+
+genome::Base random_base(pim::util::Xoshiro256& rng) {
+  return static_cast<genome::Base>(rng.bounded(4));
+}
+
+}  // namespace
+
+double ReadSet::exact_fraction() const {
+  if (reads.empty()) return 0.0;
+  std::size_t exact = 0;
+  for (const auto& r : reads) {
+    if (r.is_exact()) ++exact;
+  }
+  return static_cast<double>(exact) / static_cast<double>(reads.size());
+}
+
+ReadSet ReadSimulator::generate(const genome::PackedSequence& reference) const {
+  if (reference.size() < spec_.read_length) {
+    throw std::invalid_argument("ReadSimulator: reference shorter than read");
+  }
+  pim::util::Xoshiro256 rng(spec_.seed);
+  ReadSet set;
+  set.reads.reserve(spec_.num_reads);
+
+  // Draw a slightly longer window than the read so deletion errors can still
+  // fill the read to full length.
+  const std::uint32_t window =
+      spec_.read_length + (spec_.indel_error_rate > 0.0 ? 8 : 0);
+
+  for (std::uint64_t r = 0; r < spec_.num_reads; ++r) {
+    const std::uint64_t max_start = reference.size() - window;
+    const std::uint64_t start = rng.bounded(max_start + 1);
+
+    SimulatedRead read;
+    read.origin = start;
+    read.reverse_strand =
+        spec_.sample_both_strands && rng.bernoulli(0.5);
+
+    // Fragment from the donor haplotype: reference bases with population
+    // variants applied on the fly (each sampled fragment re-draws variants;
+    // at 0.1% per base this models individual-vs-reference divergence).
+    std::vector<genome::Base> fragment;
+    fragment.reserve(window);
+    for (std::uint32_t k = 0; k < window; ++k) {
+      genome::Base b = reference.at(start + k);
+      if (rng.bernoulli(spec_.population_variation_rate)) {
+        b = mutate(rng, b);
+        ++read.substitutions;
+      }
+      fragment.push_back(b);
+    }
+    if (read.reverse_strand) {
+      fragment = genome::reverse_complement(fragment);
+    }
+
+    // Per-cycle sequencing error rate: linear ramp toward the 3' end
+    // (Illumina-like), mean preserved at the configured rate.
+    const auto error_rate_at = [&](std::size_t cycle) {
+      if (spec_.error_ramp == 0.0 || spec_.read_length <= 1) {
+        return spec_.sequencing_error_rate;
+      }
+      const double frac = static_cast<double>(cycle) /
+                          static_cast<double>(spec_.read_length - 1);
+      return spec_.sequencing_error_rate *
+             (1.0 + spec_.error_ramp * (frac - 0.5));
+    };
+
+    // Sequencing: copy bases out of the fragment applying error processes.
+    read.bases.reserve(spec_.read_length);
+    if (spec_.emit_qualities) read.qualities.reserve(spec_.read_length);
+    std::size_t src = 0;
+    while (read.bases.size() < spec_.read_length && src < fragment.size()) {
+      if (spec_.indel_error_rate > 0.0 &&
+          rng.bernoulli(spec_.indel_error_rate)) {
+        if (rng.bernoulli(0.5)) {
+          // Insertion error: emit a random base, do not consume the fragment.
+          if (spec_.emit_qualities) {
+            read.qualities.push_back(genome::phred_to_char(2));
+          }
+          read.bases.push_back(random_base(rng));
+          ++read.insertions;
+          continue;
+        }
+        // Deletion error: skip a fragment base.
+        ++src;
+        ++read.deletions;
+        continue;
+      }
+      const double p_error = error_rate_at(read.bases.size());
+      genome::Base b = fragment[src++];
+      if (rng.bernoulli(p_error)) {
+        b = mutate(rng, b);
+        ++read.substitutions;
+      }
+      if (spec_.emit_qualities) {
+        read.qualities.push_back(
+            genome::phred_to_char(genome::error_probability_to_phred(p_error)));
+      }
+      read.bases.push_back(b);
+    }
+    // Pad in the (vanishingly rare) case deletions exhausted the window.
+    while (read.bases.size() < spec_.read_length) {
+      if (spec_.emit_qualities) {
+        read.qualities.push_back(genome::phred_to_char(2));
+      }
+      read.bases.push_back(random_base(rng));
+      ++read.insertions;
+    }
+    set.reads.push_back(std::move(read));
+  }
+  return set;
+}
+
+std::vector<genome::FastqRecord> to_fastq(const ReadSet& set,
+                                          const std::string& prefix) {
+  std::vector<genome::FastqRecord> records;
+  records.reserve(set.reads.size());
+  for (std::size_t i = 0; i < set.reads.size(); ++i) {
+    const auto& read = set.reads[i];
+    genome::FastqRecord rec;
+    rec.name = prefix + std::to_string(i) + " origin=" +
+               std::to_string(read.origin) +
+               (read.reverse_strand ? " strand=-" : " strand=+");
+    rec.sequence = genome::PackedSequence(read.bases);
+    rec.qualities = read.qualities.empty()
+                        ? std::string(read.bases.size(),
+                                      genome::phred_to_char(30))
+                        : read.qualities;
+    records.push_back(std::move(rec));
+  }
+  return records;
+}
+
+}  // namespace pim::readsim

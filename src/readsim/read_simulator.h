@@ -1,0 +1,89 @@
+// ART-like short-read simulator (substitution for the ART tool [19]).
+//
+// The paper's workload: 10 million 100-bp reads with population variation
+// 0.1% and genome (sequencing) error rate 0.2%. We reproduce that generation
+// process:
+//   1. sample a start position uniformly over the reference,
+//   2. take the 'donor' haplotype: the reference with per-base population
+//      variants applied (SNVs at `population_variation_rate`, occasional
+//      1-bp indels when enabled),
+//   3. optionally reverse-complement (strand chosen uniformly),
+//   4. apply sequencing errors (substitutions at `sequencing_error_rate`,
+//      small indel errors at `indel_error_rate`).
+// Ground truth (origin position, strand, edit counts) travels with each read
+// so benches can score alignment accuracy.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/genome/alphabet.h"
+#include "src/genome/fastq.h"
+#include "src/genome/packed_sequence.h"
+
+namespace pim::readsim {
+
+struct ReadSimSpec {
+  std::uint32_t read_length = 100;
+  std::uint64_t num_reads = 1000;
+  double population_variation_rate = 0.001;  ///< 0.1% as in the paper.
+  double sequencing_error_rate = 0.002;      ///< 0.2% as in the paper.
+  /// 1-bp insertion/deletion error rate (per base). ART's default Illumina
+  /// indel rates are ~1e-4; 0 disables indels (substitution-only workloads).
+  double indel_error_rate = 0.0;
+  bool sample_both_strands = true;
+  /// Position-dependent error profile (Illumina-like 3' degradation):
+  /// the per-base sequencing error rate ramps linearly from
+  /// rate*(1 - ramp/2) at the 5' end to rate*(1 + ramp/2) at the 3' end,
+  /// keeping the mean at `sequencing_error_rate`. 0 = uniform.
+  double error_ramp = 0.0;
+  /// Emit Phred+33 quality strings reflecting the per-base error model.
+  bool emit_qualities = false;
+  std::uint64_t seed = 42;
+};
+
+struct SimulatedRead {
+  std::vector<genome::Base> bases;
+  /// Phred+33 qualities (empty unless spec.emit_qualities).
+  std::string qualities;
+  std::uint64_t origin = 0;      ///< True start position in the reference.
+  bool reverse_strand = false;
+  std::uint32_t substitutions = 0;  ///< Variant + error substitutions.
+  std::uint32_t insertions = 0;
+  std::uint32_t deletions = 0;
+  std::uint32_t total_diffs() const {
+    return substitutions + insertions + deletions;
+  }
+  bool is_exact() const { return total_diffs() == 0; }
+};
+
+struct ReadSet {
+  std::vector<SimulatedRead> reads;
+  /// Fraction of reads with no differences at all — for typical rates this
+  /// approximates the paper's "~70% of short reads should be exactly
+  /// aligned" observation.
+  double exact_fraction() const;
+};
+
+class ReadSimulator {
+ public:
+  explicit ReadSimulator(const ReadSimSpec& spec) : spec_(spec) {}
+
+  /// Generate the configured number of reads from `reference`.
+  /// Throws std::invalid_argument when the reference is shorter than a read.
+  ReadSet generate(const genome::PackedSequence& reference) const;
+
+  const ReadSimSpec& spec() const { return spec_; }
+
+ private:
+  ReadSimSpec spec_;
+};
+
+/// Convert simulated reads to FASTQ records named "<prefix><index>" with
+/// origin/strand ground truth appended to the name (ART-style). Reads
+/// without qualities get a flat Phred-30 string.
+std::vector<genome::FastqRecord> to_fastq(const ReadSet& set,
+                                          const std::string& prefix = "read");
+
+}  // namespace pim::readsim

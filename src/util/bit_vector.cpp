@@ -1,0 +1,171 @@
+#include "src/util/bit_vector.h"
+
+#include <bit>
+#include <stdexcept>
+
+namespace pim::util {
+
+namespace {
+constexpr std::size_t words_for(std::size_t bits) { return (bits + 63) / 64; }
+}  // namespace
+
+BitVector::BitVector(std::size_t num_bits, bool value)
+    : num_bits_(num_bits),
+      words_(words_for(num_bits), value ? ~0ULL : 0ULL) {
+  trim_tail();
+}
+
+void BitVector::resize(std::size_t num_bits, bool value) {
+  const std::size_t old_bits = num_bits_;
+  num_bits_ = num_bits;
+  words_.resize(words_for(num_bits), value ? ~0ULL : 0ULL);
+  if (value && num_bits > old_bits && old_bits % 64 != 0) {
+    // Fill the tail of the previously-last word.
+    words_[old_bits >> 6] |= ~0ULL << (old_bits & 63);
+  }
+  trim_tail();
+}
+
+void BitVector::clear_all() {
+  for (auto& w : words_) w = 0;
+}
+
+void BitVector::set_all() {
+  for (auto& w : words_) w = ~0ULL;
+  trim_tail();
+}
+
+void BitVector::trim_tail() {
+  if (num_bits_ % 64 != 0 && !words_.empty()) {
+    words_.back() &= (1ULL << (num_bits_ & 63)) - 1;
+  }
+}
+
+std::size_t BitVector::popcount() const {
+  std::size_t total = 0;
+  for (const auto w : words_) total += static_cast<std::size_t>(std::popcount(w));
+  return total;
+}
+
+std::size_t BitVector::popcount_range(std::size_t begin, std::size_t end) const {
+  if (begin >= end) return 0;
+  if (end > num_bits_) throw std::out_of_range("popcount_range past end");
+  std::size_t total = 0;
+  std::size_t first_word = begin >> 6;
+  std::size_t last_word = (end - 1) >> 6;
+  if (first_word == last_word) {
+    std::uint64_t w = words_[first_word];
+    w >>= (begin & 63);
+    const std::size_t span = end - begin;
+    if (span < 64) w &= (1ULL << span) - 1;
+    return static_cast<std::size_t>(std::popcount(w));
+  }
+  // Head word.
+  total += static_cast<std::size_t>(std::popcount(words_[first_word] >> (begin & 63)));
+  // Middle words.
+  for (std::size_t i = first_word + 1; i < last_word; ++i) {
+    total += static_cast<std::size_t>(std::popcount(words_[i]));
+  }
+  // Tail word.
+  std::uint64_t tail = words_[last_word];
+  const std::size_t tail_bits = ((end - 1) & 63) + 1;
+  if (tail_bits < 64) tail &= (1ULL << tail_bits) - 1;
+  total += static_cast<std::size_t>(std::popcount(tail));
+  return total;
+}
+
+void BitVector::check_same_size(const BitVector& a, const BitVector& b) {
+  if (a.num_bits_ != b.num_bits_) {
+    throw std::invalid_argument("BitVector size mismatch");
+  }
+}
+
+BitVector BitVector::operator&(const BitVector& other) const {
+  BitVector result = *this;
+  result &= other;
+  return result;
+}
+BitVector BitVector::operator|(const BitVector& other) const {
+  BitVector result = *this;
+  result |= other;
+  return result;
+}
+BitVector BitVector::operator^(const BitVector& other) const {
+  BitVector result = *this;
+  result ^= other;
+  return result;
+}
+BitVector BitVector::operator~() const {
+  BitVector result = *this;
+  for (auto& w : result.words_) w = ~w;
+  result.trim_tail();
+  return result;
+}
+BitVector& BitVector::operator&=(const BitVector& other) {
+  check_same_size(*this, other);
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= other.words_[i];
+  return *this;
+}
+BitVector& BitVector::operator|=(const BitVector& other) {
+  check_same_size(*this, other);
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
+  return *this;
+}
+BitVector& BitVector::operator^=(const BitVector& other) {
+  check_same_size(*this, other);
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] ^= other.words_[i];
+  return *this;
+}
+
+bool BitVector::operator==(const BitVector& other) const {
+  return num_bits_ == other.num_bits_ && words_ == other.words_;
+}
+
+BitVector BitVector::majority3(const BitVector& a, const BitVector& b,
+                               const BitVector& c) {
+  check_same_size(a, b);
+  check_same_size(b, c);
+  BitVector result(a.num_bits_);
+  for (std::size_t i = 0; i < result.words_.size(); ++i) {
+    const std::uint64_t x = a.words_[i];
+    const std::uint64_t y = b.words_[i];
+    const std::uint64_t z = c.words_[i];
+    result.words_[i] = (x & y) | (y & z) | (x & z);
+  }
+  return result;
+}
+
+BitVector BitVector::xor3(const BitVector& a, const BitVector& b,
+                          const BitVector& c) {
+  check_same_size(a, b);
+  check_same_size(b, c);
+  BitVector result(a.num_bits_);
+  for (std::size_t i = 0; i < result.words_.size(); ++i) {
+    result.words_[i] = a.words_[i] ^ b.words_[i] ^ c.words_[i];
+  }
+  return result;
+}
+
+BitVector BitVector::and3(const BitVector& a, const BitVector& b,
+                          const BitVector& c) {
+  check_same_size(a, b);
+  check_same_size(b, c);
+  BitVector result(a.num_bits_);
+  for (std::size_t i = 0; i < result.words_.size(); ++i) {
+    result.words_[i] = a.words_[i] & b.words_[i] & c.words_[i];
+  }
+  return result;
+}
+
+BitVector BitVector::or3(const BitVector& a, const BitVector& b,
+                         const BitVector& c) {
+  check_same_size(a, b);
+  check_same_size(b, c);
+  BitVector result(a.num_bits_);
+  for (std::size_t i = 0; i < result.words_.size(); ++i) {
+    result.words_[i] = a.words_[i] | b.words_[i] | c.words_[i];
+  }
+  return result;
+}
+
+}  // namespace pim::util

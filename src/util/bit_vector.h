@@ -1,0 +1,77 @@
+// Packed bit vector with word-level bulk operations and popcount.
+//
+// The PIM sub-array model stores rows as BitVectors and implements the bulk
+// bit-wise primitives (AND3/MAJ/OR3/XOR3) as word-parallel operations over
+// them, mirroring the bit-line parallelism of the hardware.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace pim::util {
+
+class BitVector {
+ public:
+  BitVector() = default;
+  explicit BitVector(std::size_t num_bits, bool value = false);
+
+  std::size_t size() const { return num_bits_; }
+  bool empty() const { return num_bits_ == 0; }
+
+  bool get(std::size_t i) const {
+    return (words_[i >> 6] >> (i & 63)) & 1ULL;
+  }
+  void set(std::size_t i, bool value) {
+    const std::uint64_t mask = 1ULL << (i & 63);
+    if (value) {
+      words_[i >> 6] |= mask;
+    } else {
+      words_[i >> 6] &= ~mask;
+    }
+  }
+
+  void resize(std::size_t num_bits, bool value = false);
+  void clear_all();
+  void set_all();
+
+  /// Number of set bits. Word-parallel (std::popcount per 64-bit word).
+  std::size_t popcount() const;
+
+  /// Number of set bits in the half-open bit range [begin, end).
+  std::size_t popcount_range(std::size_t begin, std::size_t end) const;
+
+  // Word-parallel bulk logic. Operands must have equal size.
+  BitVector operator&(const BitVector& other) const;
+  BitVector operator|(const BitVector& other) const;
+  BitVector operator^(const BitVector& other) const;
+  BitVector operator~() const;
+  BitVector& operator&=(const BitVector& other);
+  BitVector& operator|=(const BitVector& other);
+  BitVector& operator^=(const BitVector& other);
+
+  bool operator==(const BitVector& other) const;
+
+  /// Three-operand majority: out bit = 1 iff at least two of (a,b,c) are 1.
+  /// This is the carry of a full adder — exactly the MAJ3 in-memory primitive.
+  static BitVector majority3(const BitVector& a, const BitVector& b,
+                             const BitVector& c);
+  /// Three-operand parity (XOR3) — the sum of a full adder.
+  static BitVector xor3(const BitVector& a, const BitVector& b,
+                        const BitVector& c);
+  static BitVector and3(const BitVector& a, const BitVector& b,
+                        const BitVector& c);
+  static BitVector or3(const BitVector& a, const BitVector& b,
+                       const BitVector& c);
+
+  const std::vector<std::uint64_t>& words() const { return words_; }
+
+ private:
+  void trim_tail();
+  static void check_same_size(const BitVector& a, const BitVector& b);
+
+  std::size_t num_bits_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace pim::util

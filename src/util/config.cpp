@@ -1,0 +1,156 @@
+#include "src/util/config.h"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace pim::util {
+
+namespace {
+
+std::string trim(const std::string& s) {
+  const auto begin = s.find_first_not_of(" \t\r\n");
+  if (begin == std::string::npos) return "";
+  const auto end = s.find_last_not_of(" \t\r\n");
+  return s.substr(begin, end - begin + 1);
+}
+
+std::string strip_comment(const std::string& line) {
+  const auto hash = line.find('#');
+  const auto slashes = line.find("//");
+  auto cut = std::min(hash, slashes);
+  return cut == std::string::npos ? line : line.substr(0, cut);
+}
+
+}  // namespace
+
+Config Config::parse(const std::string& text) {
+  Config cfg;
+  std::istringstream in(text);
+  std::string raw;
+  std::size_t line_no = 0;
+  while (std::getline(in, raw)) {
+    ++line_no;
+    std::string line = trim(strip_comment(raw));
+    if (line.empty()) continue;
+    if (line.front() == '-') line = trim(line.substr(1));  // NVSim `-Key:` form
+    const auto colon = line.find(':');
+    if (colon == std::string::npos) {
+      throw std::runtime_error("Config: missing ':' on line " +
+                               std::to_string(line_no) + ": " + raw);
+    }
+    const std::string key = trim(line.substr(0, colon));
+    const std::string value = trim(line.substr(colon + 1));
+    if (key.empty()) {
+      throw std::runtime_error("Config: empty key on line " +
+                               std::to_string(line_no));
+    }
+    cfg.values_[key] = value;
+  }
+  return cfg;
+}
+
+Config Config::load_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("Config: cannot open " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return parse(buf.str());
+}
+
+void Config::set(const std::string& key, const std::string& value) {
+  values_[key] = value;
+}
+void Config::set_double(const std::string& key, double value) {
+  std::ostringstream out;
+  out.precision(17);
+  out << value;
+  values_[key] = out.str();
+}
+void Config::set_int(const std::string& key, std::int64_t value) {
+  values_[key] = std::to_string(value);
+}
+
+bool Config::contains(const std::string& key) const {
+  return values_.count(key) != 0;
+}
+
+std::string Config::get_string(const std::string& key) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) throw std::out_of_range("Config: missing key " + key);
+  return it->second;
+}
+
+double Config::get_double(const std::string& key) const {
+  const std::string v = get_string(key);
+  try {
+    std::size_t used = 0;
+    const double parsed = std::stod(v, &used);
+    if (!trim(v.substr(used)).empty()) {
+      throw std::invalid_argument("trailing junk");
+    }
+    return parsed;
+  } catch (const std::exception&) {
+    throw std::runtime_error("Config: key " + key + " is not a number: " + v);
+  }
+}
+
+std::int64_t Config::get_int(const std::string& key) const {
+  const std::string v = get_string(key);
+  try {
+    std::size_t used = 0;
+    const long long parsed = std::stoll(v, &used);
+    if (!trim(v.substr(used)).empty()) {
+      throw std::invalid_argument("trailing junk");
+    }
+    return parsed;
+  } catch (const std::exception&) {
+    throw std::runtime_error("Config: key " + key + " is not an integer: " + v);
+  }
+}
+
+bool Config::get_bool(const std::string& key) const {
+  std::string v = get_string(key);
+  std::transform(v.begin(), v.end(), v.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  if (v == "true" || v == "1" || v == "yes" || v == "on") return true;
+  if (v == "false" || v == "0" || v == "no" || v == "off") return false;
+  throw std::runtime_error("Config: key " + key + " is not a bool: " + v);
+}
+
+std::string Config::get_string_or(const std::string& key,
+                                  const std::string& dflt) const {
+  return contains(key) ? get_string(key) : dflt;
+}
+double Config::get_double_or(const std::string& key, double dflt) const {
+  return contains(key) ? get_double(key) : dflt;
+}
+std::int64_t Config::get_int_or(const std::string& key, std::int64_t dflt) const {
+  return contains(key) ? get_int(key) : dflt;
+}
+bool Config::get_bool_or(const std::string& key, bool dflt) const {
+  return contains(key) ? get_bool(key) : dflt;
+}
+
+Config Config::merged_with(const Config& other) const {
+  Config out = *this;
+  for (const auto& [k, v] : other.values_) out.values_[k] = v;
+  return out;
+}
+
+std::vector<std::string> Config::keys() const {
+  std::vector<std::string> out;
+  out.reserve(values_.size());
+  for (const auto& [k, v] : values_) out.push_back(k);
+  return out;
+}
+
+std::string Config::to_cfg_text() const {
+  std::ostringstream out;
+  for (const auto& [k, v] : values_) out << "-" << k << ": " << v << "\n";
+  return out.str();
+}
+
+}  // namespace pim::util

@@ -1,0 +1,58 @@
+// NVSim-style configuration handling.
+//
+// The paper's architectural simulator is built on NVSim, which is driven by
+// `.cfg` files of `-Key: value` lines describing the array organisation. We
+// reproduce that interface: a Config is an ordered key→string map parsed from
+// cfg text, with typed getters. The pim::TimingEnergyModel and the chip-level
+// accel models are constructed from Configs so array-organisation sweeps are
+// plain data, exactly as in NVSim.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace pim::util {
+
+class Config {
+ public:
+  Config() = default;
+
+  /// Parse cfg text: one `Key: value` (or NVSim's `-Key: value`) per line.
+  /// '#' and '//' start comments; blank lines ignored. Later keys override
+  /// earlier ones. Throws std::runtime_error on malformed lines.
+  static Config parse(const std::string& text);
+  /// Load and parse a cfg file from disk.
+  static Config load_file(const std::string& path);
+
+  void set(const std::string& key, const std::string& value);
+  void set_double(const std::string& key, double value);
+  void set_int(const std::string& key, std::int64_t value);
+
+  bool contains(const std::string& key) const;
+
+  /// Typed getters: the plain forms throw std::out_of_range when the key is
+  /// missing; the `_or` forms return the provided default.
+  std::string get_string(const std::string& key) const;
+  double get_double(const std::string& key) const;
+  std::int64_t get_int(const std::string& key) const;
+  bool get_bool(const std::string& key) const;
+
+  std::string get_string_or(const std::string& key, const std::string& dflt) const;
+  double get_double_or(const std::string& key, double dflt) const;
+  std::int64_t get_int_or(const std::string& key, std::int64_t dflt) const;
+  bool get_bool_or(const std::string& key, bool dflt) const;
+
+  /// Overlay: every key present in `other` overrides this config's value.
+  Config merged_with(const Config& other) const;
+
+  std::vector<std::string> keys() const;
+  std::string to_cfg_text() const;
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace pim::util

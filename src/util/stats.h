@@ -1,0 +1,60 @@
+// Lightweight statistics accumulators used by the Monte-Carlo device model
+// and the benchmark harnesses: running mean/stddev/min/max and fixed-width
+// histograms (for reproducing the V_sense distribution plots of Fig. 5b).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace pim::util {
+
+/// Welford running statistics: numerically stable single-pass mean/variance.
+class RunningStats {
+ public:
+  void add(double x);
+  void merge(const RunningStats& other);
+
+  std::size_t count() const { return count_; }
+  double mean() const { return mean_; }
+  double variance() const;        ///< Sample variance (n-1 denominator).
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Fixed-bin histogram over [lo, hi); out-of-range samples are clamped into
+/// the first/last bin so Monte-Carlo tails remain visible.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+  std::size_t bin_count(std::size_t bin) const { return counts_.at(bin); }
+  std::size_t bins() const { return counts_.size(); }
+  std::size_t total() const { return total_; }
+  double bin_lo(std::size_t bin) const;
+  double bin_hi(std::size_t bin) const;
+
+  /// Render as a textual bar plot (one line per bin), used by fig5b bench.
+  std::string render(std::size_t max_bar_width = 50) const;
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+/// Quantile of a sample set (linear interpolation). Sorts a copy.
+double quantile(std::vector<double> samples, double q);
+
+}  // namespace pim::util

@@ -1,0 +1,30 @@
+// Aligned text tables for the benchmark harnesses: every figure/table of the
+// paper is regenerated as rows printed through this formatter, so the bench
+// output reads like the paper's plots in tabular form.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace pim::util {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with the given precision; uses scientific
+  /// notation when |x| >= 1e5 or 0 < |x| < 1e-2 (matching the log-scale axes
+  /// of the paper's figures).
+  static std::string num(double x, int precision = 3);
+
+  std::string render() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace pim::util

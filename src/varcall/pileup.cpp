@@ -1,0 +1,76 @@
+#include "src/varcall/pileup.h"
+
+#include <stdexcept>
+
+namespace pim::varcall {
+
+Pileup::Pileup(std::uint64_t reference_length)
+    : counts_(reference_length, std::array<std::uint32_t, 4>{}) {}
+
+void Pileup::add(const AlignedRead& read) {
+  std::uint64_t ref = read.position;
+  std::size_t idx = 0;
+
+  const auto consume_match_run = [&](std::uint32_t length) {
+    for (std::uint32_t k = 0; k < length; ++k) {
+      if (idx >= read.bases.size()) {
+        throw std::invalid_argument("Pileup: CIGAR consumes past read end");
+      }
+      if (ref < counts_.size()) {
+        ++counts_[ref][static_cast<std::size_t>(read.bases[idx])];
+      }
+      ++ref;
+      ++idx;
+    }
+  };
+
+  if (read.cigar.empty()) {
+    consume_match_run(static_cast<std::uint32_t>(read.bases.size()));
+  } else {
+    for (const auto& entry : read.cigar) {
+      switch (entry.op) {
+        case align::CigarOp::kMatch:
+        case align::CigarOp::kMismatch:
+          consume_match_run(entry.length);
+          break;
+        case align::CigarOp::kInsertion:
+          // Read-only bases: no reference position to attribute them to.
+          idx += entry.length;
+          if (idx > read.bases.size()) {
+            throw std::invalid_argument(
+                "Pileup: CIGAR consumes past read end");
+          }
+          break;
+        case align::CigarOp::kDeletion:
+          ref += entry.length;  // reference gap: no base observed
+          break;
+      }
+    }
+  }
+  ++reads_;
+}
+
+std::uint32_t Pileup::depth(std::uint64_t pos) const {
+  std::uint32_t total = 0;
+  for (const auto c : counts_[pos]) total += c;
+  return total;
+}
+
+genome::Base Pileup::consensus(std::uint64_t pos) const {
+  std::size_t best = 0;
+  for (std::size_t b = 1; b < genome::kNumBases; ++b) {
+    if (counts_[pos][b] > counts_[pos][best]) best = b;
+  }
+  return static_cast<genome::Base>(best);
+}
+
+double Pileup::mean_depth() const {
+  if (counts_.empty()) return 0.0;
+  double total = 0.0;
+  for (std::uint64_t pos = 0; pos < counts_.size(); ++pos) {
+    total += depth(pos);
+  }
+  return total / static_cast<double>(counts_.size());
+}
+
+}  // namespace pim::varcall

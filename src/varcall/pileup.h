@@ -1,0 +1,55 @@
+// Per-position base pileup over aligned reads.
+//
+// The paper's introduction motivates alignment by what follows it —
+// "genetic variants detection" among others. This module is that next
+// step's substrate: it walks each aligned read's CIGAR and accumulates
+// per-reference-position base counts (M/X consume read+reference, I read
+// only, D reference only), from which the SNV caller derives variants.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "src/align/smith_waterman.h"
+#include "src/genome/alphabet.h"
+
+namespace pim::varcall {
+
+/// One aligned read in reference orientation. For substitution-only
+/// alignments the CIGAR may be omitted (treated as all-M).
+struct AlignedRead {
+  std::uint64_t position = 0;  ///< 0-based reference start.
+  std::vector<genome::Base> bases;
+  std::vector<align::CigarEntry> cigar;  ///< Empty => read.size() x M.
+};
+
+class Pileup {
+ public:
+  explicit Pileup(std::uint64_t reference_length);
+
+  /// Accumulate one read. Portions running past the reference end are
+  /// ignored; a CIGAR that consumes more read bases than provided throws.
+  void add(const AlignedRead& read);
+
+  std::uint64_t reference_length() const { return counts_.size(); }
+  std::uint64_t reads_added() const { return reads_; }
+
+  /// Observations of `base` at reference position `pos`.
+  std::uint32_t count(std::uint64_t pos, genome::Base base) const {
+    return counts_[pos][static_cast<std::size_t>(base)];
+  }
+  /// Total coverage at `pos`.
+  std::uint32_t depth(std::uint64_t pos) const;
+  /// The most-observed base at `pos` (ties break toward the smaller code);
+  /// meaningful only when depth > 0.
+  genome::Base consensus(std::uint64_t pos) const;
+
+  double mean_depth() const;
+
+ private:
+  std::vector<std::array<std::uint32_t, genome::kNumBases>> counts_;
+  std::uint64_t reads_ = 0;
+};
+
+}  // namespace pim::varcall

@@ -1,0 +1,117 @@
+#include "src/varcall/sam_reader.h"
+
+#include <istream>
+#include <sstream>
+#include <stdexcept>
+
+#include "src/align/sam_writer.h"
+
+namespace pim::varcall {
+
+std::vector<align::CigarEntry> parse_cigar(const std::string& cigar) {
+  std::vector<align::CigarEntry> out;
+  if (cigar == "*" || cigar.empty()) return out;
+  std::uint32_t run = 0;
+  bool have_digits = false;
+  for (const char c : cigar) {
+    if (c >= '0' && c <= '9') {
+      run = run * 10 + static_cast<std::uint32_t>(c - '0');
+      have_digits = true;
+      continue;
+    }
+    if (!have_digits || run == 0) {
+      throw std::runtime_error("SAM: malformed CIGAR: " + cigar);
+    }
+    switch (c) {
+      case 'M':
+      case 'X':
+      case '=':
+        out.push_back({align::CigarOp::kMatch, run});
+        break;
+      case 'I':
+      case 'S':  // soft clip: consumes read bases, no reference — same
+                 // pileup behaviour as an insertion
+        out.push_back({align::CigarOp::kInsertion, run});
+        break;
+      case 'D':
+      case 'N':  // reference skip
+        out.push_back({align::CigarOp::kDeletion, run});
+        break;
+      case 'H':
+      case 'P':
+        break;  // consume neither
+      default:
+        throw std::runtime_error(std::string("SAM: unknown CIGAR op '") + c +
+                                 "' in " + cigar);
+    }
+    run = 0;
+    have_digits = false;
+  }
+  if (have_digits) {
+    throw std::runtime_error("SAM: CIGAR ends mid-run: " + cigar);
+  }
+  return out;
+}
+
+bool parse_sam_record(const std::string& line, const std::string& contig_name,
+                      AlignedRead& read, SamReadStats& stats) {
+  ++stats.records;
+  std::istringstream fields(line);
+  std::string qname, flag_s, rname, pos_s, mapq, cigar_s, rnext, pnext, tlen,
+      seq;
+  if (!(fields >> qname >> flag_s >> rname >> pos_s >> mapq >> cigar_s >>
+        rnext >> pnext >> tlen >> seq)) {
+    throw std::runtime_error("SAM: record with missing fields: " + line);
+  }
+  std::uint32_t flag = 0;
+  std::uint64_t pos = 0;
+  try {
+    flag = static_cast<std::uint32_t>(std::stoul(flag_s));
+    pos = std::stoull(pos_s);
+  } catch (const std::exception&) {
+    throw std::runtime_error("SAM: non-numeric FLAG/POS: " + line);
+  }
+  if (flag & align::SamRecord::kFlagUnmapped) {
+    ++stats.unmapped;
+    return false;
+  }
+  if (flag & align::SamRecord::kFlagSecondary) {
+    ++stats.secondary;
+    return false;
+  }
+  if (rname != contig_name) {
+    ++stats.other_reference;
+    return false;
+  }
+  if (pos == 0 || seq == "*") {
+    throw std::runtime_error("SAM: mapped record without POS/SEQ: " + line);
+  }
+  read.position = pos - 1;  // SAM is 1-based
+  read.cigar = parse_cigar(cigar_s);
+  read.bases.clear();
+  read.bases.reserve(seq.size());
+  for (const char c : seq) {
+    const auto b = genome::base_from_char(c);
+    // N and friends contribute no evidence: encode as 'A' but the caller's
+    // thresholds absorb the rare miscount (same policy as FASTQ input).
+    read.bases.push_back(b.value_or(genome::Base::A));
+  }
+  ++stats.used;
+  return true;
+}
+
+SamReadStats pileup_from_sam(std::istream& in, const std::string& contig_name,
+                             Pileup& pileup) {
+  SamReadStats stats;
+  std::string line;
+  AlignedRead read;
+  while (std::getline(in, line)) {
+    if (line.empty() || line.front() == '@') continue;
+    if (parse_sam_record(line, contig_name, read, stats)) {
+      pileup.add(read);
+    }
+  }
+  return stats;
+}
+
+}  // namespace pim::varcall

@@ -1,0 +1,41 @@
+// SAM input for the variant-calling pipeline: parse alignment records
+// (written by this library's SamWriter or any SAM 1.6 producer) back into
+// pileup-ready AlignedReads, so `align -> out.sam` and `sam -> calls.vcf`
+// compose as separate tools.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "src/varcall/pileup.h"
+
+namespace pim::varcall {
+
+struct SamReadStats {
+  std::uint64_t records = 0;
+  std::uint64_t used = 0;        ///< Mapped primary records piled up.
+  std::uint64_t unmapped = 0;
+  std::uint64_t secondary = 0;
+  std::uint64_t other_reference = 0;  ///< RNAME != the requested contig.
+};
+
+/// Parse one SAM body line into an AlignedRead. Returns false (without
+/// touching `read`) for records that must not pile up: unmapped (0x4),
+/// secondary (0x100), or mapped to a different reference. Throws
+/// std::runtime_error on malformed lines (missing fields, bad CIGAR,
+/// non-numeric POS/FLAG).
+bool parse_sam_record(const std::string& line, const std::string& contig_name,
+                      AlignedRead& read, SamReadStats& stats);
+
+/// Stream a whole SAM file ('@' headers skipped) into a pileup restricted
+/// to `contig_name`. Returns per-class record counts.
+SamReadStats pileup_from_sam(std::istream& in, const std::string& contig_name,
+                             Pileup& pileup);
+
+/// Parse a CIGAR string ("42M1D7M"; X/= treated as M, S skips read bases,
+/// H ignored). Throws std::runtime_error on junk.
+std::vector<align::CigarEntry> parse_cigar(const std::string& cigar);
+
+}  // namespace pim::varcall

@@ -1,0 +1,60 @@
+#include "src/varcall/snv_caller.h"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+
+namespace pim::varcall {
+
+std::vector<SnvCall> call_snvs(const Pileup& pileup,
+                               const genome::PackedSequence& reference,
+                               const SnvCallerOptions& options) {
+  if (pileup.reference_length() != reference.size()) {
+    throw std::invalid_argument("call_snvs: pileup/reference length mismatch");
+  }
+  std::vector<SnvCall> calls;
+  for (std::uint64_t pos = 0; pos < reference.size(); ++pos) {
+    const std::uint32_t depth = pileup.depth(pos);
+    if (depth < options.min_depth) continue;
+    const genome::Base ref_base = reference.at(pos);
+
+    // Strongest non-reference allele.
+    genome::Base alt = ref_base;
+    std::uint32_t alt_count = 0;
+    for (const auto b : genome::kAllBases) {
+      if (b == ref_base) continue;
+      const std::uint32_t c = pileup.count(pos, b);
+      if (c > alt_count) {
+        alt_count = c;
+        alt = b;
+      }
+    }
+    if (alt_count < options.min_alt_count) continue;
+    const double fraction = static_cast<double>(alt_count) / depth;
+    if (fraction < options.min_alt_fraction) continue;
+    calls.push_back(SnvCall{pos, ref_base, alt, depth, alt_count, fraction});
+  }
+  return calls;
+}
+
+SnvAccuracy score_calls(
+    const std::vector<SnvCall>& calls,
+    const std::vector<std::pair<std::uint64_t, genome::Base>>& truth) {
+  std::map<std::uint64_t, genome::Base> truth_map(truth.begin(), truth.end());
+  SnvAccuracy accuracy;
+  std::size_t matched = 0;
+  for (const auto& call : calls) {
+    const auto it = truth_map.find(call.position);
+    if (it != truth_map.end() && it->second == call.alt_base) {
+      ++accuracy.true_positives;
+      ++matched;
+      truth_map.erase(it);  // count each truth site once
+    } else {
+      ++accuracy.false_positives;
+    }
+  }
+  accuracy.false_negatives = truth.size() - matched;
+  return accuracy;
+}
+
+}  // namespace pim::varcall

@@ -1,0 +1,59 @@
+// Single-nucleotide-variant calling from a pileup.
+//
+// A deliberately simple frequency/depth caller (the classic pre-GATK
+// heuristic): a site is called when coverage is adequate, the non-reference
+// allele is observed often enough in absolute and relative terms, and
+// (optionally) the implied error probability under the sequencing error
+// rate is negligible. It closes the loop the paper's introduction draws
+// from alignment to "genetic variants detection".
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/genome/packed_sequence.h"
+#include "src/varcall/pileup.h"
+
+namespace pim::varcall {
+
+struct SnvCall {
+  std::uint64_t position = 0;
+  genome::Base ref_base = genome::Base::A;
+  genome::Base alt_base = genome::Base::A;
+  std::uint32_t depth = 0;
+  std::uint32_t alt_count = 0;
+  double alt_fraction = 0.0;
+};
+
+struct SnvCallerOptions {
+  std::uint32_t min_depth = 8;
+  std::uint32_t min_alt_count = 4;
+  double min_alt_fraction = 0.5;  ///< Haploid donor: expect ~1.0 at real SNVs.
+};
+
+/// Scan every reference position and emit calls sorted by position.
+/// `reference.size()` must equal the pileup's reference length.
+std::vector<SnvCall> call_snvs(const Pileup& pileup,
+                               const genome::PackedSequence& reference,
+                               const SnvCallerOptions& options = {});
+
+/// Precision/recall of calls against a truth set of (position, alt) pairs.
+struct SnvAccuracy {
+  std::size_t true_positives = 0;
+  std::size_t false_positives = 0;
+  std::size_t false_negatives = 0;
+  double precision() const {
+    const auto denom = true_positives + false_positives;
+    return denom ? static_cast<double>(true_positives) / denom : 0.0;
+  }
+  double recall() const {
+    const auto denom = true_positives + false_negatives;
+    return denom ? static_cast<double>(true_positives) / denom : 0.0;
+  }
+};
+
+SnvAccuracy score_calls(
+    const std::vector<SnvCall>& calls,
+    const std::vector<std::pair<std::uint64_t, genome::Base>>& truth);
+
+}  // namespace pim::varcall

@@ -1,0 +1,64 @@
+#include "src/varcall/vcf_writer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace pim::varcall {
+
+void write_vcf_header(std::ostream& out, const std::string& contig_name,
+                      std::uint64_t contig_length, const std::string& source) {
+  out << "##fileformat=VCFv4.2\n";
+  out << "##source=" << source << "\n";
+  out << "##contig=<ID=" << contig_name << ",length=" << contig_length
+      << ">\n";
+  out << "##INFO=<ID=DP,Number=1,Type=Integer,Description=\"Total depth\">\n";
+  out << "##INFO=<ID=AD,Number=1,Type=Integer,Description=\"Alt depth\">\n";
+  out << "##INFO=<ID=AF,Number=1,Type=Float,Description=\"Alt fraction\">\n";
+  out << "#CHROM\tPOS\tID\tREF\tALT\tQUAL\tFILTER\tINFO\n";
+}
+
+void write_vcf_records(std::ostream& out, const std::string& contig_name,
+                       const std::vector<SnvCall>& calls) {
+  for (const auto& call : calls) {
+    // Phred-style confidence from the binomial improbability of the alt
+    // pile arising from 0.2%-rate errors; clamped to a sane ceiling.
+    const double qual =
+        std::min(99.0, static_cast<double>(call.alt_count) * 10.0 *
+                           call.alt_fraction);
+    out << contig_name << '\t' << (call.position + 1) << "\t.\t"
+        << genome::to_char(call.ref_base) << '\t'
+        << genome::to_char(call.alt_base) << '\t'
+        << static_cast<int>(std::lround(qual)) << "\tPASS\t"
+        << "DP=" << call.depth << ";AD=" << call.alt_count << ";AF=";
+    std::ostringstream af;
+    af.precision(3);
+    af << call.alt_fraction;
+    out << af.str() << '\n';
+  }
+}
+
+std::vector<VcfTriple> parse_vcf_triples(std::istream& in) {
+  std::vector<VcfTriple> out;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line.front() == '#') continue;
+    std::istringstream fields(line);
+    std::string chrom, pos, id, ref, alt;
+    if (!(fields >> chrom >> pos >> id >> ref >> alt) || ref.size() != 1 ||
+        alt.size() != 1) {
+      throw std::runtime_error("VCF: malformed record: " + line);
+    }
+    VcfTriple triple;
+    triple.pos = std::stoull(pos);
+    triple.ref = ref[0];
+    triple.alt = alt[0];
+    out.push_back(triple);
+  }
+  return out;
+}
+
+}  // namespace pim::varcall

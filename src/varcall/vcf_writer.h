@@ -1,0 +1,36 @@
+// Minimal VCF 4.2 output for SNV calls — the interchange format downstream
+// of variant detection, completing the pipeline the paper's introduction
+// sketches (alignment -> variants -> diagnostics).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "src/varcall/snv_caller.h"
+
+namespace pim::varcall {
+
+/// Write the VCF header (##fileformat, contig, INFO/FORMAT definitions).
+void write_vcf_header(std::ostream& out, const std::string& contig_name,
+                      std::uint64_t contig_length,
+                      const std::string& source = "pim-aligner");
+
+/// Write one record per call: 1-based POS, DP/AD/AF in INFO, a simple
+/// QUAL from the alt fraction and depth.
+void write_vcf_records(std::ostream& out, const std::string& contig_name,
+                       const std::vector<SnvCall>& calls);
+
+/// Parse-back helper for tests: extract (1-based pos, ref, alt) triples
+/// from VCF text, skipping headers. Throws std::runtime_error on a
+/// malformed record line.
+struct VcfTriple {
+  std::uint64_t pos = 0;  ///< 1-based, as in the file.
+  char ref = 'N';
+  char alt = 'N';
+  bool operator==(const VcfTriple&) const = default;
+};
+std::vector<VcfTriple> parse_vcf_triples(std::istream& in);
+
+}  // namespace pim::varcall

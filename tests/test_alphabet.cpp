@@ -1,0 +1,76 @@
+#include "src/genome/alphabet.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace pim::genome {
+namespace {
+
+TEST(Alphabet, LexicographicOrder) {
+  EXPECT_LT(static_cast<int>(Base::A), static_cast<int>(Base::C));
+  EXPECT_LT(static_cast<int>(Base::C), static_cast<int>(Base::G));
+  EXPECT_LT(static_cast<int>(Base::G), static_cast<int>(Base::T));
+}
+
+TEST(Alphabet, HardwareCodesMatchFig6a) {
+  // Paper Fig. 6a: T=00, G=01, A=10, C=11.
+  EXPECT_EQ(hardware_code(Base::T), 0b00);
+  EXPECT_EQ(hardware_code(Base::G), 0b01);
+  EXPECT_EQ(hardware_code(Base::A), 0b10);
+  EXPECT_EQ(hardware_code(Base::C), 0b11);
+}
+
+TEST(Alphabet, HardwareCodeRoundTrip) {
+  for (const auto b : kAllBases) {
+    EXPECT_EQ(base_from_hardware_code(hardware_code(b)), b);
+  }
+}
+
+TEST(Alphabet, CharConversions) {
+  EXPECT_EQ(to_char(Base::A), 'A');
+  EXPECT_EQ(base_from_char('a'), Base::A);
+  EXPECT_EQ(base_from_char('G'), Base::G);
+  EXPECT_EQ(base_from_char('t'), Base::T);
+  EXPECT_FALSE(base_from_char('N').has_value());
+  EXPECT_FALSE(base_from_char('$').has_value());
+  EXPECT_FALSE(base_from_char('x').has_value());
+}
+
+TEST(Alphabet, ComplementPairs) {
+  // A-T and C-G per the complementary base pairing rule.
+  EXPECT_EQ(complement(Base::A), Base::T);
+  EXPECT_EQ(complement(Base::T), Base::A);
+  EXPECT_EQ(complement(Base::C), Base::G);
+  EXPECT_EQ(complement(Base::G), Base::C);
+  for (const auto b : kAllBases) EXPECT_EQ(complement(complement(b)), b);
+}
+
+TEST(Alphabet, EncodeDecodeRoundTrip) {
+  const std::string text = "ACGTACGTTTGGCCAA";
+  EXPECT_EQ(decode(encode(text)), text);
+}
+
+TEST(Alphabet, EncodeLowercase) {
+  EXPECT_EQ(decode(encode("acgt")), "ACGT");
+}
+
+TEST(Alphabet, EncodeRejectsNonAcgt) {
+  EXPECT_THROW(encode("ACGN"), std::invalid_argument);
+  EXPECT_THROW(encode("ACG "), std::invalid_argument);
+}
+
+TEST(Alphabet, ReverseComplement) {
+  // revcomp(CTA) = TAG.
+  EXPECT_EQ(decode(reverse_complement(encode("CTA"))), "TAG");
+  EXPECT_EQ(decode(reverse_complement(encode("A"))), "T");
+  EXPECT_TRUE(reverse_complement({}).empty());
+}
+
+TEST(Alphabet, ReverseComplementIsInvolution) {
+  const auto seq = encode("GATTACAGGGCCCTTT");
+  EXPECT_EQ(reverse_complement(reverse_complement(seq)), seq);
+}
+
+}  // namespace
+}  // namespace pim::genome

@@ -1,0 +1,121 @@
+#include "src/align/bi_index.h"
+
+#include <gtest/gtest.h>
+
+#include "src/align/inexact_search.h"
+#include "src/genome/synthetic_genome.h"
+#include "src/util/rng.h"
+
+namespace pim::align {
+namespace {
+
+using genome::Base;
+using genome::PackedSequence;
+
+struct Fixture {
+  PackedSequence text;
+  BiFmIndex bi;
+  explicit Fixture(std::size_t length = 4000, std::uint64_t seed = 3) {
+    genome::SyntheticGenomeSpec spec;
+    spec.length = length;
+    spec.seed = seed;
+    spec.repeat_fraction = 0.4;
+    text = genome::generate_reference(spec);
+    bi = BiFmIndex::build(text, {.bucket_width = 64});
+  }
+};
+
+TEST(BiFmIndex, ReverseIndexIsOverReversedText) {
+  const Fixture f(500);
+  EXPECT_EQ(f.bi.forward().reference_size(), f.bi.reverse().reference_size());
+  // A pattern occurring forward must occur reversed in the reverse index.
+  const auto chunk = f.text.slice(100, 130);
+  std::vector<Base> reversed_chunk(chunk.rbegin(), chunk.rend());
+  index::SaInterval fwd = f.bi.forward().whole_interval();
+  for (auto it = chunk.rbegin(); it != chunk.rend(); ++it) {
+    fwd = f.bi.forward().extend(fwd, *it);
+  }
+  index::SaInterval rev = f.bi.reverse().whole_interval();
+  for (auto it = reversed_chunk.rbegin(); it != reversed_chunk.rend(); ++it) {
+    rev = f.bi.reverse().extend(rev, *it);
+  }
+  EXPECT_TRUE(fwd.valid());
+  EXPECT_TRUE(rev.valid());
+  EXPECT_EQ(fwd.count(), rev.count());  // same occurrence multiset size
+}
+
+// The central property: the O(m) reverse-index D equals the O(m^2) restart
+// D for planted, mutated and random reads.
+class BiDEquivalence : public ::testing::TestWithParam<int> {};
+
+TEST_P(BiDEquivalence, DArraysIdentical) {
+  const Fixture f(3000, static_cast<std::uint64_t>(GetParam()) + 10);
+  util::Xoshiro256 rng(static_cast<std::uint64_t>(GetParam()) + 99);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<Base> read;
+    const std::size_t len = 15 + rng.bounded(40);
+    if (trial % 3 == 0) {
+      for (std::size_t i = 0; i < len; ++i) {
+        read.push_back(static_cast<Base>(rng.bounded(4)));
+      }
+    } else {
+      const std::size_t start = rng.bounded(f.text.size() - len);
+      read = f.text.slice(start, start + len);
+      for (int m = 0; m < trial % 4; ++m) {
+        read[rng.bounded(read.size())] = static_cast<Base>(rng.bounded(4));
+      }
+    }
+    EXPECT_EQ(f.bi.compute_lower_bound_d(read),
+              compute_lower_bound_d(f.bi.forward(), read))
+        << "trial " << trial;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BiDEquivalence, ::testing::Range(0, 8));
+
+TEST(BiFmIndex, BidirectionalSearchSameResults) {
+  const Fixture f;
+  util::Xoshiro256 rng(7);
+  InexactOptions opt;
+  opt.max_diffs = 2;
+  for (int trial = 0; trial < 10; ++trial) {
+    const std::size_t start = rng.bounded(f.text.size() - 30);
+    auto read = f.text.slice(start, start + 30);
+    read[7] = static_cast<Base>(rng.bounded(4));
+    read[21] = static_cast<Base>(rng.bounded(4));
+    const auto classic = inexact_search(f.bi.forward(), read, opt);
+    const auto bidir = inexact_search_bidirectional(f.bi, read, opt);
+    ASSERT_EQ(bidir.hits.size(), classic.hits.size());
+    for (std::size_t h = 0; h < classic.hits.size(); ++h) {
+      EXPECT_EQ(bidir.hits[h].interval, classic.hits[h].interval);
+      EXPECT_EQ(bidir.hits[h].diffs, classic.hits[h].diffs);
+    }
+    // Same pruning quality => same (or fewer, never more) explored states.
+    EXPECT_EQ(bidir.states_explored, classic.states_explored);
+  }
+}
+
+TEST(BiFmIndex, EmptyReadHandled) {
+  const Fixture f(300);
+  const auto result = inexact_search_bidirectional(f.bi, {}, {});
+  ASSERT_EQ(result.hits.size(), 1U);
+  EXPECT_EQ(result.hits[0].interval, f.bi.forward().whole_interval());
+  EXPECT_TRUE(f.bi.compute_lower_bound_d({}).empty());
+}
+
+TEST(BiFmIndex, DForAbsentChunksCounts) {
+  // A read made of two chunks absent from the reference gets D rising to 2.
+  const Fixture f(2000, 5);
+  util::Xoshiro256 rng(17);
+  std::vector<Base> read;
+  for (int i = 0; i < 60; ++i) read.push_back(static_cast<Base>(rng.bounded(4)));
+  const auto d = f.bi.compute_lower_bound_d(read);
+  EXPECT_GE(d.back(), 1U);  // 60 random bases almost surely miss
+  for (std::size_t i = 1; i < d.size(); ++i) {
+    EXPECT_GE(d[i], d[i - 1]);
+    EXPECT_LE(d[i] - d[i - 1], 1U);
+  }
+}
+
+}  // namespace
+}  // namespace pim::align

@@ -1,0 +1,191 @@
+#include "src/util/bit_vector.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "src/util/rng.h"
+
+namespace pim::util {
+namespace {
+
+TEST(BitVector, DefaultIsEmpty) {
+  BitVector v;
+  EXPECT_EQ(v.size(), 0U);
+  EXPECT_TRUE(v.empty());
+  EXPECT_EQ(v.popcount(), 0U);
+}
+
+TEST(BitVector, ConstructAllZero) {
+  BitVector v(130);
+  EXPECT_EQ(v.size(), 130U);
+  EXPECT_EQ(v.popcount(), 0U);
+  for (std::size_t i = 0; i < v.size(); ++i) EXPECT_FALSE(v.get(i));
+}
+
+TEST(BitVector, ConstructAllOne) {
+  BitVector v(130, true);
+  EXPECT_EQ(v.popcount(), 130U);
+  for (std::size_t i = 0; i < v.size(); ++i) EXPECT_TRUE(v.get(i));
+}
+
+TEST(BitVector, SetAndGet) {
+  BitVector v(100);
+  v.set(0, true);
+  v.set(63, true);
+  v.set(64, true);
+  v.set(99, true);
+  EXPECT_TRUE(v.get(0));
+  EXPECT_TRUE(v.get(63));
+  EXPECT_TRUE(v.get(64));
+  EXPECT_TRUE(v.get(99));
+  EXPECT_FALSE(v.get(1));
+  EXPECT_EQ(v.popcount(), 4U);
+  v.set(63, false);
+  EXPECT_FALSE(v.get(63));
+  EXPECT_EQ(v.popcount(), 3U);
+}
+
+TEST(BitVector, ResizeGrowZero) {
+  BitVector v(10, true);
+  v.resize(100);
+  EXPECT_EQ(v.popcount(), 10U);
+  EXPECT_FALSE(v.get(50));
+}
+
+TEST(BitVector, ResizeGrowOne) {
+  BitVector v(10);
+  v.resize(100, true);
+  EXPECT_EQ(v.popcount(), 90U);
+  EXPECT_FALSE(v.get(5));
+  EXPECT_TRUE(v.get(10));
+  EXPECT_TRUE(v.get(99));
+}
+
+TEST(BitVector, ResizeShrinkClearsTail) {
+  BitVector v(100, true);
+  v.resize(65);
+  EXPECT_EQ(v.popcount(), 65U);
+  v.resize(100);
+  EXPECT_EQ(v.popcount(), 65U);  // regrown bits are zero
+}
+
+TEST(BitVector, SetAllClearAll) {
+  BitVector v(77);
+  v.set_all();
+  EXPECT_EQ(v.popcount(), 77U);
+  v.clear_all();
+  EXPECT_EQ(v.popcount(), 0U);
+}
+
+TEST(BitVector, PopcountRangeBasic) {
+  BitVector v(256);
+  for (std::size_t i = 0; i < 256; i += 2) v.set(i, true);
+  EXPECT_EQ(v.popcount_range(0, 256), 128U);
+  EXPECT_EQ(v.popcount_range(0, 1), 1U);
+  EXPECT_EQ(v.popcount_range(1, 2), 0U);
+  EXPECT_EQ(v.popcount_range(0, 0), 0U);
+  EXPECT_EQ(v.popcount_range(10, 10), 0U);
+  EXPECT_EQ(v.popcount_range(0, 64), 32U);
+  EXPECT_EQ(v.popcount_range(63, 65), 1U);  // straddles a word boundary
+}
+
+TEST(BitVector, PopcountRangeMatchesNaive) {
+  Xoshiro256 rng(7);
+  BitVector v(500);
+  for (std::size_t i = 0; i < v.size(); ++i) v.set(i, rng.bernoulli(0.3));
+  for (int trial = 0; trial < 200; ++trial) {
+    std::size_t a = rng.bounded(501);
+    std::size_t b = rng.bounded(501);
+    if (a > b) std::swap(a, b);
+    std::size_t naive = 0;
+    for (std::size_t i = a; i < b; ++i) naive += v.get(i) ? 1 : 0;
+    EXPECT_EQ(v.popcount_range(a, b), naive) << "range [" << a << "," << b << ")";
+  }
+}
+
+TEST(BitVector, PopcountRangePastEndThrows) {
+  BitVector v(10);
+  EXPECT_THROW(v.popcount_range(0, 11), std::out_of_range);
+}
+
+TEST(BitVector, BitwiseOperators) {
+  BitVector a(70), b(70);
+  a.set(0, true);
+  a.set(69, true);
+  b.set(0, true);
+  b.set(35, true);
+  const BitVector both = a & b;
+  EXPECT_EQ(both.popcount(), 1U);
+  EXPECT_TRUE(both.get(0));
+  const BitVector either = a | b;
+  EXPECT_EQ(either.popcount(), 3U);
+  const BitVector exclusive = a ^ b;
+  EXPECT_EQ(exclusive.popcount(), 2U);
+  EXPECT_TRUE(exclusive.get(35));
+  EXPECT_TRUE(exclusive.get(69));
+}
+
+TEST(BitVector, ComplementRespectsSize) {
+  BitVector v(70);
+  v.set(3, true);
+  const BitVector inv = ~v;
+  EXPECT_EQ(inv.popcount(), 69U);
+  EXPECT_FALSE(inv.get(3));
+  // Tail bits beyond size must stay zero so popcount stays consistent.
+  EXPECT_EQ((~inv).popcount(), 1U);
+}
+
+TEST(BitVector, SizeMismatchThrows) {
+  BitVector a(10), b(11);
+  EXPECT_THROW(a & b, std::invalid_argument);
+  EXPECT_THROW(a ^ b, std::invalid_argument);
+  EXPECT_THROW(BitVector::majority3(a, a, b), std::invalid_argument);
+}
+
+TEST(BitVector, Equality) {
+  BitVector a(40), b(40);
+  EXPECT_TRUE(a == b);
+  a.set(12, true);
+  EXPECT_FALSE(a == b);
+  b.set(12, true);
+  EXPECT_TRUE(a == b);
+}
+
+// Property sweep: MAJ3/XOR3/AND3/OR3 against per-bit truth over random data.
+TEST(BitVector, ThreeOperandOpsMatchTruthTable) {
+  Xoshiro256 rng(13);
+  BitVector a(300), b(300), c(300);
+  for (std::size_t i = 0; i < 300; ++i) {
+    a.set(i, rng.bernoulli(0.5));
+    b.set(i, rng.bernoulli(0.5));
+    c.set(i, rng.bernoulli(0.5));
+  }
+  const BitVector maj = BitVector::majority3(a, b, c);
+  const BitVector xor3 = BitVector::xor3(a, b, c);
+  const BitVector and3 = BitVector::and3(a, b, c);
+  const BitVector or3 = BitVector::or3(a, b, c);
+  for (std::size_t i = 0; i < 300; ++i) {
+    const int ones = (a.get(i) ? 1 : 0) + (b.get(i) ? 1 : 0) + (c.get(i) ? 1 : 0);
+    EXPECT_EQ(maj.get(i), ones >= 2) << i;
+    EXPECT_EQ(xor3.get(i), ones % 2 == 1) << i;
+    EXPECT_EQ(and3.get(i), ones == 3) << i;
+    EXPECT_EQ(or3.get(i), ones >= 1) << i;
+  }
+}
+
+// Full-adder identity: for any bit triple, (MAJ, XOR3) == carry/sum.
+TEST(BitVector, FullAdderIdentity) {
+  for (int mask = 0; mask < 8; ++mask) {
+    BitVector a(1), b(1), c(1);
+    a.set(0, mask & 1);
+    b.set(0, mask & 2);
+    c.set(0, mask & 4);
+    const int sum_total = (mask & 1) + ((mask >> 1) & 1) + ((mask >> 2) & 1);
+    EXPECT_EQ(BitVector::majority3(a, b, c).get(0), (sum_total >> 1) & 1);
+    EXPECT_EQ(BitVector::xor3(a, b, c).get(0), sum_total & 1);
+  }
+}
+
+}  // namespace
+}  // namespace pim::util

@@ -1,0 +1,91 @@
+#include "src/index/bwt.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <stdexcept>
+#include <string>
+
+#include "src/genome/synthetic_genome.h"
+
+namespace pim::index {
+namespace {
+
+using genome::PackedSequence;
+
+Bwt bwt_of(const PackedSequence& text) {
+  return build_bwt(text, build_suffix_array(text));
+}
+
+TEST(Bwt, PaperWorkedExample) {
+  // Fig. 1: BWT(TGCTA$) = ATGTC$ with '$' in the last row.
+  const PackedSequence text("TGCTA");
+  const Bwt bwt = bwt_of(text);
+  ASSERT_EQ(bwt.size(), 6U);
+  EXPECT_EQ(bwt.primary, 5U);
+  std::string rendered;
+  for (std::size_t i = 0; i < bwt.size(); ++i) {
+    rendered.push_back(bwt.is_sentinel(i) ? '$' : genome::to_char(bwt.at(i)));
+  }
+  EXPECT_EQ(rendered, "ATGTC$");
+}
+
+TEST(Bwt, SentinelAccessThrows) {
+  const Bwt bwt = bwt_of(PackedSequence("TGCTA"));
+  EXPECT_THROW(bwt.at(bwt.primary), std::logic_error);
+  EXPECT_NO_THROW(bwt.at(0));
+}
+
+TEST(Bwt, SizeMismatchThrows) {
+  const PackedSequence text("ACGT");
+  SuffixArray sa = build_suffix_array(text);
+  sa.pop_back();
+  EXPECT_THROW(build_bwt(text, sa), std::invalid_argument);
+}
+
+TEST(Bwt, InvertRecoversOriginalFixed) {
+  for (const std::string s :
+       {"A", "AC", "TGCTA", "GATTACA", "AAAAAA", "ACGTACGTACGT",
+        "TTTTTTTTGGGGGGGG"}) {
+    const PackedSequence text(s);
+    const Bwt bwt = bwt_of(text);
+    EXPECT_EQ(invert_bwt(bwt).to_string(), s) << s;
+  }
+}
+
+// Property: BWT is reversible on random references (the defining property).
+class BwtRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(BwtRoundTrip, InvertRecoversRandomText) {
+  genome::SyntheticGenomeSpec spec;
+  spec.length = 50 + static_cast<std::size_t>(GetParam()) * 137;
+  spec.seed = static_cast<std::uint64_t>(GetParam()) + 1;
+  spec.repeat_fraction = GetParam() % 2 ? 0.5 : 0.0;
+  spec.repeat_unit_length = 23;
+  const PackedSequence text = genome::generate_reference(spec);
+  const Bwt bwt = bwt_of(text);
+  EXPECT_TRUE(invert_bwt(bwt) == text);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomTexts, BwtRoundTrip, ::testing::Range(0, 20));
+
+TEST(Bwt, CharacterMultisetPreserved) {
+  genome::SyntheticGenomeSpec spec;
+  spec.length = 5000;
+  spec.seed = 77;
+  const PackedSequence text = genome::generate_reference(spec);
+  const Bwt bwt = bwt_of(text);
+  std::array<std::size_t, 4> text_counts{}, bwt_counts{};
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    ++text_counts[static_cast<std::size_t>(text.at(i))];
+  }
+  for (std::size_t i = 0; i < bwt.size(); ++i) {
+    if (!bwt.is_sentinel(i)) {
+      ++bwt_counts[static_cast<std::size_t>(bwt.at(i))];
+    }
+  }
+  EXPECT_EQ(text_counts, bwt_counts);
+}
+
+}  // namespace
+}  // namespace pim::index

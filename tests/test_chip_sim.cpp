@@ -1,0 +1,112 @@
+#include "src/accel/chip_sim.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "src/accel/contention.h"
+
+namespace pim::accel {
+namespace {
+
+TEST(ChipSim, BadConfigThrows) {
+  ChipSimConfig cfg;
+  cfg.groups = 0;
+  EXPECT_THROW(simulate_chip(cfg), std::invalid_argument);
+  cfg.groups = 4;
+  cfg.service_ns = 0.0;
+  EXPECT_THROW(simulate_chip(cfg), std::invalid_argument);
+}
+
+TEST(ChipSim, DeterministicInSeed) {
+  ChipSimConfig cfg;
+  cfg.reads_to_complete = 200;
+  const auto a = simulate_chip(cfg);
+  const auto b = simulate_chip(cfg);
+  EXPECT_DOUBLE_EQ(a.wall_ns, b.wall_ns);
+  EXPECT_DOUBLE_EQ(a.p95_latency_ns, b.p95_latency_ns);
+}
+
+TEST(ChipSim, LittlesLawHolds) {
+  ChipSimConfig cfg;
+  cfg.groups = 32;
+  cfg.concurrent_reads = 64;
+  cfg.lfm_per_read = 100;
+  cfg.reads_to_complete = 3000;
+  const auto r = simulate_chip(cfg);
+  EXPECT_LT(r.littles_law_residual, 0.05);
+}
+
+TEST(ChipSim, UtilizationTracksOccupancyLaw) {
+  // At low load (C << G) the dynamic utilization approaches the static
+  // occupancy C/G; the balls-in-bins law is the sparse limit.
+  ChipSimConfig cfg;
+  cfg.groups = 64;
+  cfg.lfm_per_read = 50;
+  cfg.reads_to_complete = 4000;
+  cfg.concurrent_reads = 16;  // load 0.25
+  const auto sparse = simulate_chip(cfg);
+  EXPECT_NEAR(sparse.mean_group_utilization, 16.0 / 64.0, 0.03);
+
+  cfg.concurrent_reads = 128;  // load 2
+  const auto dense = simulate_chip(cfg);
+  // Random routing leaves some groups idle while others queue, so dynamic
+  // utilization sits a little below the static occupancy law at load 2
+  // (~77% vs 86.5%) and converges toward 100% only at high load.
+  EXPECT_GT(dense.mean_group_utilization, 0.70);
+  EXPECT_LT(dense.mean_group_utilization,
+            expected_occupancy_asymptotic(2.0) + 0.02);
+  cfg.concurrent_reads = 512;  // load 8
+  EXPECT_GT(simulate_chip(cfg).mean_group_utilization, 0.9);
+}
+
+TEST(ChipSim, ThroughputSaturatesWithLoad) {
+  ChipSimConfig cfg;
+  cfg.groups = 16;
+  cfg.lfm_per_read = 50;
+  cfg.service_ns = 10.0;
+  cfg.reads_to_complete = 2000;
+  double prev = 0.0;
+  for (const std::uint32_t c : {4U, 16U, 64U, 256U}) {
+    cfg.concurrent_reads = c;
+    const auto r = simulate_chip(cfg);
+    EXPECT_GE(r.throughput_qps, prev * 0.98) << c;
+    prev = r.throughput_qps;
+  }
+  // Structural ceiling: G groups / (lfm * service) reads per second.
+  // Random routing keeps the asymptote slightly below it.
+  const double ceiling = 16.0 / (50.0 * 10e-9);
+  cfg.concurrent_reads = 256;
+  EXPECT_LT(simulate_chip(cfg).throughput_qps, ceiling * 1.001);
+  EXPECT_GT(simulate_chip(cfg).throughput_qps, ceiling * 0.90);
+}
+
+TEST(ChipSim, LatencyGrowsWithContention) {
+  ChipSimConfig cfg;
+  cfg.groups = 16;
+  cfg.lfm_per_read = 50;
+  cfg.reads_to_complete = 1500;
+  cfg.concurrent_reads = 8;
+  const auto light = simulate_chip(cfg);
+  cfg.concurrent_reads = 128;
+  const auto heavy = simulate_chip(cfg);
+  EXPECT_GT(heavy.mean_read_latency_ns, light.mean_read_latency_ns * 2.0);
+  EXPECT_GE(heavy.p99_latency_ns, heavy.p50_latency_ns);
+  EXPECT_GE(light.p95_latency_ns, light.p50_latency_ns);
+}
+
+TEST(ChipSim, ZeroContentionLatencyIsServiceChain) {
+  // One read, any number of groups: latency == lfm * service exactly.
+  ChipSimConfig cfg;
+  cfg.groups = 8;
+  cfg.concurrent_reads = 1;
+  cfg.lfm_per_read = 40;
+  cfg.service_ns = 5.0;
+  cfg.reads_to_complete = 50;
+  const auto r = simulate_chip(cfg);
+  EXPECT_NEAR(r.mean_read_latency_ns, 200.0, 1e-9);
+  EXPECT_NEAR(r.p99_latency_ns, 200.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace pim::accel

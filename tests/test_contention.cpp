@@ -1,0 +1,64 @@
+#include "src/accel/contention.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+namespace pim::accel {
+namespace {
+
+TEST(Contention, ClosedFormEdgeCases) {
+  EXPECT_DOUBLE_EQ(expected_occupancy(10, 0), 0.0);
+  EXPECT_NEAR(expected_occupancy(1, 1), 1.0, 1e-12);
+  EXPECT_THROW(expected_occupancy(0, 5), std::invalid_argument);
+}
+
+TEST(Contention, ClosedFormMonotoneInLoad) {
+  double prev = 0.0;
+  for (std::uint64_t r = 0; r <= 40; r += 4) {
+    const double occ = expected_occupancy(100, r);
+    EXPECT_GE(occ, prev);
+    prev = occ;
+  }
+  EXPECT_LT(prev, 1.0);
+}
+
+TEST(Contention, AsymptoticMatchesExactForLargeG) {
+  for (const double load : {0.5, 1.0, 2.0, 3.0}) {
+    const auto groups = 10000ULL;
+    const auto reads = static_cast<std::uint64_t>(load * groups);
+    EXPECT_NEAR(expected_occupancy(groups, reads),
+                expected_occupancy_asymptotic(load), 1e-3)
+        << load;
+  }
+}
+
+TEST(Contention, RurAnchors) {
+  // The chip model's RUR values: 1-e^-1 = 63.2% (Pd=1), 1-e^-2 = 86.5%.
+  EXPECT_NEAR(expected_occupancy_asymptotic(1.0), 0.632, 0.001);
+  EXPECT_NEAR(expected_occupancy_asymptotic(2.0), 0.865, 0.001);
+}
+
+TEST(Contention, MonteCarloMatchesClosedForm) {
+  for (const std::uint64_t reads : {16ULL, 32ULL, 64ULL}) {
+    const auto sample = simulate_occupancy(32, reads, 4000, 11);
+    EXPECT_NEAR(sample.mean_occupancy, expected_occupancy(32, reads), 0.01)
+        << reads;
+    EXPECT_GT(sample.stddev, 0.0);
+  }
+}
+
+TEST(Contention, MonteCarloDeterministicInSeed) {
+  const auto a = simulate_occupancy(64, 128, 500, 3);
+  const auto b = simulate_occupancy(64, 128, 500, 3);
+  EXPECT_DOUBLE_EQ(a.mean_occupancy, b.mean_occupancy);
+}
+
+TEST(Contention, BadArgsThrow) {
+  EXPECT_THROW(simulate_occupancy(0, 4, 10, 1), std::invalid_argument);
+  EXPECT_THROW(simulate_occupancy(4, 4, 0, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pim::accel

@@ -1,0 +1,124 @@
+// Cross-validation between the model stack's layers: the functional
+// platform's measured op counts per LFM must equal the analytic pipeline
+// model's assumptions (before batching), and the chip model's energy must
+// decompose into those ops. Catching drift between the layers is what keeps
+// the figure-level numbers trustworthy.
+#include <gtest/gtest.h>
+
+#include "src/accel/pim_aligner_model.h"
+#include "src/genome/synthetic_genome.h"
+#include "src/pim/platform.h"
+#include "src/util/rng.h"
+
+namespace pim {
+namespace {
+
+struct Fixture {
+  genome::PackedSequence text;
+  index::FmIndex fm;
+  hw::TimingEnergyModel timing;
+  std::unique_ptr<hw::PimAlignerPlatform> platform;
+
+  Fixture() {
+    genome::SyntheticGenomeSpec spec;
+    spec.length = 60000;
+    spec.seed = 14;
+    text = genome::generate_reference(spec);
+    fm = index::FmIndex::build(text, {.bucket_width = 128});
+    platform = std::make_unique<hw::PimAlignerPlatform>(fm, timing);
+  }
+};
+
+TEST(CrossCheck, PerLfmOpCountsMatchPipelineAssumptions) {
+  Fixture f;
+  util::Xoshiro256 rng(7);
+  f.platform->reset_stats();
+  std::uint64_t off_checkpoint = 0;
+  constexpr int kLfms = 2000;
+  for (int i = 0; i < kLfms; ++i) {
+    const std::uint64_t id = rng.bounded(f.fm.num_rows() + 1);
+    if (id % 128 != 0) ++off_checkpoint;
+    f.platform->lfm(static_cast<genome::Base>(rng.bounded(4)), id);
+  }
+  const auto stats = f.platform->aggregate_stats();
+  ASSERT_EQ(stats.lfm_calls, static_cast<std::uint64_t>(kLfms));
+
+  // Off-checkpoint LFM: 33 triple senses (1 XNOR + 32 adder), 97 writes
+  // (32 transpose + 1 carry clear + 64 adder write-backs), 32 reads, 1 DPU.
+  // Checkpoint LFM: 32 reads only.
+  const std::uint64_t on_checkpoint = kLfms - off_checkpoint -
+                                      stats.boundary_marker_hits;
+  EXPECT_EQ(stats.ops.triple_senses, off_checkpoint * 33);
+  EXPECT_EQ(stats.ops.writes, off_checkpoint * 97);
+  EXPECT_EQ(stats.ops.reads, (off_checkpoint + on_checkpoint) * 32);
+  EXPECT_EQ(stats.ops.dpu_word_ops, off_checkpoint);
+}
+
+TEST(CrossCheck, FunctionalEnergyEqualsOpDecomposition) {
+  Fixture f;
+  f.platform->reset_stats();
+  // One known off-checkpoint LFM.
+  f.platform->lfm(genome::Base::C, 300);
+  const auto stats = f.platform->aggregate_stats();
+  const auto read = f.timing.op_cost(hw::SubArrayOp::kMemRead);
+  const auto write = f.timing.op_cost(hw::SubArrayOp::kMemWrite);
+  const auto triple = f.timing.op_cost(hw::SubArrayOp::kTripleSense);
+  const auto dpu = f.timing.op_cost(hw::SubArrayOp::kDpuWord);
+  const double expected = 33 * triple.energy_pj + 97 * write.energy_pj +
+                          32 * read.energy_pj + 1 * dpu.energy_pj;
+  EXPECT_NEAR(stats.ops.energy_pj, expected, 1e-6);
+}
+
+TEST(CrossCheck, PipelineEnergyIsBatchedFunctionalEnergy) {
+  // The pipeline model's per-LFM energy equals the functional (unbatched)
+  // vertical-op energy divided by the batch factor, plus the per-LFM
+  // XNOR/DPU terms and the duplication write. Reconstruct it from op costs
+  // and compare against the model's report.
+  hw::TimingEnergyModel timing;
+  hw::PipelineConfig cfg;  // defaults: batch 16, 2+1 DPU words
+  const hw::PipelineModel model(timing, cfg);
+  const auto r1 = model.evaluate(1);
+
+  const auto read = timing.op_cost(hw::SubArrayOp::kMemRead);
+  const auto write = timing.op_cost(hw::SubArrayOp::kMemWrite);
+  const auto triple = timing.op_cost(hw::SubArrayOp::kTripleSense);
+  const auto dpu = timing.op_cost(hw::SubArrayOp::kDpuWord);
+  const double batch = 16.0;
+  const double expected =
+      triple.energy_pj + 3.0 * dpu.energy_pj +
+      (32.0 * write.energy_pj) / batch +          // transpose
+      timing.im_add_cost(32).energy_pj / batch +  // adder incl. carry clear
+      (32.0 * read.energy_pj) / batch;            // readout
+  EXPECT_NEAR(r1.energy_per_lfm_pj, expected, 1e-9);
+}
+
+TEST(CrossCheck, ChipThroughputDecomposes) {
+  hw::TimingEnergyModel timing;
+  const accel::PimChipModel chip(timing);
+  const auto r = chip.evaluate(2);
+  // throughput == pipelines * rate / lfm_per_read, by construction; verify
+  // the reported pieces are self-consistent.
+  const double reconstructed = chip.config().pipelines *
+                               r.pipeline.lfm_rate_per_group_hz /
+                               r.lfm_per_read;
+  EXPECT_NEAR(r.throughput_qps, reconstructed, 1e-6);
+  EXPECT_NEAR(r.lfm_per_read,
+              2.0 * chip.config().read_length * chip.config().lfm_stage_mix,
+              1e-9);
+}
+
+TEST(CrossCheck, BusyTimeEqualsLatencyDecomposition) {
+  Fixture f;
+  f.platform->reset_stats();
+  f.platform->lfm(genome::Base::A, 4321);  // off-checkpoint
+  const auto stats = f.platform->aggregate_stats();
+  const double expected =
+      33 * f.timing.op_cost(hw::SubArrayOp::kTripleSense).latency_ns +
+      97 * f.timing.op_cost(hw::SubArrayOp::kMemWrite).latency_ns +
+      32 * f.timing.op_cost(hw::SubArrayOp::kMemRead).latency_ns +
+      1 * f.timing.op_cost(hw::SubArrayOp::kDpuWord).latency_ns;
+  EXPECT_NEAR(stats.ops.busy_ns, expected, 1e-6);
+}
+
+}  // namespace
+}  // namespace pim

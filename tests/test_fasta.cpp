@@ -1,0 +1,86 @@
+#include "src/genome/fasta.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+
+namespace pim::genome {
+namespace {
+
+TEST(Fasta, ParsesMultipleRecords) {
+  std::istringstream in(
+      ">chr1 test\n"
+      "ACGT\n"
+      "ACGT\n"
+      ">chr2\n"
+      "TTTT\n");
+  const auto records = read_fasta(in);
+  ASSERT_EQ(records.size(), 2U);
+  EXPECT_EQ(records[0].name, "chr1 test");
+  EXPECT_EQ(records[0].sequence.to_string(), "ACGTACGT");
+  EXPECT_EQ(records[1].name, "chr2");
+  EXPECT_EQ(records[1].sequence.to_string(), "TTTT");
+}
+
+TEST(Fasta, HandlesCrlfAndBlankLines) {
+  std::istringstream in(">r\r\nAC\r\n\r\nGT\r\n");
+  const auto records = read_fasta(in);
+  ASSERT_EQ(records.size(), 1U);
+  EXPECT_EQ(records[0].sequence.to_string(), "ACGT");
+}
+
+TEST(Fasta, SequenceBeforeHeaderThrows) {
+  std::istringstream in("ACGT\n>late\nAC\n");
+  EXPECT_THROW(read_fasta(in), std::runtime_error);
+}
+
+TEST(Fasta, NonAcgtSkipPolicy) {
+  std::istringstream in(">r\nACNNGT\n");
+  const auto records = read_fasta(in, NonAcgtPolicy::kSkip);
+  EXPECT_EQ(records[0].sequence.to_string(), "ACGT");
+  EXPECT_EQ(records[0].dropped, 2U);
+}
+
+TEST(Fasta, NonAcgtReplacePolicy) {
+  std::istringstream in(">r\nACNNGT\n");
+  const auto records = read_fasta(in, NonAcgtPolicy::kReplaceA);
+  EXPECT_EQ(records[0].sequence.to_string(), "ACAAGT");
+  EXPECT_EQ(records[0].dropped, 2U);
+}
+
+TEST(Fasta, NonAcgtThrowPolicy) {
+  std::istringstream in(">r\nACNNGT\n");
+  EXPECT_THROW(read_fasta(in, NonAcgtPolicy::kThrow), std::runtime_error);
+}
+
+TEST(Fasta, LowercaseAccepted) {
+  std::istringstream in(">r\nacgt\n");
+  const auto records = read_fasta(in);
+  EXPECT_EQ(records[0].sequence.to_string(), "ACGT");
+}
+
+TEST(Fasta, WriteReadRoundTrip) {
+  std::vector<FastaRecord> records;
+  records.push_back({"first", PackedSequence("ACGTACGTACGT"), 0});
+  records.push_back({"second", PackedSequence("TT"), 0});
+  std::ostringstream out;
+  write_fasta(out, records, 5);  // exercise line wrapping
+  std::istringstream in(out.str());
+  const auto again = read_fasta(in);
+  ASSERT_EQ(again.size(), 2U);
+  EXPECT_EQ(again[0].name, "first");
+  EXPECT_EQ(again[0].sequence.to_string(), "ACGTACGTACGT");
+  EXPECT_EQ(again[1].sequence.to_string(), "TT");
+}
+
+TEST(Fasta, WriteSingleLineWhenWidthZero) {
+  std::vector<FastaRecord> records;
+  records.push_back({"r", PackedSequence("ACGTACGT"), 0});
+  std::ostringstream out;
+  write_fasta(out, records, 0);
+  EXPECT_EQ(out.str(), ">r\nACGTACGT\n");
+}
+
+}  // namespace
+}  // namespace pim::genome

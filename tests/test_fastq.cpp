@@ -1,0 +1,145 @@
+#include "src/genome/fastq.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+
+namespace pim::genome {
+namespace {
+
+TEST(Phred, CharRoundTrip) {
+  for (int q = 0; q <= 93; ++q) {
+    EXPECT_EQ(char_to_phred(phred_to_char(q)), q);
+  }
+  EXPECT_EQ(phred_to_char(-5), '!');   // clamps to 0
+  EXPECT_EQ(phred_to_char(200), '~');  // clamps to 93
+  EXPECT_THROW(char_to_phred(' '), std::invalid_argument);
+}
+
+TEST(Phred, ErrorProbability) {
+  EXPECT_DOUBLE_EQ(phred_to_error_probability(0), 1.0);
+  EXPECT_NEAR(phred_to_error_probability(10), 0.1, 1e-12);
+  EXPECT_NEAR(phred_to_error_probability(30), 1e-3, 1e-12);
+  EXPECT_EQ(error_probability_to_phred(1e-3), 30);
+  EXPECT_EQ(error_probability_to_phred(0.0), 93);
+  EXPECT_EQ(error_probability_to_phred(1.0), 0);
+  // Round trip within rounding.
+  for (int q = 0; q <= 60; ++q) {
+    EXPECT_EQ(error_probability_to_phred(phred_to_error_probability(q)), q);
+  }
+}
+
+TEST(Fastq, ParsesRecords) {
+  std::istringstream in(
+      "@read1 some description\n"
+      "ACGT\n"
+      "+\n"
+      "IIII\n"
+      "@read2\n"
+      "TT\n"
+      "+read2\n"
+      "!~\n");
+  const auto records = read_fastq(in);
+  ASSERT_EQ(records.size(), 2U);
+  EXPECT_EQ(records[0].name, "read1 some description");
+  EXPECT_EQ(records[0].sequence.to_string(), "ACGT");
+  EXPECT_EQ(records[0].qualities, "IIII");
+  EXPECT_EQ(records[1].sequence.to_string(), "TT");
+  EXPECT_EQ(char_to_phred(records[1].qualities[0]), 0);
+  EXPECT_EQ(char_to_phred(records[1].qualities[1]), 93);
+}
+
+TEST(Fastq, NCallsBecomeLowQualityA) {
+  std::istringstream in("@r\nACNT\n+\nIIII\n");
+  const auto records = read_fastq(in);
+  EXPECT_EQ(records[0].sequence.to_string(), "ACAT");
+  EXPECT_EQ(char_to_phred(records[0].qualities[2]), 0);
+  EXPECT_EQ(char_to_phred(records[0].qualities[0]), 40);
+}
+
+TEST(Fastq, StructuralErrorsThrow) {
+  {
+    std::istringstream in("ACGT\n+\nIIII\n");  // no '@'
+    EXPECT_THROW(read_fastq(in), std::runtime_error);
+  }
+  {
+    std::istringstream in("@r\nACGT\nIIII\n");  // missing '+'
+    EXPECT_THROW(read_fastq(in), std::runtime_error);
+  }
+  {
+    std::istringstream in("@r\nACGT\n+\nII\n");  // quality length mismatch
+    EXPECT_THROW(read_fastq(in), std::runtime_error);
+  }
+  {
+    std::istringstream in("@r\nACGT\n+\n");  // truncated
+    EXPECT_THROW(read_fastq(in), std::runtime_error);
+  }
+}
+
+TEST(Fastq, CrlfTolerated) {
+  std::istringstream in("@r\r\nAC\r\n+\r\nII\r\n");
+  const auto records = read_fastq(in);
+  ASSERT_EQ(records.size(), 1U);
+  EXPECT_EQ(records[0].sequence.to_string(), "AC");
+}
+
+TEST(Fastq, WriteReadRoundTrip) {
+  std::vector<FastqRecord> records;
+  records.push_back({"a", PackedSequence("ACGTACGT"), "IIIIIIII"});
+  records.push_back({"b", PackedSequence("T"), "5"});
+  std::ostringstream out;
+  write_fastq(out, records);
+  std::istringstream in(out.str());
+  const auto again = read_fastq(in);
+  ASSERT_EQ(again.size(), 2U);
+  EXPECT_EQ(again[0].name, "a");
+  EXPECT_EQ(again[0].sequence.to_string(), "ACGTACGT");
+  EXPECT_EQ(again[0].qualities, "IIIIIIII");
+  EXPECT_EQ(again[1].qualities, "5");
+}
+
+TEST(FastqStream, ReadsOneAtATime) {
+  std::istringstream in(
+      "@a\nAC\n+\nII\n"
+      "\n"  // blank line between records tolerated
+      "@b\nGT\n+\n!!\n");
+  FastqStreamReader reader(in);
+  FastqRecord rec;
+  ASSERT_TRUE(reader.next(rec));
+  EXPECT_EQ(rec.name, "a");
+  EXPECT_EQ(rec.sequence.to_string(), "AC");
+  ASSERT_TRUE(reader.next(rec));
+  EXPECT_EQ(rec.name, "b");
+  EXPECT_EQ(rec.sequence.to_string(), "GT");
+  EXPECT_FALSE(reader.next(rec));
+  EXPECT_EQ(reader.records_read(), 2U);
+}
+
+TEST(FastqStream, RecordReusedBufferFullyOverwritten) {
+  std::istringstream in("@long\nACGTACGT\n+\nIIIIIIII\n@short\nT\n+\n5\n");
+  FastqStreamReader reader(in);
+  FastqRecord rec;
+  ASSERT_TRUE(reader.next(rec));
+  ASSERT_TRUE(reader.next(rec));
+  EXPECT_EQ(rec.sequence.size(), 1U);  // no leftover from the long record
+  EXPECT_EQ(rec.qualities, "5");
+}
+
+TEST(FastqStream, MalformedMidStreamThrows) {
+  std::istringstream in("@ok\nAC\n+\nII\nnot_a_header\nAC\n+\nII\n");
+  FastqStreamReader reader(in);
+  FastqRecord rec;
+  ASSERT_TRUE(reader.next(rec));
+  EXPECT_THROW(reader.next(rec), std::runtime_error);
+}
+
+TEST(Fastq, WriteRejectsLengthMismatch) {
+  std::vector<FastqRecord> records;
+  records.push_back({"bad", PackedSequence("ACGT"), "II"});
+  std::ostringstream out;
+  EXPECT_THROW(write_fastq(out, records), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pim::genome

@@ -1,0 +1,124 @@
+#include "src/align/global_align.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "src/genome/synthetic_genome.h"
+#include "src/util/rng.h"
+
+namespace pim::align {
+namespace {
+
+using genome::encode;
+
+TEST(GlocalAlign, PerfectMatchAnywhereInWindow) {
+  const auto window = encode("TTTTACGTACGTTTTT");
+  const auto read = encode("ACGTACGT");
+  const auto r = glocal_align(window, read);
+  EXPECT_EQ(r.score, 16);
+  EXPECT_EQ(r.ref_begin, 4U);
+  EXPECT_EQ(r.ref_end, 12U);
+  EXPECT_EQ(r.edits, 0U);
+  EXPECT_EQ(glocal_cigar_string(r), "8M");
+}
+
+TEST(GlocalAlign, EveryReadBaseConsumed) {
+  // Unlike local SW, a bad read prefix cannot be clipped away.
+  const auto window = encode("GGGGGGGGGGGG");
+  const auto read = encode("TTTTGGGG");
+  const auto r = glocal_align(window, read);
+  std::uint32_t read_consumed = 0;
+  for (const auto& e : r.cigar) {
+    if (e.op != CigarOp::kDeletion) read_consumed += e.length;
+  }
+  EXPECT_EQ(read_consumed, read.size());
+  EXPECT_EQ(r.edits, 4U);  // the four Ts mismatch
+}
+
+TEST(GlocalAlign, SubstitutionCigar) {
+  const auto window = encode("AAACGTACGTAAA");
+  const auto read = encode("CGTGCGT");
+  const auto r = glocal_align(window, read);
+  EXPECT_EQ(r.edits, 1U);
+  EXPECT_EQ(glocal_cigar_string(r), "7M");  // X folded into M
+}
+
+TEST(GlocalAlign, DeletionCigar) {
+  const auto window = encode("TTACGTACGTTT");
+  const auto read = encode("ACGTCGT");  // missing an A
+  const auto r = glocal_align(window, read);
+  EXPECT_EQ(glocal_cigar_string(r), "4M1D3M");
+  EXPECT_EQ(r.edits, 1U);
+  EXPECT_EQ(r.ref_end - r.ref_begin, 8U);  // consumes 8 reference bases
+}
+
+TEST(GlocalAlign, InsertionCigar) {
+  const auto window = encode("TTACGTCGTTT");
+  const auto read = encode("ACGTACGT");  // extra A
+  const auto r = glocal_align(window, read);
+  EXPECT_EQ(glocal_cigar_string(r), "4M1I3M");
+  EXPECT_EQ(r.edits, 1U);
+  EXPECT_EQ(r.ref_end - r.ref_begin, 7U);
+}
+
+TEST(GlocalAlign, EmptyInputsThrow) {
+  EXPECT_THROW(glocal_align({}, encode("A")), std::invalid_argument);
+  EXPECT_THROW(glocal_align(encode("A"), {}), std::invalid_argument);
+}
+
+TEST(GlocalAlign, RefSpanMatchesCigar) {
+  genome::SyntheticGenomeSpec spec;
+  spec.length = 400;
+  spec.seed = 3;
+  const auto text = genome::generate_reference(spec);
+  util::Xoshiro256 rng(5);
+  for (int trial = 0; trial < 30; ++trial) {
+    const std::size_t len = 20 + rng.bounded(30);
+    const std::size_t start = rng.bounded(text.size() - len - 8);
+    auto read = text.slice(start, start + len);
+    // Random edit.
+    if (trial % 3 == 0) {
+      read[rng.bounded(read.size())] =
+          static_cast<genome::Base>(rng.bounded(4));
+    } else if (trial % 3 == 1) {
+      read.erase(read.begin() + static_cast<long>(rng.bounded(read.size())));
+    }
+    const auto window = text.slice(start, start + len + 8);
+    const auto r = glocal_align(window, read);
+    std::uint64_t ref_consumed = 0, read_consumed = 0;
+    for (const auto& e : r.cigar) {
+      if (e.op != CigarOp::kInsertion) ref_consumed += e.length;
+      if (e.op != CigarOp::kDeletion) read_consumed += e.length;
+    }
+    EXPECT_EQ(ref_consumed, r.ref_end - r.ref_begin) << trial;
+    EXPECT_EQ(read_consumed, read.size()) << trial;
+    EXPECT_LE(r.edits, 2U) << trial;  // at most the planted edit + slack
+  }
+}
+
+TEST(GlocalAlign, ScoreMatchesCigarAccounting) {
+  const auto window = encode("ACGTACGTACGT");
+  const auto read = encode("ACGTTCGT");
+  const SwScoring scoring;
+  const auto r = glocal_align(window, read, scoring);
+  std::int32_t recomputed = 0;
+  for (const auto& e : r.cigar) {
+    switch (e.op) {
+      case CigarOp::kMatch:
+        recomputed += scoring.match * static_cast<std::int32_t>(e.length);
+        break;
+      case CigarOp::kMismatch:
+        recomputed += scoring.mismatch * static_cast<std::int32_t>(e.length);
+        break;
+      case CigarOp::kInsertion:
+      case CigarOp::kDeletion:
+        recomputed += scoring.gap_extend * static_cast<std::int32_t>(e.length);
+        break;
+    }
+  }
+  EXPECT_EQ(r.score, recomputed);
+}
+
+}  // namespace
+}  // namespace pim::align

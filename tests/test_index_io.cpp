@@ -1,0 +1,109 @@
+#include "src/index/index_io.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "src/align/backward_search.h"
+#include "src/genome/synthetic_genome.h"
+#include "src/util/rng.h"
+
+namespace pim::index {
+namespace {
+
+using genome::PackedSequence;
+
+struct Fixture {
+  PackedSequence reference;
+  FmIndex fm;
+  explicit Fixture(std::uint32_t sa_rate = 1) {
+    genome::SyntheticGenomeSpec spec;
+    spec.length = 5000;
+    spec.seed = 12;
+    reference = genome::generate_reference(spec);
+    fm = FmIndex::build(reference,
+                        {.bucket_width = 64, .sa_sample_rate = sa_rate});
+  }
+};
+
+TEST(IndexIo, RoundTripPreservesEverything) {
+  Fixture f;
+  std::stringstream buffer;
+  save_index(buffer, f.fm, f.reference);
+  const LoadedIndex loaded = load_index(buffer);
+
+  EXPECT_TRUE(loaded.reference == f.reference);
+  EXPECT_EQ(loaded.index.num_rows(), f.fm.num_rows());
+  EXPECT_EQ(loaded.index.config().bucket_width, 64U);
+  EXPECT_EQ(loaded.index.bwt().primary, f.fm.bwt().primary);
+  // Search behaviour identical.
+  util::Xoshiro256 rng(3);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t start = rng.bounded(f.reference.size() - 30);
+    const auto read = f.reference.slice(start, start + 30);
+    const auto a = align::exact_search(f.fm, read);
+    const auto b = align::exact_search(loaded.index, read);
+    EXPECT_EQ(a.interval, b.interval);
+  }
+  // Locate identical for every row.
+  for (std::size_t row = 0; row < f.fm.num_rows(); row += 97) {
+    EXPECT_EQ(loaded.index.locate(row), f.fm.locate(row));
+  }
+}
+
+TEST(IndexIo, RoundTripWithSampledSa) {
+  Fixture f(8);
+  std::stringstream buffer;
+  save_index(buffer, f.fm, f.reference);
+  const LoadedIndex loaded = load_index(buffer);
+  EXPECT_EQ(loaded.index.config().sa_sample_rate, 8U);
+  for (std::size_t row = 0; row < f.fm.num_rows(); row += 61) {
+    EXPECT_EQ(loaded.index.locate(row), f.fm.locate(row));
+  }
+}
+
+TEST(IndexIo, BadMagicRejected) {
+  std::stringstream buffer;
+  buffer.write("NOPE", 4);
+  buffer.write("rest of a garbage file that is long enough", 42);
+  EXPECT_THROW(load_index(buffer), std::runtime_error);
+}
+
+TEST(IndexIo, TruncationRejected) {
+  Fixture f;
+  std::stringstream buffer;
+  save_index(buffer, f.fm, f.reference);
+  const std::string bytes = buffer.str();
+  std::stringstream truncated(bytes.substr(0, bytes.size() / 2));
+  EXPECT_THROW(load_index(truncated), std::runtime_error);
+}
+
+TEST(IndexIo, CorruptionRejectedByChecksum) {
+  Fixture f;
+  std::stringstream buffer;
+  save_index(buffer, f.fm, f.reference);
+  std::string bytes = buffer.str();
+  bytes[bytes.size() / 2] ^= 0x40;  // flip a bit mid-payload
+  std::stringstream corrupt(bytes);
+  EXPECT_THROW(load_index(corrupt), std::runtime_error);
+}
+
+TEST(IndexIo, SizeMismatchRejectedOnSave) {
+  Fixture f;
+  const PackedSequence other("ACGT");
+  std::stringstream buffer;
+  EXPECT_THROW(save_index(buffer, f.fm, other), std::invalid_argument);
+}
+
+TEST(IndexIo, FileRoundTrip) {
+  Fixture f;
+  const std::string path = "/tmp/pim_aligner_test_index.bin";
+  save_index_file(path, f.fm, f.reference);
+  const LoadedIndex loaded = load_index_file(path);
+  EXPECT_TRUE(loaded.reference == f.reference);
+  EXPECT_THROW(load_index_file("/tmp/definitely_missing_index_file.bin"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace pim::index

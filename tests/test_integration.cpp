@@ -1,0 +1,147 @@
+// End-to-end integration: synthetic genome -> ART-like reads -> two-stage
+// alignment on BOTH the software FM-index path and the PIM hardware path,
+// checking outcome equality, ground-truth recovery, and hardware accounting.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "src/align/aligner.h"
+#include "src/genome/synthetic_genome.h"
+#include "src/pim/controller.h"
+#include "src/pim/platform.h"
+#include "src/readsim/read_simulator.h"
+
+namespace {
+
+using pim::genome::Base;
+
+struct Pipeline {
+  pim::genome::PackedSequence reference;
+  pim::index::FmIndex fm;
+  pim::hw::TimingEnergyModel timing;
+  std::unique_ptr<pim::hw::PimAlignerPlatform> platform;
+  std::vector<std::vector<Base>> reads;
+  std::vector<pim::readsim::SimulatedRead> truth;
+
+  Pipeline(std::size_t genome_len, std::size_t num_reads,
+           std::uint32_t read_len, std::uint64_t seed) {
+    pim::genome::SyntheticGenomeSpec gspec;
+    gspec.length = genome_len;
+    gspec.seed = seed;
+    reference = pim::genome::generate_reference(gspec);
+    fm = pim::index::FmIndex::build(reference, {.bucket_width = 128});
+    platform = std::make_unique<pim::hw::PimAlignerPlatform>(fm, timing);
+
+    pim::readsim::ReadSimSpec rspec;
+    rspec.read_length = read_len;
+    rspec.num_reads = num_reads;
+    rspec.population_variation_rate = 0.001;
+    rspec.sequencing_error_rate = 0.002;
+    rspec.seed = seed + 1;
+    const auto set = pim::readsim::ReadSimulator(rspec).generate(reference);
+    for (const auto& r : set.reads) {
+      reads.push_back(r.bases);
+      truth.push_back(r);
+    }
+  }
+};
+
+TEST(Integration, SoftwareAndHardwarePathsAgreePerRead) {
+  Pipeline p(40000, 40, 64, 101);
+  pim::align::AlignerOptions options;
+  options.inexact.max_diffs = 2;
+  const pim::align::Aligner software(p.fm, options);
+  pim::hw::PimBatchDriver hardware(*p.platform, options);
+
+  for (std::size_t i = 0; i < p.reads.size(); ++i) {
+    const auto sw = software.align(p.reads[i]);
+    const auto hw_result = hardware.align(p.reads[i]);
+    ASSERT_EQ(hw_result.stage, sw.stage) << "read " << i;
+    ASSERT_EQ(hw_result.hits.size(), sw.hits.size()) << "read " << i;
+    for (std::size_t h = 0; h < sw.hits.size(); ++h) {
+      EXPECT_EQ(hw_result.hits[h].position, sw.hits[h].position);
+      EXPECT_EQ(hw_result.hits[h].diffs, sw.hits[h].diffs);
+      EXPECT_EQ(hw_result.hits[h].strand, sw.hits[h].strand);
+    }
+  }
+}
+
+TEST(Integration, GroundTruthOriginRecovered) {
+  Pipeline p(60000, 60, 80, 202);
+  pim::align::AlignerOptions options;
+  options.inexact.max_diffs = 2;
+  options.max_hits = 0;  // unlimited, so the origin cannot be capped away
+  const pim::align::Aligner aligner(p.fm, options);
+  std::size_t recovered = 0, aligned = 0;
+  for (std::size_t i = 0; i < p.reads.size(); ++i) {
+    const auto result = aligner.align(p.reads[i]);
+    if (!result.aligned()) continue;
+    ++aligned;
+    for (const auto& hit : result.hits) {
+      if (hit.position == p.truth[i].origin) {
+        ++recovered;
+        break;
+      }
+    }
+  }
+  ASSERT_GT(aligned, p.reads.size() * 8 / 10);
+  // Nearly every aligned read reports its true origin among its hits.
+  EXPECT_GE(recovered, aligned * 9 / 10);
+}
+
+TEST(Integration, StageMixMatchesPaperExpectation) {
+  Pipeline p(60000, 120, 100, 303);
+  pim::align::AlignerOptions options;
+  options.inexact.max_diffs = 2;
+  pim::hw::PimBatchDriver driver(*p.platform, options);
+  const auto report = driver.run(p.reads);
+  EXPECT_EQ(report.stats.reads_total, p.reads.size());
+  // ~70% exact at the paper's error rates (loose bounds for 120 reads).
+  EXPECT_GT(report.stats.exact_fraction(), 0.55);
+  EXPECT_LT(report.stats.exact_fraction(), 0.92);
+  // Hardware accounting is live.
+  EXPECT_GT(report.hardware.lfm_calls, 0U);
+  EXPECT_GT(report.busy_ns, 0.0);
+  EXPECT_GT(report.energy_pj, 0.0);
+}
+
+TEST(Integration, EnergyScalesWithWork) {
+  Pipeline p(30000, 0, 50, 404);
+  pim::align::AlignerOptions options;
+  options.inexact.max_diffs = 0;
+  pim::hw::PimBatchDriver driver(*p.platform, options);
+
+  std::vector<std::vector<Base>> small_batch, big_batch;
+  for (int i = 0; i < 4; ++i) {
+    small_batch.push_back(
+        p.reference.slice(100 + 97 * static_cast<std::size_t>(i),
+                          150 + 97 * static_cast<std::size_t>(i)));
+  }
+  big_batch = small_batch;
+  for (int rep = 0; rep < 3; ++rep) {
+    big_batch.insert(big_batch.end(), small_batch.begin(), small_batch.end());
+  }
+  const auto small_report = driver.run(small_batch);
+  const auto big_report = driver.run(big_batch);
+  EXPECT_NEAR(big_report.energy_pj / small_report.energy_pj, 4.0, 0.2);
+}
+
+TEST(Integration, SampledSaStillAlignsCorrectly) {
+  // Memory/latency trade-off: an 8x-sampled SA returns identical hits.
+  Pipeline p(20000, 0, 50, 505);
+  const auto sampled_fm = pim::index::FmIndex::build(
+      p.reference, {.bucket_width = 128, .sa_sample_rate = 8});
+  const pim::align::Aligner full(p.fm), sampled(sampled_fm);
+  for (int i = 0; i < 20; ++i) {
+    const std::size_t start = 300 + static_cast<std::size_t>(i) * 611;
+    const auto read = p.reference.slice(start, start + 44);
+    const auto a = full.align(read);
+    const auto b = sampled.align(read);
+    ASSERT_EQ(a.hits.size(), b.hits.size());
+    for (std::size_t h = 0; h < a.hits.size(); ++h) {
+      EXPECT_EQ(a.hits[h].position, b.hits[h].position);
+    }
+  }
+}
+
+}  // namespace

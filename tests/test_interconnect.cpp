@@ -1,0 +1,76 @@
+#include "src/pim/interconnect.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace pim::hw {
+namespace {
+
+TEST(Interconnect, DefaultsOrdered) {
+  const InterconnectModel bus;
+  // Costs grow with hierarchy distance.
+  EXPECT_LT(bus.transfer_cost(1, HopLevel::kIntraBank).latency_ns,
+            bus.transfer_cost(1, HopLevel::kInterBank).latency_ns);
+  EXPECT_LT(bus.transfer_cost(1, HopLevel::kInterBank).latency_ns,
+            bus.transfer_cost(1, HopLevel::kOffChip).latency_ns);
+  EXPECT_LT(bus.transfer_cost(1, HopLevel::kIntraBank).energy_pj,
+            bus.transfer_cost(1, HopLevel::kInterBank).energy_pj);
+  EXPECT_LT(bus.transfer_cost(1, HopLevel::kInterBank).energy_pj,
+            bus.transfer_cost(1, HopLevel::kOffChip).energy_pj);
+}
+
+TEST(Interconnect, LinearInWords) {
+  const InterconnectModel bus;
+  const auto one = bus.transfer_cost(1, HopLevel::kInterBank);
+  const auto ten = bus.transfer_cost(10, HopLevel::kInterBank);
+  EXPECT_NEAR(ten.latency_ns, one.latency_ns * 10.0, 1e-9);
+  EXPECT_NEAR(ten.energy_pj, one.energy_pj * 10.0, 1e-9);
+  const auto zero = bus.transfer_cost(0, HopLevel::kIntraBank);
+  EXPECT_DOUBLE_EQ(zero.latency_ns, 0.0);
+  EXPECT_DOUBLE_EQ(zero.energy_pj, 0.0);
+}
+
+TEST(Interconnect, ConfigOverrides) {
+  util::Config over;
+  over.set_double("InterBankWordLatencyNs", 99.0);
+  const InterconnectModel bus(over);
+  EXPECT_DOUBLE_EQ(bus.transfer_cost(1, HopLevel::kInterBank).latency_ns,
+                   99.0);
+  // Other levels keep defaults.
+  EXPECT_DOUBLE_EQ(bus.transfer_cost(1, HopLevel::kIntraBank).latency_ns,
+                   2.0);
+}
+
+TEST(Interconnect, BadConstantsRejected) {
+  util::Config over;
+  over.set_double("IntraBankWordLatencyNs", 0.0);
+  EXPECT_THROW(InterconnectModel{over}, std::invalid_argument);
+  util::Config negative;
+  negative.set_double("OffChipWordEnergyPj", -1.0);
+  EXPECT_THROW(InterconnectModel{negative}, std::invalid_argument);
+}
+
+TEST(Interconnect, OffChipDominatesLocalLfmEnergy) {
+  // The PIM pitch in one assert: moving one LFM's operand set off-chip
+  // costs more energy than computing the entire LFM locally.
+  const InterconnectModel bus;
+  const TimingEnergyModel timing;
+  // A remote LFM would ship the 128-bp BWT row segment (8 words), the
+  // marker (1 word) and get the result back (1 word).
+  const auto offchip = bus.transfer_cost(10, HopLevel::kOffChip);
+  const double local_lfm_pj =
+      timing.xnor_match_cost().energy_pj + timing.im_add_cost(32).energy_pj +
+      32.0 * timing.op_cost(SubArrayOp::kMemRead).energy_pj +
+      32.0 * timing.op_cost(SubArrayOp::kMemWrite).energy_pj;
+  EXPECT_GT(offchip.energy_pj, local_lfm_pj * 0.5);
+  EXPECT_GT(offchip.latency_ns, timing.xnor_match_cost().latency_ns * 10);
+}
+
+TEST(Interconnect, WordsPerNs) {
+  const InterconnectModel bus;
+  EXPECT_NEAR(bus.words_per_ns(HopLevel::kIntraBank), 0.5, 1e-12);
+}
+
+}  // namespace
+}  // namespace pim::hw

@@ -1,0 +1,106 @@
+#include "src/index/marker_table.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "src/genome/synthetic_genome.h"
+
+namespace pim::index {
+namespace {
+
+using genome::Base;
+using genome::PackedSequence;
+
+struct Fixture {
+  PackedSequence text;
+  Bwt bwt;
+  CountTable counts;
+  explicit Fixture(PackedSequence t) : text(std::move(t)) {
+    bwt = build_bwt(text, build_suffix_array(text));
+    counts = CountTable(bwt);
+  }
+};
+
+TEST(MarkerTable, RejectsZeroBucket) {
+  const Fixture f(PackedSequence("ACGT"));
+  EXPECT_THROW(MarkerTable(f.bwt, f.counts, 0), std::invalid_argument);
+}
+
+TEST(MarkerTable, MarkerIsCountPlusSampledOcc) {
+  const Fixture f(PackedSequence("TGCTATGCTAGGCCAATT"));
+  const std::uint32_t d = 4;
+  const MarkerTable mt(f.bwt, f.counts, d);
+  const SampledOccTable sampled(f.bwt, d);
+  ASSERT_EQ(mt.num_checkpoints(), sampled.num_checkpoints());
+  for (std::size_t k = 0; k < mt.num_checkpoints(); ++k) {
+    for (const auto nt : genome::kAllBases) {
+      EXPECT_EQ(mt.marker(nt, k),
+                f.counts.count(nt) + sampled.checkpoint(nt, k));
+    }
+  }
+}
+
+// The defining identity of the hardware-friendly reconstruction:
+// LFM(MT, nt, id) == Count(nt) + Occ(nt, id) for every id and nt.
+class LfmIdentity : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(LfmIdentity, LfmEqualsCountPlusOcc) {
+  genome::SyntheticGenomeSpec spec;
+  spec.length = 700;
+  spec.seed = 31;
+  spec.repeat_fraction = 0.3;
+  const Fixture f(genome::generate_reference(spec));
+  const MarkerTable mt(f.bwt, f.counts, GetParam());
+  const OccTable occ(f.bwt);
+  for (std::size_t id = 0; id <= f.bwt.size(); ++id) {
+    for (const auto nt : genome::kAllBases) {
+      ASSERT_EQ(mt.lfm(f.bwt, nt, id), f.counts.count(nt) + occ.occ(nt, id))
+          << "d=" << GetParam() << " id=" << id;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(BucketWidths, LfmIdentity,
+                         ::testing::Values(1U, 7U, 32U, 128U));
+
+TEST(MarkerTable, LfmOutOfRangeThrows) {
+  const Fixture f(PackedSequence("ACGT"));
+  const MarkerTable mt(f.bwt, f.counts, 2);
+  EXPECT_THROW(mt.lfm(f.bwt, Base::A, f.bwt.size() + 1), std::out_of_range);
+}
+
+TEST(MarkerTable, MemoryScalesInverselyWithBucket) {
+  genome::SyntheticGenomeSpec spec;
+  spec.length = 8192;
+  spec.seed = 3;
+  const Fixture f(genome::generate_reference(spec));
+  const MarkerTable fine(f.bwt, f.counts, 32);
+  const MarkerTable coarse(f.bwt, f.counts, 128);
+  EXPECT_NEAR(static_cast<double>(fine.memory_bytes()) /
+                  static_cast<double>(coarse.memory_bytes()),
+              4.0, 0.3);
+}
+
+// LFM on the paper's worked example, end to end: backward search of R=CTA
+// over S=TGCTA$ finds exactly one match.
+TEST(MarkerTable, PaperBackwardSearchByHand) {
+  const Fixture f(PackedSequence("TGCTA"));
+  const MarkerTable mt(f.bwt, f.counts, 2);
+  // Start: [0, 6). Extend with 'A' (rightmost of CTA):
+  std::uint64_t low = mt.lfm(f.bwt, Base::A, 0);
+  std::uint64_t high = mt.lfm(f.bwt, Base::A, 6);
+  EXPECT_LT(low, high);
+  // Extend with 'T':
+  low = mt.lfm(f.bwt, Base::T, low);
+  high = mt.lfm(f.bwt, Base::T, high);
+  EXPECT_LT(low, high);
+  // Extend with 'C':
+  low = mt.lfm(f.bwt, Base::C, low);
+  high = mt.lfm(f.bwt, Base::C, high);
+  EXPECT_LT(low, high);
+  EXPECT_EQ(high - low, 1U);  // CTA occurs exactly once in TGCTA
+}
+
+}  // namespace
+}  // namespace pim::index

@@ -1,0 +1,123 @@
+#include "src/index/occ_table.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+#include "src/genome/synthetic_genome.h"
+
+namespace pim::index {
+namespace {
+
+using genome::Base;
+using genome::PackedSequence;
+
+struct Fixture {
+  PackedSequence text;
+  Bwt bwt;
+  explicit Fixture(const std::string& s) : text(s) {
+    bwt = build_bwt(text, build_suffix_array(text));
+  }
+};
+
+TEST(CountTable, PaperExample) {
+  // S = TGCTA: occurrences A=1, C=1, G=1, T=2.
+  // Count(nt) counts '$' plus all smaller bases.
+  const Fixture f("TGCTA");
+  const CountTable counts(f.bwt);
+  EXPECT_EQ(counts.occurrences(Base::A), 1U);
+  EXPECT_EQ(counts.occurrences(Base::C), 1U);
+  EXPECT_EQ(counts.occurrences(Base::G), 1U);
+  EXPECT_EQ(counts.occurrences(Base::T), 2U);
+  EXPECT_EQ(counts.count(Base::A), 1U);
+  EXPECT_EQ(counts.count(Base::C), 2U);
+  EXPECT_EQ(counts.count(Base::G), 3U);
+  EXPECT_EQ(counts.count(Base::T), 4U);
+}
+
+TEST(OccTable, ManualCheckOnPaperExample) {
+  // BWT(TGCTA$) = ATGTC$.
+  const Fixture f("TGCTA");
+  const OccTable occ(f.bwt);
+  EXPECT_EQ(occ.occ(Base::A, 0), 0U);
+  EXPECT_EQ(occ.occ(Base::A, 1), 1U);
+  EXPECT_EQ(occ.occ(Base::A, 6), 1U);
+  EXPECT_EQ(occ.occ(Base::T, 2), 1U);
+  EXPECT_EQ(occ.occ(Base::T, 4), 2U);
+  EXPECT_EQ(occ.occ(Base::G, 3), 1U);
+  EXPECT_EQ(occ.occ(Base::C, 5), 1U);
+  EXPECT_EQ(occ.occ(Base::C, 4), 0U);
+}
+
+TEST(OccTable, SentinelRowNotCounted) {
+  const Fixture f("TGCTA");
+  const OccTable occ(f.bwt);
+  // Row 5 is the sentinel (stored as dummy A): Occ(A) must not grow there.
+  EXPECT_EQ(occ.occ(Base::A, 5), occ.occ(Base::A, 6));
+}
+
+TEST(SampledOccTable, RejectsZeroBucket) {
+  const Fixture f("ACGT");
+  EXPECT_THROW(SampledOccTable(f.bwt, 0), std::invalid_argument);
+}
+
+// Property: sampled occ equals the full table for every position, base and
+// several bucket widths (including widths that do and do not divide n+1).
+class SampledOccProperty : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(SampledOccProperty, MatchesFullTable) {
+  genome::SyntheticGenomeSpec spec;
+  spec.length = 1000;
+  spec.seed = 5;
+  spec.repeat_fraction = 0.4;
+  const PackedSequence text = genome::generate_reference(spec);
+  const Bwt bwt = build_bwt(text, build_suffix_array(text));
+  const OccTable full(bwt);
+  const SampledOccTable sampled(bwt, GetParam());
+  for (std::size_t i = 0; i <= bwt.size(); ++i) {
+    for (const auto nt : genome::kAllBases) {
+      ASSERT_EQ(sampled.occ(bwt, nt, i), full.occ(nt, i))
+          << "d=" << GetParam() << " i=" << i
+          << " nt=" << genome::to_char(nt);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(BucketWidths, SampledOccProperty,
+                         ::testing::Values(1U, 2U, 3U, 16U, 64U, 128U, 333U));
+
+TEST(SampledOccTable, CountMatchIsResidualOnly) {
+  const Fixture f("TGCTA");
+  const SampledOccTable sampled(f.bwt, 4);
+  // i=5: bucket start 4, BWT[4]='C': count_match(C,5)=1, others 0.
+  EXPECT_EQ(sampled.count_match(f.bwt, Base::C, 5), 1U);
+  EXPECT_EQ(sampled.count_match(f.bwt, Base::A, 5), 0U);
+  // On a checkpoint the residual is zero by definition.
+  EXPECT_EQ(sampled.count_match(f.bwt, Base::C, 4), 0U);
+}
+
+TEST(SampledOccTable, MemoryShrinksWithBucketWidth) {
+  genome::SyntheticGenomeSpec spec;
+  spec.length = 4096;
+  spec.seed = 9;
+  const PackedSequence text = genome::generate_reference(spec);
+  const Bwt bwt = build_bwt(text, build_suffix_array(text));
+  const SampledOccTable fine(bwt, 16);
+  const SampledOccTable coarse(bwt, 128);
+  EXPECT_GT(fine.memory_bytes(), coarse.memory_bytes());
+  // Factor-of-d reduction claim from the paper (approximately, +-1 bucket).
+  EXPECT_NEAR(static_cast<double>(fine.memory_bytes()) /
+                  static_cast<double>(coarse.memory_bytes()),
+              8.0, 0.5);
+}
+
+TEST(OccTable, OutOfRangeThrows) {
+  const Fixture f("ACGT");
+  const SampledOccTable sampled(f.bwt, 2);
+  EXPECT_THROW(sampled.occ(f.bwt, Base::A, f.bwt.size() + 1),
+               std::out_of_range);
+}
+
+}  // namespace
+}  // namespace pim::index

@@ -1,0 +1,89 @@
+#include "src/align/parallel_aligner.h"
+
+#include <gtest/gtest.h>
+
+#include "src/genome/synthetic_genome.h"
+#include "src/readsim/read_simulator.h"
+
+namespace pim::align {
+namespace {
+
+struct Fixture {
+  genome::PackedSequence reference;
+  index::FmIndex fm;
+  std::vector<std::vector<genome::Base>> reads;
+
+  Fixture() {
+    genome::SyntheticGenomeSpec spec;
+    spec.length = 50000;
+    spec.seed = 8;
+    reference = genome::generate_reference(spec);
+    fm = index::FmIndex::build(reference, {.bucket_width = 128});
+    readsim::ReadSimSpec rspec;
+    rspec.read_length = 80;
+    rspec.num_reads = 200;
+    rspec.seed = 9;
+    const auto set = readsim::ReadSimulator(rspec).generate(reference);
+    for (const auto& r : set.reads) reads.push_back(r.bases);
+  }
+};
+
+TEST(ParallelAligner, ResultsIdenticalToSerial) {
+  Fixture f;
+  AlignerOptions opt;
+  opt.inexact.max_diffs = 2;
+  const Aligner aligner(f.fm, opt);
+  AlignerStats serial_stats, parallel_stats;
+  const auto serial = aligner.align_batch(f.reads, &serial_stats);
+  const auto parallel =
+      align_batch_parallel(aligner, f.reads, 4, &parallel_stats);
+  ASSERT_EQ(parallel.size(), serial.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(parallel[i].stage, serial[i].stage) << i;
+    ASSERT_EQ(parallel[i].hits.size(), serial[i].hits.size()) << i;
+    for (std::size_t h = 0; h < serial[i].hits.size(); ++h) {
+      EXPECT_EQ(parallel[i].hits[h].position, serial[i].hits[h].position);
+      EXPECT_EQ(parallel[i].hits[h].diffs, serial[i].hits[h].diffs);
+      EXPECT_EQ(parallel[i].hits[h].strand, serial[i].hits[h].strand);
+    }
+  }
+  EXPECT_EQ(parallel_stats.reads_total, serial_stats.reads_total);
+  EXPECT_EQ(parallel_stats.reads_exact, serial_stats.reads_exact);
+  EXPECT_EQ(parallel_stats.reads_inexact, serial_stats.reads_inexact);
+  EXPECT_EQ(parallel_stats.reads_unaligned, serial_stats.reads_unaligned);
+}
+
+TEST(ParallelAligner, SingleThreadWorks) {
+  Fixture f;
+  const Aligner aligner(f.fm);
+  const auto results = align_batch_parallel(aligner, f.reads, 1);
+  EXPECT_EQ(results.size(), f.reads.size());
+}
+
+TEST(ParallelAligner, MoreThreadsThanReads) {
+  Fixture f;
+  const Aligner aligner(f.fm);
+  std::vector<std::vector<genome::Base>> two(f.reads.begin(),
+                                             f.reads.begin() + 2);
+  const auto results = align_batch_parallel(aligner, two, 16);
+  EXPECT_EQ(results.size(), 2U);
+}
+
+TEST(ParallelAligner, EmptyBatch) {
+  Fixture f;
+  const Aligner aligner(f.fm);
+  AlignerStats stats;
+  const auto results = align_batch_parallel(aligner, {}, 4, &stats);
+  EXPECT_TRUE(results.empty());
+  EXPECT_EQ(stats.reads_total, 0U);
+}
+
+TEST(ParallelAligner, DefaultThreadCount) {
+  Fixture f;
+  const Aligner aligner(f.fm);
+  const auto results = align_batch_parallel(aligner, f.reads, 0);
+  EXPECT_EQ(results.size(), f.reads.size());
+}
+
+}  // namespace
+}  // namespace pim::align

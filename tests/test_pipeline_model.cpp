@@ -1,0 +1,113 @@
+#include "src/pim/pipeline.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+namespace pim::hw {
+namespace {
+
+TEST(PipelineModel, StageTimesPositive) {
+  const TimingEnergyModel timing;
+  const PipelineModel model(timing);
+  const StageTimes t = model.stage_times();
+  EXPECT_GT(t.xnor_ns, 0.0);
+  EXPECT_GT(t.dpu_ns, 0.0);
+  EXPECT_GT(t.count_write_ns, 0.0);
+  EXPECT_GT(t.im_add_ns, 0.0);
+  EXPECT_GT(t.readout_ns, 0.0);
+  EXPECT_NEAR(t.serial_ns(), t.array_work_ns() + t.dpu_ns, 1e-12);
+  EXPECT_NEAR(t.movement_ns(), t.count_write_ns + t.readout_ns, 1e-12);
+}
+
+TEST(PipelineModel, BadConfigThrows) {
+  const TimingEnergyModel timing;
+  PipelineConfig cfg;
+  cfg.add_batch_columns = 0;
+  EXPECT_THROW(PipelineModel(timing, cfg), std::invalid_argument);
+  const PipelineModel model(timing);
+  EXPECT_THROW(model.evaluate(0), std::invalid_argument);
+}
+
+TEST(PipelineModel, Pd1IsSerial) {
+  const TimingEnergyModel timing;
+  const PipelineModel model(timing);
+  const PipelineReport r = model.evaluate(1);
+  EXPECT_DOUBLE_EQ(r.initiation_interval_ns, r.serial_lfm_ns);
+  EXPECT_DOUBLE_EQ(r.speedup, 1.0);
+}
+
+TEST(PipelineModel, Pd2GivesPaperFortyPercentGain) {
+  // The paper: "our pipeline technique with Pd=2 has improved the
+  // performance by ~40% compared to the baseline design".
+  const TimingEnergyModel timing;
+  const PipelineModel model(timing);
+  const PipelineReport r = model.evaluate(2);
+  EXPECT_NEAR(r.speedup, 1.4, 0.1);
+}
+
+TEST(PipelineModel, SpeedupMonotoneNonDecreasingAndSaturating) {
+  const TimingEnergyModel timing;
+  const PipelineModel model(timing);
+  double prev = 0.0;
+  for (std::uint32_t pd = 1; pd <= 8; ++pd) {
+    const double s = model.evaluate(pd).speedup;
+    EXPECT_GE(s, prev - 1e-12) << "pd=" << pd;
+    prev = s;
+  }
+  // The carry-serial adder caps the gains (Fig. 9c's diminishing returns).
+  EXPECT_NEAR(model.evaluate(8).speedup, model.evaluate(4).speedup, 0.5);
+}
+
+TEST(PipelineModel, MovementFractionUnderPaperBound) {
+  // Fig. 10b: PIM-Aligner spends < ~18% of time on memory access/transfer.
+  const TimingEnergyModel timing;
+  const PipelineModel model(timing);
+  for (std::uint32_t pd = 1; pd <= 4; ++pd) {
+    const PipelineReport r = model.evaluate(pd);
+    EXPECT_GT(r.movement_fraction, 0.0);
+    EXPECT_LT(r.movement_fraction, 0.18) << "pd=" << pd;
+  }
+}
+
+TEST(PipelineModel, UtilizationMatchesOccupancyLaw) {
+  const TimingEnergyModel timing;
+  const PipelineModel model(timing);
+  EXPECT_NEAR(model.evaluate(1).utilization, 1.0 - std::exp(-1.0), 1e-12);
+  EXPECT_NEAR(model.evaluate(2).utilization, 1.0 - std::exp(-2.0), 1e-12);
+  // Pd=2 lands at the paper's "up to ~86%" RUR.
+  EXPECT_NEAR(model.evaluate(2).utilization, 0.865, 0.01);
+}
+
+TEST(PipelineModel, EnergyPerLfmGrowsWithPd) {
+  const TimingEnergyModel timing;
+  const PipelineModel model(timing);
+  const double e1 = model.evaluate(1).energy_per_lfm_pj;
+  const double e2 = model.evaluate(2).energy_per_lfm_pj;
+  const double e4 = model.evaluate(4).energy_per_lfm_pj;
+  EXPECT_GT(e1, 0.0);
+  EXPECT_GT(e2, e1);  // duplication costs energy
+  EXPECT_GT(e4, e2);
+}
+
+TEST(PipelineModel, LargerBatchLowersPerLfmCost) {
+  const TimingEnergyModel timing;
+  PipelineConfig small, large;
+  small.add_batch_columns = 4;
+  large.add_batch_columns = 64;
+  const PipelineModel a(timing, small), b(timing, large);
+  EXPECT_GT(a.evaluate(1).serial_lfm_ns, b.evaluate(1).serial_lfm_ns);
+  EXPECT_GT(a.evaluate(1).energy_per_lfm_pj, b.evaluate(1).energy_per_lfm_pj);
+}
+
+TEST(PipelineModel, RatePerGroupConsistentWithIi) {
+  const TimingEnergyModel timing;
+  const PipelineModel model(timing);
+  const PipelineReport r = model.evaluate(2);
+  EXPECT_NEAR(r.lfm_rate_per_group_hz * r.initiation_interval_ns / 1e9, 1.0,
+              1e-9);
+}
+
+}  // namespace
+}  // namespace pim::hw

@@ -1,0 +1,154 @@
+#include "src/readsim/read_simulator.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "src/genome/synthetic_genome.h"
+
+namespace pim::readsim {
+namespace {
+
+genome::PackedSequence reference(std::size_t length = 20000,
+                                 std::uint64_t seed = 1) {
+  genome::SyntheticGenomeSpec spec;
+  spec.length = length;
+  spec.seed = seed;
+  return genome::generate_reference(spec);
+}
+
+TEST(ReadSimulator, GeneratesRequestedShape) {
+  ReadSimSpec spec;
+  spec.read_length = 100;
+  spec.num_reads = 250;
+  const auto set = ReadSimulator(spec).generate(reference());
+  ASSERT_EQ(set.reads.size(), 250U);
+  for (const auto& read : set.reads) {
+    EXPECT_EQ(read.bases.size(), 100U);
+    EXPECT_LE(read.origin + 100, 20000U);
+  }
+}
+
+TEST(ReadSimulator, DeterministicInSeed) {
+  ReadSimSpec spec;
+  spec.num_reads = 50;
+  spec.seed = 9;
+  const auto ref = reference();
+  const auto a = ReadSimulator(spec).generate(ref);
+  const auto b = ReadSimulator(spec).generate(ref);
+  ASSERT_EQ(a.reads.size(), b.reads.size());
+  for (std::size_t i = 0; i < a.reads.size(); ++i) {
+    EXPECT_EQ(a.reads[i].bases, b.reads[i].bases);
+    EXPECT_EQ(a.reads[i].origin, b.reads[i].origin);
+  }
+}
+
+TEST(ReadSimulator, RejectsTooShortReference) {
+  ReadSimSpec spec;
+  spec.read_length = 100;
+  EXPECT_THROW(ReadSimulator(spec).generate(
+                   genome::generate_uniform(50, 1)),
+               std::invalid_argument);
+}
+
+TEST(ReadSimulator, ErrorFreeReadsMatchReferenceExactly) {
+  ReadSimSpec spec;
+  spec.read_length = 60;
+  spec.num_reads = 100;
+  spec.population_variation_rate = 0.0;
+  spec.sequencing_error_rate = 0.0;
+  spec.sample_both_strands = false;
+  const auto ref = reference();
+  const auto set = ReadSimulator(spec).generate(ref);
+  EXPECT_DOUBLE_EQ(set.exact_fraction(), 1.0);
+  for (const auto& read : set.reads) {
+    EXPECT_TRUE(read.is_exact());
+    const auto truth = ref.slice(read.origin, read.origin + 60);
+    EXPECT_EQ(read.bases, truth);
+  }
+}
+
+TEST(ReadSimulator, ReverseStrandReadsAreReverseComplements) {
+  ReadSimSpec spec;
+  spec.read_length = 40;
+  spec.num_reads = 200;
+  spec.population_variation_rate = 0.0;
+  spec.sequencing_error_rate = 0.0;
+  spec.sample_both_strands = true;
+  spec.seed = 3;
+  const auto ref = reference();
+  const auto set = ReadSimulator(spec).generate(ref);
+  std::size_t reverse_count = 0;
+  for (const auto& read : set.reads) {
+    const auto truth = ref.slice(read.origin, read.origin + 40);
+    if (read.reverse_strand) {
+      ++reverse_count;
+      EXPECT_EQ(read.bases, genome::reverse_complement(truth));
+    } else {
+      EXPECT_EQ(read.bases, truth);
+    }
+  }
+  // Roughly half the reads come from each strand.
+  EXPECT_GT(reverse_count, 60U);
+  EXPECT_LT(reverse_count, 140U);
+}
+
+TEST(ReadSimulator, PaperRatesGiveRoughlySeventyPercentExact) {
+  // 100 bp at 0.1% variation + 0.2% sequencing error: P(exact) ~ 0.997^100
+  // ~ 0.74 — the paper's "up to ~70% of short reads align exactly".
+  ReadSimSpec spec;
+  spec.read_length = 100;
+  spec.num_reads = 4000;
+  spec.population_variation_rate = 0.001;
+  spec.sequencing_error_rate = 0.002;
+  spec.seed = 7;
+  const auto set = ReadSimulator(spec).generate(reference(50000, 2));
+  EXPECT_NEAR(set.exact_fraction(), 0.74, 0.05);
+}
+
+TEST(ReadSimulator, SubstitutionCountsAreConsistent) {
+  ReadSimSpec spec;
+  spec.read_length = 80;
+  spec.num_reads = 300;
+  spec.population_variation_rate = 0.01;
+  spec.sequencing_error_rate = 0.01;
+  spec.sample_both_strands = false;
+  spec.seed = 5;
+  const auto ref = reference();
+  const auto set = ReadSimulator(spec).generate(ref);
+  for (const auto& read : set.reads) {
+    // Hamming distance to the true origin equals at most the recorded
+    // substitution count (two hits on one base can cancel).
+    const auto truth = ref.slice(read.origin, read.origin + 80);
+    std::uint32_t hamming = 0;
+    for (std::size_t i = 0; i < 80; ++i) {
+      if (truth[i] != read.bases[i]) ++hamming;
+    }
+    EXPECT_LE(hamming, read.substitutions);
+  }
+}
+
+TEST(ReadSimulator, IndelErrorsProduceIndels) {
+  ReadSimSpec spec;
+  spec.read_length = 100;
+  spec.num_reads = 500;
+  spec.indel_error_rate = 0.02;
+  spec.seed = 11;
+  const auto set = ReadSimulator(spec).generate(reference());
+  std::uint64_t insertions = 0, deletions = 0;
+  for (const auto& read : set.reads) {
+    insertions += read.insertions;
+    deletions += read.deletions;
+    EXPECT_EQ(read.bases.size(), 100U);  // length preserved despite indels
+  }
+  EXPECT_GT(insertions, 0U);
+  EXPECT_GT(deletions, 0U);
+}
+
+TEST(ReadSet, ExactFractionOfEmptySetIsZero) {
+  ReadSet set;
+  EXPECT_DOUBLE_EQ(set.exact_fraction(), 0.0);
+}
+
+}  // namespace
+}  // namespace pim::readsim

@@ -1,0 +1,96 @@
+#include "src/pim/sense_amp.h"
+
+#include <gtest/gtest.h>
+
+namespace pim::hw {
+namespace {
+
+TEST(SenseAmp, ReferencesOrderedBetweenLevels) {
+  const SotMramModel model;
+  const ReconfigurableSenseAmp sa(model);
+  const auto& refs = sa.references();
+  std::vector<CellResistances> three(3, model.nominal());
+  // Each reference must sit strictly between the two levels it separates.
+  EXPECT_GT(refs.r_or3_ohm, model.equivalent_resistance(three, 0b000));
+  EXPECT_LT(refs.r_or3_ohm, model.equivalent_resistance(three, 0b001));
+  EXPECT_GT(refs.r_maj_ohm, model.equivalent_resistance(three, 0b001));
+  EXPECT_LT(refs.r_maj_ohm, model.equivalent_resistance(three, 0b011));
+  EXPECT_GT(refs.r_and3_ohm, model.equivalent_resistance(three, 0b011));
+  EXPECT_LT(refs.r_and3_ohm, model.equivalent_resistance(three, 0b111));
+  // And they are mutually ordered OR3 < MAJ < AND3.
+  EXPECT_LT(refs.r_or3_ohm, refs.r_maj_ohm);
+  EXPECT_LT(refs.r_maj_ohm, refs.r_and3_ohm);
+}
+
+TEST(SenseAmp, MemoryReadResolvesBothStates) {
+  const SotMramModel model;
+  const ReconfigurableSenseAmp sa(model);
+  EXPECT_FALSE(sa.sense_memory(model.nominal(), /*stored_ap=*/false));
+  EXPECT_TRUE(sa.sense_memory(model.nominal(), /*stored_ap=*/true));
+}
+
+TEST(SenseAmp, IdealTruthTables) {
+  for (int mask = 0; mask < 8; ++mask) {
+    const bool a = mask & 1, b = mask & 2, c = mask & 4;
+    const int ones = a + b + c;
+    const auto out = ReconfigurableSenseAmp::ideal_outputs(a, b, c);
+    EXPECT_EQ(out.and3, ones == 3);
+    EXPECT_EQ(out.maj3, ones >= 2);
+    EXPECT_EQ(out.or3, ones >= 1);
+    EXPECT_EQ(out.xor3, ones % 2 == 1);
+  }
+}
+
+TEST(SenseAmp, XorViaControlTransistorsIdentity) {
+  // The circuit computes XOR3 = (OR3 & ~MAJ) | AND3; check the identity
+  // holds on the ideal outputs for all 8 input combinations.
+  for (int mask = 0; mask < 8; ++mask) {
+    const bool a = mask & 1, b = mask & 2, c = mask & 4;
+    const auto out = ReconfigurableSenseAmp::ideal_outputs(a, b, c);
+    EXPECT_EQ(out.xor3, (out.or3 && !out.maj3) || out.and3);
+  }
+}
+
+TEST(SenseAmp, NominalTripleSenseMatchesTruthTable) {
+  const SotMramModel model;
+  const ReconfigurableSenseAmp sa(model);
+  std::vector<CellResistances> cells(3, model.nominal());
+  for (std::uint32_t mask = 0; mask < 8; ++mask) {
+    EXPECT_TRUE(sa.triple_sense_correct(cells, mask)) << "mask=" << mask;
+  }
+}
+
+TEST(SenseAmp, ReliabilityAtDefaultToxIsPoor) {
+  // At tox=1.5 nm the MAJ3 margin is a few mV; with sigma_RA=2% and
+  // sigma_TMR=5% a visible fraction of triple senses misfire — the
+  // motivation for the paper's thickness increase.
+  const SotMramModel model;  // tox = 1.5 nm
+  const auto report = monte_carlo_logic_reliability(model, 20000, 3);
+  EXPECT_EQ(report.trials, 20000U);
+  EXPECT_GT(report.failure_rate(), 0.001);
+}
+
+TEST(SenseAmp, ThickerToxRestoresReliability) {
+  SotMramParams p;
+  p.tox_nm = 2.0;
+  const SotMramModel model(p);
+  const auto report = monte_carlo_logic_reliability(model, 20000, 3);
+  // The paper: "~45 mV increase in the sense margin which considerably
+  // enhances the reliability".
+  EXPECT_LT(report.failure_rate(), 0.0005);
+}
+
+TEST(SenseAmp, ReliabilityDeterministicInSeed) {
+  const SotMramModel model;
+  const auto a = monte_carlo_logic_reliability(model, 2000, 9);
+  const auto b = monte_carlo_logic_reliability(model, 2000, 9);
+  EXPECT_EQ(a.failures, b.failures);
+}
+
+TEST(SenseAmp, EmptyReliabilityReport) {
+  ReliabilityReport r;
+  EXPECT_DOUBLE_EQ(r.failure_rate(), 0.0);
+}
+
+}  // namespace
+}  // namespace pim::hw

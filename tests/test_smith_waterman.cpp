@@ -1,0 +1,144 @@
+#include "src/align/smith_waterman.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/genome/synthetic_genome.h"
+#include "src/util/rng.h"
+
+namespace pim::align {
+namespace {
+
+using genome::encode;
+
+TEST(SmithWaterman, PerfectMatchScoresFullLength) {
+  const auto ref = encode("TTTTACGTACGTTTT");
+  const auto read = encode("ACGTACGT");
+  const SwResult r = smith_waterman(ref, read, {}, /*traceback=*/true);
+  EXPECT_EQ(r.score, 16);  // 8 matches x 2
+  EXPECT_EQ(r.ref_begin, 4U);
+  EXPECT_EQ(r.ref_end, 12U);
+  EXPECT_EQ(r.read_begin, 0U);
+  EXPECT_EQ(r.read_end, 8U);
+  EXPECT_EQ(cigar_to_string(r.cigar), "8M");
+}
+
+TEST(SmithWaterman, EmptyInputsScoreZero) {
+  EXPECT_EQ(smith_waterman({}, encode("ACGT")).score, 0);
+  EXPECT_EQ(smith_waterman(encode("ACGT"), {}).score, 0);
+}
+
+TEST(SmithWaterman, MismatchInMiddle) {
+  const auto ref = encode("AAAACGTACGTAAAA");
+  const auto read = encode("ACGTGCGT");  // one substitution vs ACGTACGT
+  const SwResult r = smith_waterman(ref, read, {}, true);
+  EXPECT_EQ(r.score, 2 * 7 - 1);  // 7 matches, 1 mismatch
+  EXPECT_EQ(cigar_to_string(r.cigar), "4M1X3M");
+}
+
+TEST(SmithWaterman, GapInRead) {
+  const auto ref = encode("TTACGTACGTTT");
+  const auto read = encode("ACGTCGT");  // A deleted relative to ACGTACGT
+  const SwResult r = smith_waterman(ref, read, {}, true);
+  // 7 matches (14) - one 1-bp deletion (2) = 12.
+  EXPECT_EQ(r.score, 12);
+  EXPECT_EQ(cigar_to_string(r.cigar), "4M1D3M");
+}
+
+TEST(SmithWaterman, GapInReference) {
+  const auto ref = encode("TTACGTCGTTT");
+  const auto read = encode("ACGTACGT");
+  const SwResult r = smith_waterman(ref, read, {}, true);
+  EXPECT_EQ(r.score, 12);
+  EXPECT_EQ(cigar_to_string(r.cigar), "4M1I3M");
+}
+
+TEST(SmithWaterman, LocalAlignmentIgnoresBadFlanks) {
+  // Score must never go negative: the local alignment restarts.
+  const auto ref = encode("GGGGGGGG");
+  const auto read = encode("TTTTGGGG");
+  const SwResult r = smith_waterman(ref, read);
+  EXPECT_EQ(r.score, 8);  // the GGGG core only
+}
+
+TEST(SmithWaterman, CellsComputedIsNm) {
+  const auto ref = encode("ACGTACGTAC");
+  const auto read = encode("ACGT");
+  const SwResult r = smith_waterman(ref, read);
+  EXPECT_EQ(r.cells_computed, 40U);
+}
+
+TEST(SmithWaterman, CustomScoring) {
+  SwScoring scoring;
+  scoring.match = 5;
+  scoring.mismatch = -4;
+  scoring.gap_open = scoring.gap_extend = -10;
+  const auto ref = encode("ACGTACGT");
+  const auto read = encode("ACGTACGT");
+  EXPECT_EQ(smith_waterman(ref, read, scoring).score, 40);
+}
+
+TEST(SmithWatermanBanded, WideBandMatchesFull) {
+  genome::SyntheticGenomeSpec spec;
+  spec.length = 300;
+  spec.seed = 8;
+  const auto text = genome::generate_reference(spec);
+  const auto ref = text.unpack();
+  util::Xoshiro256 rng(9);
+  for (int trial = 0; trial < 10; ++trial) {
+    const std::size_t len = 20 + rng.bounded(20);
+    const std::size_t start = rng.bounded(ref.size() - len);
+    std::vector<genome::Base> read(ref.begin() + static_cast<long>(start),
+                                   ref.begin() + static_cast<long>(start + len));
+    const SwResult full = smith_waterman(ref, read);
+    // A band as wide as the reference is equivalent to full DP.
+    const SwResult banded = smith_waterman_banded(
+        ref, read, 0, static_cast<std::uint32_t>(ref.size()));
+    EXPECT_EQ(banded.score, full.score) << trial;
+  }
+}
+
+TEST(SmithWatermanBanded, NarrowBandComputesFewerCells) {
+  genome::SyntheticGenomeSpec spec;
+  spec.length = 500;
+  spec.seed = 10;
+  const auto text = genome::generate_reference(spec);
+  const auto ref = text.unpack();
+  const auto read = text.slice(200, 260);
+  const SwResult full = smith_waterman(ref, read);
+  const SwResult banded = smith_waterman_banded(ref, read, 200, 8);
+  EXPECT_LT(banded.cells_computed, full.cells_computed / 10);
+  // Centred on the true diagonal, the banded score finds the same optimum.
+  EXPECT_EQ(banded.score, full.score);
+}
+
+TEST(SmithWaterman, CigarRoundTripConsistency) {
+  // The CIGAR's consumed lengths must equal the aligned span lengths.
+  genome::SyntheticGenomeSpec spec;
+  spec.length = 200;
+  spec.seed = 12;
+  const auto text = genome::generate_reference(spec);
+  const auto ref = text.unpack();
+  util::Xoshiro256 rng(13);
+  for (int trial = 0; trial < 10; ++trial) {
+    const std::size_t len = 15 + rng.bounded(15);
+    const std::size_t start = rng.bounded(ref.size() - len);
+    std::vector<genome::Base> read(ref.begin() + static_cast<long>(start),
+                                   ref.begin() + static_cast<long>(start + len));
+    read[rng.bounded(read.size())] = static_cast<genome::Base>(rng.bounded(4));
+    const SwResult r = smith_waterman(ref, read, {}, true);
+    std::uint64_t ref_consumed = 0, read_consumed = 0;
+    for (const auto& e : r.cigar) {
+      if (e.op != CigarOp::kInsertion) ref_consumed += e.length;
+      if (e.op != CigarOp::kDeletion) read_consumed += e.length;
+    }
+    EXPECT_EQ(ref_consumed, r.ref_end - r.ref_begin);
+    EXPECT_EQ(read_consumed, r.read_end - r.read_begin);
+  }
+}
+
+TEST(CigarToString, Empty) { EXPECT_EQ(cigar_to_string({}), ""); }
+
+}  // namespace
+}  // namespace pim::align

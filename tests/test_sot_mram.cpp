@@ -1,0 +1,149 @@
+#include "src/pim/sot_mram.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace pim::hw {
+namespace {
+
+TEST(SotMram, NominalResistances) {
+  SotMramParams p;  // defaults: RA=18 ohm.um^2, A=6e-3 um^2, TMR=1
+  const SotMramModel model(p);
+  EXPECT_NEAR(model.nominal().r_p_ohm, 3000.0, 1.0);
+  EXPECT_NEAR(model.nominal().r_ap_ohm, 6000.0, 2.0);
+}
+
+TEST(SotMram, InvalidParamsThrow) {
+  SotMramParams p;
+  p.mtj_area_um2 = 0.0;
+  EXPECT_THROW(SotMramModel{p}, std::invalid_argument);
+  SotMramParams q;
+  q.ra_product_ohm_um2 = -1.0;
+  EXPECT_THROW(SotMramModel{q}, std::invalid_argument);
+}
+
+TEST(SotMram, ThickerBarrierRaisesResistance) {
+  SotMramParams thin;
+  thin.tox_nm = 1.5;
+  SotMramParams thick = thin;
+  thick.tox_nm = 2.0;
+  const SotMramModel a(thin), b(thick);
+  EXPECT_GT(b.nominal().r_p_ohm, a.nominal().r_p_ohm * 5.0);
+  // TMR ratio unchanged by thickness.
+  EXPECT_NEAR(b.nominal().r_ap_ohm / b.nominal().r_p_ohm,
+              a.nominal().r_ap_ohm / a.nominal().r_p_ohm, 1e-9);
+}
+
+TEST(SotMram, EquivalentResistanceMonotoneInApCount) {
+  const SotMramModel model;
+  std::vector<CellResistances> cells(3, model.nominal());
+  const double r0 = model.equivalent_resistance(cells, 0b000);
+  const double r1 = model.equivalent_resistance(cells, 0b001);
+  const double r2 = model.equivalent_resistance(cells, 0b011);
+  const double r3 = model.equivalent_resistance(cells, 0b111);
+  EXPECT_LT(r0, r1);
+  EXPECT_LT(r1, r2);
+  EXPECT_LT(r2, r3);
+}
+
+TEST(SotMram, EquivalentResistanceSymmetricInMask) {
+  // Same AP count, different cells -> same Req for identical cells.
+  const SotMramModel model;
+  std::vector<CellResistances> cells(3, model.nominal());
+  EXPECT_DOUBLE_EQ(model.equivalent_resistance(cells, 0b001),
+                   model.equivalent_resistance(cells, 0b100));
+}
+
+TEST(SotMram, EmptyCellsThrow) {
+  const SotMramModel model;
+  EXPECT_THROW(model.equivalent_resistance({}, 0), std::invalid_argument);
+}
+
+TEST(SotMram, NominalVsenseOrdering) {
+  const SotMramModel model;
+  // Fan-in 1: P vs AP clearly separated (the memory-read margin).
+  const double v_p = model.nominal_v_sense(1, 0);
+  const double v_ap = model.nominal_v_sense(1, 1);
+  EXPECT_GT(v_ap, v_p * 1.5);
+  // Fan-in 3 levels compress (the Fig. 5b message).
+  const double gap1 = v_ap - v_p;
+  const double gap3 = model.nominal_v_sense(3, 3) - model.nominal_v_sense(3, 2);
+  EXPECT_LT(gap3, gap1 / 3.0);
+  EXPECT_THROW(model.nominal_v_sense(0, 0), std::invalid_argument);
+  EXPECT_THROW(model.nominal_v_sense(2, 3), std::invalid_argument);
+}
+
+TEST(SotMram, SampleCellRespectsSigmas) {
+  const SotMramModel model;
+  util::Xoshiro256 rng(3);
+  util::RunningStats rp, tmr;
+  for (int i = 0; i < 20000; ++i) {
+    const CellResistances c = model.sample_cell(rng);
+    rp.add(c.r_p_ohm);
+    tmr.add(c.r_ap_ohm / c.r_p_ohm - 1.0);
+  }
+  EXPECT_NEAR(rp.mean(), model.nominal().r_p_ohm, 20.0);
+  EXPECT_NEAR(rp.stddev() / rp.mean(), 0.02, 0.003);  // sigma_RA = 2%
+  EXPECT_NEAR(tmr.mean(), 1.0, 0.01);
+  EXPECT_NEAR(tmr.stddev(), 0.05, 0.005);  // sigma_TMR = 5%
+}
+
+TEST(MonteCarloSenseMargin, MarginsShrinkWithFanIn) {
+  const SotMramModel model;
+  const auto m1 = monte_carlo_sense_margin(model, 1, 3000, 1);
+  const auto m2 = monte_carlo_sense_margin(model, 2, 3000, 2);
+  const auto m3 = monte_carlo_sense_margin(model, 3, 3000, 3);
+  EXPECT_GT(m1.worst_margin_mv, m2.worst_margin_mv);
+  EXPECT_GT(m2.worst_margin_mv, m3.worst_margin_mv);
+  // All margins positive: the design remains resolvable at fan-in 3 —
+  // exactly why the paper limits sensing to three cells.
+  EXPECT_GT(m3.worst_margin_mv, 0.0);
+  // Distribution count: fan_in + 1 AP-count combinations each.
+  EXPECT_EQ(m1.distributions.size(), 2U);
+  EXPECT_EQ(m2.distributions.size(), 3U);
+  EXPECT_EQ(m3.distributions.size(), 4U);
+}
+
+TEST(MonteCarloSenseMargin, PaperScaleMargins) {
+  // Fig. 5b reports 43.31 / 14.62 / 5.82 / 4.28 mV; our compact model must
+  // land in the same regime: tens of mV at fan-in 1, a few mV at fan-in 3.
+  const SotMramModel model;
+  const auto m1 = monte_carlo_sense_margin(model, 1, 10000, 7);
+  const auto m3 = monte_carlo_sense_margin(model, 3, 10000, 9);
+  EXPECT_GT(m1.worst_margin_mv, 25.0);
+  EXPECT_LT(m1.worst_margin_mv, 70.0);
+  EXPECT_GT(m3.worst_margin_mv, 0.5);
+  EXPECT_LT(m3.worst_margin_mv, 10.0);
+}
+
+TEST(MonteCarloSenseMargin, ThickerToxWidensMaj3Margin) {
+  // The paper's reliability fix: tox 1.5 -> 2.0 nm adds ~45 mV of margin.
+  SotMramParams thin;
+  SotMramParams thick = thin;
+  thick.tox_nm = 2.0;
+  const auto m_thin = monte_carlo_sense_margin(SotMramModel(thin), 3, 5000, 4);
+  const auto m_thick =
+      monte_carlo_sense_margin(SotMramModel(thick), 3, 5000, 4);
+  const double gain = m_thick.worst_margin_mv - m_thin.worst_margin_mv;
+  EXPECT_GT(gain, 10.0);
+  EXPECT_LT(gain, 120.0);
+}
+
+TEST(MonteCarloSenseMargin, InvalidFanInThrows) {
+  const SotMramModel model;
+  EXPECT_THROW(monte_carlo_sense_margin(model, 0, 10, 1),
+               std::invalid_argument);
+  EXPECT_THROW(monte_carlo_sense_margin(model, 32, 10, 1),
+               std::invalid_argument);
+}
+
+TEST(MonteCarloSenseMargin, DeterministicInSeed) {
+  const SotMramModel model;
+  const auto a = monte_carlo_sense_margin(model, 2, 1000, 5);
+  const auto b = monte_carlo_sense_margin(model, 2, 1000, 5);
+  EXPECT_DOUBLE_EQ(a.worst_margin_mv, b.worst_margin_mv);
+}
+
+}  // namespace
+}  // namespace pim::hw

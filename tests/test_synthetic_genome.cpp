@@ -1,0 +1,111 @@
+#include "src/genome/synthetic_genome.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <stdexcept>
+
+namespace pim::genome {
+namespace {
+
+TEST(SyntheticGenome, UniformLengthAndDeterminism) {
+  const auto a = generate_uniform(1000, 42);
+  const auto b = generate_uniform(1000, 42);
+  const auto c = generate_uniform(1000, 43);
+  EXPECT_EQ(a.size(), 1000U);
+  EXPECT_TRUE(a == b);
+  EXPECT_FALSE(a == c);
+}
+
+TEST(SyntheticGenome, UniformGcContent) {
+  const auto seq = generate_uniform(50000, 7, 0.41);
+  std::size_t gc = 0;
+  for (std::size_t i = 0; i < seq.size(); ++i) {
+    const Base b = seq.at(i);
+    if (b == Base::G || b == Base::C) ++gc;
+  }
+  EXPECT_NEAR(static_cast<double>(gc) / 50000.0, 0.41, 0.02);
+}
+
+TEST(SyntheticGenome, UniformUsesAllBases) {
+  const auto seq = generate_uniform(2000, 9);
+  std::array<bool, 4> seen{};
+  for (std::size_t i = 0; i < seq.size(); ++i) {
+    seen[static_cast<std::size_t>(seq.at(i))] = true;
+  }
+  for (const bool s : seen) EXPECT_TRUE(s);
+}
+
+TEST(SyntheticGenome, UniformRejectsBadGc) {
+  EXPECT_THROW(generate_uniform(10, 1, -0.1), std::invalid_argument);
+  EXPECT_THROW(generate_uniform(10, 1, 1.1), std::invalid_argument);
+}
+
+TEST(SyntheticGenome, ReferenceHasRequestedLength) {
+  SyntheticGenomeSpec spec;
+  spec.length = 12345;
+  spec.seed = 5;
+  const auto seq = generate_reference(spec);
+  EXPECT_EQ(seq.size(), 12345U);
+}
+
+TEST(SyntheticGenome, ReferenceDeterministicInSeed) {
+  SyntheticGenomeSpec spec;
+  spec.length = 5000;
+  spec.seed = 11;
+  const auto a = generate_reference(spec);
+  const auto b = generate_reference(spec);
+  EXPECT_TRUE(a == b);
+}
+
+TEST(SyntheticGenome, RepeatsCreateDuplicatedKmers) {
+  // With heavy repeat planting, some long k-mers must recur; with zero
+  // repeat fraction at the same modest length, recurrence of a 40-mer is
+  // vanishingly unlikely.
+  SyntheticGenomeSpec with_repeats;
+  with_repeats.length = 60000;
+  with_repeats.repeat_fraction = 0.6;
+  with_repeats.repeat_divergence = 0.0;
+  with_repeats.seed = 3;
+  const auto seq = generate_reference(with_repeats);
+
+  auto count_recurring_40mer = [](const PackedSequence& s) {
+    // Sample a handful of 40-mers and scan for a second occurrence.
+    std::size_t recurring = 0;
+    for (std::size_t start = 0; start + 40 < s.size() && start < 2000;
+         start += 101) {
+      const auto probe = s.slice(start, start + 40);
+      for (std::size_t p = 0; p + 40 <= s.size(); ++p) {
+        if (p == start) continue;
+        bool match = true;
+        for (std::size_t k = 0; k < 40; ++k) {
+          if (s.at(p + k) != probe[k]) {
+            match = false;
+            break;
+          }
+        }
+        if (match) {
+          ++recurring;
+          break;
+        }
+      }
+    }
+    return recurring;
+  };
+  EXPECT_GT(count_recurring_40mer(seq), 0U);
+
+  SyntheticGenomeSpec unique;
+  unique.length = 60000;
+  unique.repeat_fraction = 0.0;
+  unique.seed = 3;
+  EXPECT_EQ(count_recurring_40mer(generate_reference(unique)), 0U);
+}
+
+TEST(SyntheticGenome, RejectsBadRepeatFraction) {
+  SyntheticGenomeSpec spec;
+  spec.repeat_fraction = 1.0;
+  EXPECT_THROW(generate_reference(spec), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pim::genome

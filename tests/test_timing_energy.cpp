@@ -1,0 +1,118 @@
+#include "src/pim/timing_energy.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace pim::hw {
+namespace {
+
+TEST(TimingEnergy, DefaultsExposeArrayOrganisation) {
+  const TimingEnergyModel m;
+  EXPECT_EQ(m.rows(), 512U);
+  EXPECT_EQ(m.cols(), 256U);
+  EXPECT_GT(m.clock_ghz(), 0.0);
+}
+
+TEST(TimingEnergy, OpCostsPositive) {
+  const TimingEnergyModel m;
+  for (const auto op : {SubArrayOp::kMemRead, SubArrayOp::kMemWrite,
+                        SubArrayOp::kTripleSense, SubArrayOp::kDpuWord}) {
+    const OpCost c = m.op_cost(op);
+    EXPECT_GT(c.latency_ns, 0.0);
+    EXPECT_GT(c.energy_pj, 0.0);
+  }
+}
+
+TEST(TimingEnergy, TripleSenseSlowerThanRead) {
+  // Three parallel references shrink margins, so the triple sense needs a
+  // longer integration window than a plain read.
+  const TimingEnergyModel m;
+  EXPECT_GT(m.op_cost(SubArrayOp::kTripleSense).latency_ns,
+            m.op_cost(SubArrayOp::kMemRead).latency_ns);
+}
+
+TEST(TimingEnergy, ImAddComposition) {
+  const TimingEnergyModel m;
+  const OpCost bitcost =
+      m.op_cost(SubArrayOp::kTripleSense) + m.op_cost(SubArrayOp::kMemWrite) +
+      m.op_cost(SubArrayOp::kMemWrite);
+  const OpCost add32 = m.im_add_cost(32);
+  EXPECT_NEAR(add32.latency_ns,
+              bitcost.latency_ns * 32 +
+                  m.op_cost(SubArrayOp::kMemWrite).latency_ns,
+              1e-9);
+  const OpCost add16 = m.im_add_cost(16);
+  EXPECT_LT(add16.latency_ns, add32.latency_ns);
+  EXPECT_LT(add16.energy_pj, add32.energy_pj);
+}
+
+TEST(TimingEnergy, XnorMatchIsTriplePlusDpu) {
+  const TimingEnergyModel m;
+  const OpCost want =
+      m.op_cost(SubArrayOp::kTripleSense) + m.op_cost(SubArrayOp::kDpuWord);
+  const OpCost got = m.xnor_match_cost();
+  EXPECT_DOUBLE_EQ(got.latency_ns, want.latency_ns);
+  EXPECT_DOUBLE_EQ(got.energy_pj, want.energy_pj);
+}
+
+TEST(TimingEnergy, ConfigOverrides) {
+  util::Config over;
+  over.set_double("ReadLatencyNs", 9.0);
+  over.set_int("RowsPerSubarray", 128);
+  const TimingEnergyModel m(over);
+  EXPECT_DOUBLE_EQ(m.op_cost(SubArrayOp::kMemRead).latency_ns, 9.0);
+  EXPECT_EQ(m.rows(), 128U);
+  // Untouched keys keep their defaults.
+  EXPECT_EQ(m.cols(), 256U);
+}
+
+TEST(TimingEnergy, BadOrganisationThrows) {
+  util::Config over;
+  over.set_int("RowsPerSubarray", 0);
+  EXPECT_THROW(TimingEnergyModel{over}, std::invalid_argument);
+  util::Config clock;
+  clock.set_double("ClockGHz", -1.0);
+  EXPECT_THROW(TimingEnergyModel{clock}, std::invalid_argument);
+}
+
+TEST(TimingEnergy, AreaModelUnderTenPercentOverhead) {
+  // The paper's claim: compute support costs <10% of chip area.
+  const TimingEnergyModel m;
+  EXPECT_LT(m.compute_area_overhead_fraction(), 0.10);
+  EXPECT_GT(m.subarray_area_mm2(), m.memory_subarray_area_mm2());
+  EXPECT_NEAR(m.subarray_area_mm2() / m.memory_subarray_area_mm2(),
+              1.0 + m.compute_area_overhead_fraction(), 1e-12);
+}
+
+TEST(TimingEnergy, AreaScalesWithCellCount) {
+  util::Config big;
+  big.set_int("RowsPerSubarray", 1024);
+  const TimingEnergyModel base, doubled(big);
+  EXPECT_NEAR(doubled.subarray_area_mm2() / base.subarray_area_mm2(), 2.0,
+              1e-9);
+}
+
+TEST(TimingEnergy, DefaultConfigRoundTrips) {
+  const util::Config cfg = TimingEnergyModel::default_config();
+  const TimingEnergyModel m(cfg);
+  EXPECT_EQ(m.rows(), 512U);
+  // Every default key survives the config round trip.
+  const util::Config again = m.config();
+  for (const auto& key : cfg.keys()) {
+    EXPECT_EQ(again.get_string(key), cfg.get_string(key)) << key;
+  }
+}
+
+TEST(TimingEnergy, OpCostArithmetic) {
+  const OpCost a{1.0, 2.0}, b{3.0, 4.0};
+  const OpCost sum = a + b;
+  EXPECT_DOUBLE_EQ(sum.latency_ns, 4.0);
+  EXPECT_DOUBLE_EQ(sum.energy_pj, 6.0);
+  const OpCost scaled = a * 3.0;
+  EXPECT_DOUBLE_EQ(scaled.latency_ns, 3.0);
+  EXPECT_DOUBLE_EQ(scaled.energy_pj, 6.0);
+}
+
+}  // namespace
+}  // namespace pim::hw

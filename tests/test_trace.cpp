@@ -1,0 +1,145 @@
+#include "src/pim/trace.h"
+
+#include <gtest/gtest.h>
+
+#include "src/genome/synthetic_genome.h"
+#include "src/pim/mapping.h"
+
+namespace pim::hw {
+namespace {
+
+TEST(CommandTrace, RecordsAndRenders) {
+  CommandTrace trace;
+  trace.record(SubArrayOp::kMemRead, {5});
+  trace.record(SubArrayOp::kTripleSense, {1, 2, 3});
+  trace.record(SubArrayOp::kDpuWord, {});
+  ASSERT_EQ(trace.entries().size(), 3U);
+  EXPECT_EQ(trace.entries()[0].to_string(), "READ r5");
+  EXPECT_EQ(trace.entries()[1].to_string(), "TRIPLE r1,r2,r3");
+  EXPECT_EQ(trace.entries()[2].to_string(), "DPU");
+  EXPECT_EQ(trace.count(SubArrayOp::kMemRead), 1U);
+  EXPECT_FALSE(trace.overflowed());
+  trace.clear();
+  EXPECT_TRUE(trace.entries().empty());
+}
+
+TEST(CommandTrace, OverflowStopsRecordingKeepsPrefix) {
+  CommandTrace trace(2);
+  trace.record(SubArrayOp::kMemRead, {1});
+  trace.record(SubArrayOp::kMemRead, {2});
+  trace.record(SubArrayOp::kMemRead, {3});
+  EXPECT_TRUE(trace.overflowed());
+  ASSERT_EQ(trace.entries().size(), 2U);
+  EXPECT_EQ(trace.entries()[1].rows[0], 2U);
+}
+
+TEST(CommandTrace, SubArrayOpsAreTraced) {
+  TimingEnergyModel model;
+  SubArray array(model);
+  CommandTrace trace;
+  array.attach_trace(&trace);
+  array.write_row(3, util::BitVector(array.cols()));
+  array.mem_read_row(3);
+  array.xnor2(0, 1);
+  array.charge_dpu_word();
+  ASSERT_EQ(trace.entries().size(), 4U);
+  EXPECT_EQ(trace.entries()[0].op, SubArrayOp::kMemWrite);
+  EXPECT_EQ(trace.entries()[1].op, SubArrayOp::kMemRead);
+  EXPECT_EQ(trace.entries()[2].op, SubArrayOp::kTripleSense);
+  EXPECT_EQ(trace.entries()[2].row_count, 2U);  // xnor senses two data rows
+  EXPECT_EQ(trace.entries()[3].op, SubArrayOp::kDpuWord);
+  array.attach_trace(nullptr);
+  array.mem_read_row(3);
+  EXPECT_EQ(trace.entries().size(), 4U);  // detached: no more records
+}
+
+// Golden trace of one off-checkpoint LFM — the Section V protocol:
+//   1 x XNOR_Match (triple sense: BWT row + CRef row)
+//   1 x DPU popcount
+//   32 x count-transpose write (reserved zone)
+//   1 x carry clear + 32 x (adder triple sense + sum write + carry write)
+//   32 x result readout
+TEST(CommandTrace, GoldenLfmProtocol) {
+  genome::SyntheticGenomeSpec spec;
+  spec.length = 5000;
+  spec.seed = 2;
+  const auto text = genome::generate_reference(spec);
+  const auto fm = index::FmIndex::build(text, {.bucket_width = 128});
+  TimingEnergyModel model;
+  ZoneLayout layout;
+  PimTile tile(model, layout, fm, 0);
+
+  CommandTrace trace;
+  tile.array().attach_trace(&trace);
+  tile.lfm(genome::Base::G, 300);  // row 2, residual 44, checkpoint col 2
+
+  const auto& e = trace.entries();
+  ASSERT_EQ(e.size(), 1 + 1 + 32 + 1 + 32 * 3 + 32U);
+
+  std::size_t i = 0;
+  // XNOR_Match on BWT row 2 vs CRef(G).
+  EXPECT_EQ(e[i].op, SubArrayOp::kTripleSense);
+  EXPECT_EQ(e[i].rows[0], 2U);
+  EXPECT_EQ(e[i].rows[1],
+            layout.cref_zone_begin() +
+                static_cast<std::uint32_t>(genome::Base::G));
+  ++i;
+  // DPU popcount.
+  EXPECT_EQ(e[i++].op, SubArrayOp::kDpuWord);
+  // Count transpose: 32 writes into the reserved count rows.
+  const std::uint32_t reserved = layout.reserved_zone_begin();
+  for (std::uint32_t b = 0; b < 32; ++b, ++i) {
+    EXPECT_EQ(e[i].op, SubArrayOp::kMemWrite);
+    EXPECT_EQ(e[i].rows[0], reserved + b);
+  }
+  // Carry clear.
+  const std::uint32_t carry = reserved + layout.carry_row_offset();
+  EXPECT_EQ(e[i].op, SubArrayOp::kMemWrite);
+  EXPECT_EQ(e[i].rows[0], carry);
+  ++i;
+  // 32 adder cycles: triple (marker_b, count_b, carry), sum write, carry write.
+  const std::uint32_t marker_bank =
+      layout.mt_zone_begin() +
+      static_cast<std::uint32_t>(genome::Base::G) * layout.marker_bits;
+  for (std::uint32_t b = 0; b < 32; ++b) {
+    EXPECT_EQ(e[i].op, SubArrayOp::kTripleSense);
+    EXPECT_EQ(e[i].rows[0], marker_bank + b);
+    EXPECT_EQ(e[i].rows[1], reserved + b);
+    EXPECT_EQ(e[i].rows[2], carry);
+    ++i;
+    EXPECT_EQ(e[i].op, SubArrayOp::kMemWrite);
+    EXPECT_EQ(e[i].rows[0], reserved + layout.sum_rows_offset() + b);
+    ++i;
+    EXPECT_EQ(e[i].op, SubArrayOp::kMemWrite);
+    EXPECT_EQ(e[i].rows[0], carry);
+    ++i;
+  }
+  // Result readout: 32 reads of the sum rows.
+  for (std::uint32_t b = 0; b < 32; ++b, ++i) {
+    EXPECT_EQ(e[i].op, SubArrayOp::kMemRead);
+    EXPECT_EQ(e[i].rows[0], reserved + layout.sum_rows_offset() + b);
+  }
+  EXPECT_EQ(i, e.size());
+}
+
+// Checkpoint-aligned LFM is pure MEM: exactly 32 marker reads, nothing else.
+TEST(CommandTrace, GoldenCheckpointLfm) {
+  genome::SyntheticGenomeSpec spec;
+  spec.length = 5000;
+  spec.seed = 2;
+  const auto text = genome::generate_reference(spec);
+  const auto fm = index::FmIndex::build(text, {.bucket_width = 128});
+  TimingEnergyModel model;
+  ZoneLayout layout;
+  PimTile tile(model, layout, fm, 0);
+
+  CommandTrace trace;
+  tile.array().attach_trace(&trace);
+  tile.lfm(genome::Base::T, 256);
+  EXPECT_EQ(trace.entries().size(), 32U);
+  EXPECT_EQ(trace.count(SubArrayOp::kMemRead), 32U);
+  EXPECT_EQ(trace.count(SubArrayOp::kTripleSense), 0U);
+}
+
+}  // namespace
+}  // namespace pim::hw

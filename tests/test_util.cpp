@@ -1,0 +1,235 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "src/util/config.h"
+#include "src/util/rng.h"
+#include "src/util/stats.h"
+#include "src/util/table.h"
+
+namespace pim::util {
+namespace {
+
+// --- RNG --------------------------------------------------------------------
+
+TEST(Rng, DeterministicForSeed) {
+  Xoshiro256 a(99), b(99);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Xoshiro256 a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Xoshiro256 rng(5);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, BoundedStaysInBound) {
+  Xoshiro256 rng(6);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.bounded(7), 7U);
+  }
+  EXPECT_EQ(rng.bounded(0), 0U);
+  EXPECT_EQ(rng.bounded(1), 0U);
+}
+
+TEST(Rng, BoundedCoversAllResidues) {
+  Xoshiro256 rng(8);
+  bool seen[5] = {};
+  for (int i = 0; i < 1000; ++i) seen[rng.bounded(5)] = true;
+  for (const bool s : seen) EXPECT_TRUE(s);
+}
+
+TEST(Rng, GaussianMomentsMatch) {
+  Xoshiro256 rng(11);
+  RunningStats stats;
+  for (int i = 0; i < 50000; ++i) stats.add(rng.gaussian(3.0, 2.0));
+  EXPECT_NEAR(stats.mean(), 3.0, 0.05);
+  EXPECT_NEAR(stats.stddev(), 2.0, 0.05);
+}
+
+TEST(Rng, BernoulliRate) {
+  Xoshiro256 rng(12);
+  int hits = 0;
+  for (int i = 0; i < 50000; ++i) hits += rng.bernoulli(0.2) ? 1 : 0;
+  EXPECT_NEAR(hits / 50000.0, 0.2, 0.01);
+}
+
+// --- RunningStats -----------------------------------------------------------
+
+TEST(RunningStats, KnownValues) {
+  RunningStats s;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8U);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStats, MergeEqualsCombined) {
+  Xoshiro256 rng(21);
+  RunningStats all, left, right;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.gaussian(0, 1);
+    all.add(x);
+    (i % 2 == 0 ? left : right).add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), all.count());
+  EXPECT_NEAR(left.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(left.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(left.min(), all.min());
+  EXPECT_DOUBLE_EQ(left.max(), all.max());
+}
+
+TEST(RunningStats, VarianceOfSingletonIsZero) {
+  RunningStats s;
+  s.add(42.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.stddev(), 0.0);
+}
+
+// --- Histogram --------------------------------------------------------------
+
+TEST(Histogram, BinsAndClamping) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(0.5);
+  h.add(9.5);
+  h.add(-100.0);  // clamps to first bin
+  h.add(100.0);   // clamps to last bin
+  EXPECT_EQ(h.total(), 4U);
+  EXPECT_EQ(h.bin_count(0), 2U);
+  EXPECT_EQ(h.bin_count(9), 2U);
+  EXPECT_DOUBLE_EQ(h.bin_lo(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(9), 10.0);
+}
+
+TEST(Histogram, InvalidArgsThrow) {
+  EXPECT_THROW(Histogram(0.0, 10.0, 0), std::invalid_argument);
+  EXPECT_THROW(Histogram(10.0, 0.0, 4), std::invalid_argument);
+}
+
+TEST(Histogram, RenderShowsOnlyOccupiedBins) {
+  Histogram h(0.0, 4.0, 4);
+  h.add(0.5);
+  h.add(0.6);
+  const std::string text = h.render(10);
+  EXPECT_NE(text.find('#'), std::string::npos);
+  EXPECT_NE(text.find("2"), std::string::npos);
+}
+
+// --- quantile ----------------------------------------------------------------
+
+TEST(Quantile, InterpolatesLinearly) {
+  std::vector<double> xs = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.5), 2.5);
+}
+
+TEST(Quantile, EmptyThrows) {
+  EXPECT_THROW(quantile({}, 0.5), std::invalid_argument);
+}
+
+// --- Config -----------------------------------------------------------------
+
+TEST(Config, ParsesNvsimStyle) {
+  const Config cfg = Config::parse(
+      "-ReadLatencyNs: 2.5   # comment\n"
+      "RowsPerSubarray: 512\n"
+      "\n"
+      "// full-line comment\n"
+      "Name: pim aligner\n"
+      "Enable: true\n");
+  EXPECT_DOUBLE_EQ(cfg.get_double("ReadLatencyNs"), 2.5);
+  EXPECT_EQ(cfg.get_int("RowsPerSubarray"), 512);
+  EXPECT_EQ(cfg.get_string("Name"), "pim aligner");
+  EXPECT_TRUE(cfg.get_bool("Enable"));
+}
+
+TEST(Config, MissingKeyBehaviour) {
+  const Config cfg = Config::parse("A: 1\n");
+  EXPECT_THROW(cfg.get_string("B"), std::out_of_range);
+  EXPECT_EQ(cfg.get_int_or("B", 7), 7);
+  EXPECT_DOUBLE_EQ(cfg.get_double_or("B", 1.5), 1.5);
+  EXPECT_TRUE(cfg.get_bool_or("B", true));
+  EXPECT_EQ(cfg.get_string_or("B", "x"), "x");
+}
+
+TEST(Config, MalformedThrows) {
+  EXPECT_THROW(Config::parse("no colon here\n"), std::runtime_error);
+  EXPECT_THROW(Config::parse(": empty key\n"), std::runtime_error);
+  const Config cfg = Config::parse("A: notanumber\n");
+  EXPECT_THROW(cfg.get_double("A"), std::runtime_error);
+  EXPECT_THROW(cfg.get_bool("A"), std::runtime_error);
+}
+
+TEST(Config, LaterKeysOverride) {
+  const Config cfg = Config::parse("A: 1\nA: 2\n");
+  EXPECT_EQ(cfg.get_int("A"), 2);
+}
+
+TEST(Config, MergedWithOverrides) {
+  Config base = Config::parse("A: 1\nB: 2\n");
+  Config over = Config::parse("B: 20\nC: 30\n");
+  const Config merged = base.merged_with(over);
+  EXPECT_EQ(merged.get_int("A"), 1);
+  EXPECT_EQ(merged.get_int("B"), 20);
+  EXPECT_EQ(merged.get_int("C"), 30);
+}
+
+TEST(Config, RoundTripThroughCfgText) {
+  Config cfg;
+  cfg.set_double("X", 3.25);
+  cfg.set_int("Y", -7);
+  cfg.set("Z", "hello");
+  const Config again = Config::parse(cfg.to_cfg_text());
+  EXPECT_DOUBLE_EQ(again.get_double("X"), 3.25);
+  EXPECT_EQ(again.get_int("Y"), -7);
+  EXPECT_EQ(again.get_string("Z"), "hello");
+}
+
+// --- TextTable ---------------------------------------------------------------
+
+TEST(TextTable, RendersAlignedRows) {
+  TextTable t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "22"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("| name"), std::string::npos);
+  // Separator row present.
+  EXPECT_NE(out.find("|---"), std::string::npos);
+}
+
+TEST(TextTable, RowWidthMismatchThrows) {
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only one"}), std::invalid_argument);
+}
+
+TEST(TextTable, NumFormatting) {
+  EXPECT_EQ(TextTable::num(1.5, 2), "1.50");
+  EXPECT_EQ(TextTable::num(0.0, 2), "0.00");
+  // Large and small magnitudes switch to scientific notation.
+  EXPECT_NE(TextTable::num(2.5e6, 2).find('e'), std::string::npos);
+  EXPECT_NE(TextTable::num(1e-3, 2).find('e'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pim::util

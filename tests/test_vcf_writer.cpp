@@ -1,0 +1,63 @@
+#include "src/varcall/vcf_writer.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace pim::varcall {
+namespace {
+
+using genome::Base;
+
+TEST(VcfWriter, HeaderContents) {
+  std::ostringstream out;
+  write_vcf_header(out, "chr1", 12345, "test-source");
+  const std::string text = out.str();
+  EXPECT_EQ(text.rfind("##fileformat=VCFv4.2", 0), 0U);  // first line
+  EXPECT_NE(text.find("##contig=<ID=chr1,length=12345>"), std::string::npos);
+  EXPECT_NE(text.find("##source=test-source"), std::string::npos);
+  EXPECT_NE(text.find("#CHROM\tPOS\tID\tREF\tALT\tQUAL\tFILTER\tINFO"),
+            std::string::npos);
+}
+
+TEST(VcfWriter, RecordFields) {
+  std::ostringstream out;
+  std::vector<SnvCall> calls;
+  calls.push_back({41, Base::A, Base::G, 30, 29, 29.0 / 30.0});
+  write_vcf_records(out, "chr1", calls);
+  const std::string line = out.str();
+  EXPECT_NE(line.find("chr1\t42\t.\tA\tG\t"), std::string::npos);  // 1-based
+  EXPECT_NE(line.find("PASS\tDP=30;AD=29;AF=0.967"), std::string::npos);
+}
+
+TEST(VcfWriter, RoundTripThroughParser) {
+  std::stringstream stream;
+  write_vcf_header(stream, "demo", 1000);
+  std::vector<SnvCall> calls;
+  calls.push_back({9, Base::C, Base::T, 20, 20, 1.0});
+  calls.push_back({99, Base::G, Base::A, 15, 14, 14.0 / 15.0});
+  write_vcf_records(stream, "demo", calls);
+  const auto triples = parse_vcf_triples(stream);
+  ASSERT_EQ(triples.size(), 2U);
+  EXPECT_EQ(triples[0], (VcfTriple{10, 'C', 'T'}));
+  EXPECT_EQ(triples[1], (VcfTriple{100, 'G', 'A'}));
+}
+
+TEST(VcfWriter, ParserRejectsMalformed) {
+  std::istringstream in("chr1\t10\t.\tAC\tG\t50\tPASS\tDP=1\n");  // REF len 2
+  EXPECT_THROW(parse_vcf_triples(in), std::runtime_error);
+  std::istringstream truncated("chr1\t10\t.\n");
+  EXPECT_THROW(parse_vcf_triples(truncated), std::runtime_error);
+}
+
+TEST(VcfWriter, QualClamped) {
+  std::ostringstream out;
+  std::vector<SnvCall> calls;
+  calls.push_back({0, Base::A, Base::C, 500, 500, 1.0});
+  write_vcf_records(out, "c", calls);
+  // 500 * 10 would be 5000; clamped to 99.
+  EXPECT_NE(out.str().find("\t99\tPASS"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pim::varcall
