@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_bucket_width.dir/ablation_bucket_width.cpp.o"
+  "CMakeFiles/ablation_bucket_width.dir/ablation_bucket_width.cpp.o.d"
+  "ablation_bucket_width"
+  "ablation_bucket_width.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_bucket_width.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_method.dir/ablation_method.cpp.o"
+  "CMakeFiles/ablation_method.dir/ablation_method.cpp.o.d"
+  "ablation_method"
+  "ablation_method.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_method.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

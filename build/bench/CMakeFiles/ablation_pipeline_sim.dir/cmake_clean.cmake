@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_pipeline_sim.dir/ablation_pipeline_sim.cpp.o"
+  "CMakeFiles/ablation_pipeline_sim.dir/ablation_pipeline_sim.cpp.o.d"
+  "ablation_pipeline_sim"
+  "ablation_pipeline_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_pipeline_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

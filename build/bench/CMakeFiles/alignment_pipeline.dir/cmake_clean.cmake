@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alignment_pipeline.dir/alignment_pipeline.cpp.o"
+  "CMakeFiles/alignment_pipeline.dir/alignment_pipeline.cpp.o.d"
+  "alignment_pipeline"
+  "alignment_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alignment_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

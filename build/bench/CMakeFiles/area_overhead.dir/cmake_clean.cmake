@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/area_overhead.dir/area_overhead.cpp.o"
+  "CMakeFiles/area_overhead.dir/area_overhead.cpp.o.d"
+  "area_overhead"
+  "area_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/area_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chip_load_sweep.dir/chip_load_sweep.cpp.o"
+  "CMakeFiles/chip_load_sweep.dir/chip_load_sweep.cpp.o.d"
+  "chip_load_sweep"
+  "chip_load_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chip_load_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/error_rate_sweep.dir/error_rate_sweep.cpp.o"
+  "CMakeFiles/error_rate_sweep.dir/error_rate_sweep.cpp.o.d"
+  "error_rate_sweep"
+  "error_rate_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/error_rate_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5b_sense_margin.dir/fig5b_sense_margin.cpp.o"
+  "CMakeFiles/fig5b_sense_margin.dir/fig5b_sense_margin.cpp.o.d"
+  "fig5b_sense_margin"
+  "fig5b_sense_margin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5b_sense_margin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9c_pd_tradeoff.dir/fig9c_pd_tradeoff.cpp.o"
+  "CMakeFiles/fig9c_pd_tradeoff.dir/fig9c_pd_tradeoff.cpp.o.d"
+  "fig9c_pd_tradeoff"
+  "fig9c_pd_tradeoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9c_pd_tradeoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/long_read_bench.dir/long_read_bench.cpp.o"
+  "CMakeFiles/long_read_bench.dir/long_read_bench.cpp.o.d"
+  "long_read_bench"
+  "long_read_bench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/long_read_bench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/read_length_sweep.dir/read_length_sweep.cpp.o"
+  "CMakeFiles/read_length_sweep.dir/read_length_sweep.cpp.o.d"
+  "read_length_sweep"
+  "read_length_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/read_length_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tech_comparison.dir/tech_comparison.cpp.o"
+  "CMakeFiles/tech_comparison.dir/tech_comparison.cpp.o.d"
+  "tech_comparison"
+  "tech_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tech_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/accelerator_survey.dir/accelerator_survey.cpp.o"
+  "CMakeFiles/accelerator_survey.dir/accelerator_survey.cpp.o.d"
+  "accelerator_survey"
+  "accelerator_survey.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/accelerator_survey.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fastq_to_sam.dir/fastq_to_sam.cpp.o"
+  "CMakeFiles/fastq_to_sam.dir/fastq_to_sam.cpp.o.d"
+  "fastq_to_sam"
+  "fastq_to_sam.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fastq_to_sam.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/index_cli.dir/index_cli.cpp.o"
+  "CMakeFiles/index_cli.dir/index_cli.cpp.o.d"
+  "index_cli"
+  "index_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/index_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inexact_alignment.dir/inexact_alignment.cpp.o"
+  "CMakeFiles/inexact_alignment.dir/inexact_alignment.cpp.o.d"
+  "inexact_alignment"
+  "inexact_alignment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inexact_alignment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pim_simulation.dir/pim_simulation.cpp.o"
+  "CMakeFiles/pim_simulation.dir/pim_simulation.cpp.o.d"
+  "pim_simulation"
+  "pim_simulation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pim_simulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sam_to_vcf.dir/sam_to_vcf.cpp.o"
+  "CMakeFiles/sam_to_vcf.dir/sam_to_vcf.cpp.o.d"
+  "sam_to_vcf"
+  "sam_to_vcf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sam_to_vcf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/accel/baseline_models.cpp" "src/accel/CMakeFiles/pim_accel.dir/baseline_models.cpp.o" "gcc" "src/accel/CMakeFiles/pim_accel.dir/baseline_models.cpp.o.d"
+  "/root/repo/src/accel/chip_sim.cpp" "src/accel/CMakeFiles/pim_accel.dir/chip_sim.cpp.o" "gcc" "src/accel/CMakeFiles/pim_accel.dir/chip_sim.cpp.o.d"
+  "/root/repo/src/accel/comparison.cpp" "src/accel/CMakeFiles/pim_accel.dir/comparison.cpp.o" "gcc" "src/accel/CMakeFiles/pim_accel.dir/comparison.cpp.o.d"
+  "/root/repo/src/accel/contention.cpp" "src/accel/CMakeFiles/pim_accel.dir/contention.cpp.o" "gcc" "src/accel/CMakeFiles/pim_accel.dir/contention.cpp.o.d"
+  "/root/repo/src/accel/pim_aligner_model.cpp" "src/accel/CMakeFiles/pim_accel.dir/pim_aligner_model.cpp.o" "gcc" "src/accel/CMakeFiles/pim_accel.dir/pim_aligner_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pim/CMakeFiles/pim_pim.dir/DependInfo.cmake"
+  "/root/repo/build/src/align/CMakeFiles/pim_align.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pim_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/pim_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/genome/CMakeFiles/pim_genome.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

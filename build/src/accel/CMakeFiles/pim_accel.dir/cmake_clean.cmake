@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pim_accel.dir/baseline_models.cpp.o"
+  "CMakeFiles/pim_accel.dir/baseline_models.cpp.o.d"
+  "CMakeFiles/pim_accel.dir/chip_sim.cpp.o"
+  "CMakeFiles/pim_accel.dir/chip_sim.cpp.o.d"
+  "CMakeFiles/pim_accel.dir/comparison.cpp.o"
+  "CMakeFiles/pim_accel.dir/comparison.cpp.o.d"
+  "CMakeFiles/pim_accel.dir/contention.cpp.o"
+  "CMakeFiles/pim_accel.dir/contention.cpp.o.d"
+  "CMakeFiles/pim_accel.dir/pim_aligner_model.cpp.o"
+  "CMakeFiles/pim_accel.dir/pim_aligner_model.cpp.o.d"
+  "libpim_accel.a"
+  "libpim_accel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pim_accel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/align/aligner.cpp" "src/align/CMakeFiles/pim_align.dir/aligner.cpp.o" "gcc" "src/align/CMakeFiles/pim_align.dir/aligner.cpp.o.d"
+  "/root/repo/src/align/backward_search.cpp" "src/align/CMakeFiles/pim_align.dir/backward_search.cpp.o" "gcc" "src/align/CMakeFiles/pim_align.dir/backward_search.cpp.o.d"
+  "/root/repo/src/align/bi_index.cpp" "src/align/CMakeFiles/pim_align.dir/bi_index.cpp.o" "gcc" "src/align/CMakeFiles/pim_align.dir/bi_index.cpp.o.d"
+  "/root/repo/src/align/global_align.cpp" "src/align/CMakeFiles/pim_align.dir/global_align.cpp.o" "gcc" "src/align/CMakeFiles/pim_align.dir/global_align.cpp.o.d"
+  "/root/repo/src/align/inexact_search.cpp" "src/align/CMakeFiles/pim_align.dir/inexact_search.cpp.o" "gcc" "src/align/CMakeFiles/pim_align.dir/inexact_search.cpp.o.d"
+  "/root/repo/src/align/kmer_index.cpp" "src/align/CMakeFiles/pim_align.dir/kmer_index.cpp.o" "gcc" "src/align/CMakeFiles/pim_align.dir/kmer_index.cpp.o.d"
+  "/root/repo/src/align/multi_aligner.cpp" "src/align/CMakeFiles/pim_align.dir/multi_aligner.cpp.o" "gcc" "src/align/CMakeFiles/pim_align.dir/multi_aligner.cpp.o.d"
+  "/root/repo/src/align/naive_search.cpp" "src/align/CMakeFiles/pim_align.dir/naive_search.cpp.o" "gcc" "src/align/CMakeFiles/pim_align.dir/naive_search.cpp.o.d"
+  "/root/repo/src/align/paired.cpp" "src/align/CMakeFiles/pim_align.dir/paired.cpp.o" "gcc" "src/align/CMakeFiles/pim_align.dir/paired.cpp.o.d"
+  "/root/repo/src/align/parallel_aligner.cpp" "src/align/CMakeFiles/pim_align.dir/parallel_aligner.cpp.o" "gcc" "src/align/CMakeFiles/pim_align.dir/parallel_aligner.cpp.o.d"
+  "/root/repo/src/align/sam_writer.cpp" "src/align/CMakeFiles/pim_align.dir/sam_writer.cpp.o" "gcc" "src/align/CMakeFiles/pim_align.dir/sam_writer.cpp.o.d"
+  "/root/repo/src/align/seed_extend.cpp" "src/align/CMakeFiles/pim_align.dir/seed_extend.cpp.o" "gcc" "src/align/CMakeFiles/pim_align.dir/seed_extend.cpp.o.d"
+  "/root/repo/src/align/smith_waterman.cpp" "src/align/CMakeFiles/pim_align.dir/smith_waterman.cpp.o" "gcc" "src/align/CMakeFiles/pim_align.dir/smith_waterman.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/index/CMakeFiles/pim_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/genome/CMakeFiles/pim_genome.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pim_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pim_align.dir/aligner.cpp.o"
+  "CMakeFiles/pim_align.dir/aligner.cpp.o.d"
+  "CMakeFiles/pim_align.dir/backward_search.cpp.o"
+  "CMakeFiles/pim_align.dir/backward_search.cpp.o.d"
+  "CMakeFiles/pim_align.dir/bi_index.cpp.o"
+  "CMakeFiles/pim_align.dir/bi_index.cpp.o.d"
+  "CMakeFiles/pim_align.dir/global_align.cpp.o"
+  "CMakeFiles/pim_align.dir/global_align.cpp.o.d"
+  "CMakeFiles/pim_align.dir/inexact_search.cpp.o"
+  "CMakeFiles/pim_align.dir/inexact_search.cpp.o.d"
+  "CMakeFiles/pim_align.dir/kmer_index.cpp.o"
+  "CMakeFiles/pim_align.dir/kmer_index.cpp.o.d"
+  "CMakeFiles/pim_align.dir/multi_aligner.cpp.o"
+  "CMakeFiles/pim_align.dir/multi_aligner.cpp.o.d"
+  "CMakeFiles/pim_align.dir/naive_search.cpp.o"
+  "CMakeFiles/pim_align.dir/naive_search.cpp.o.d"
+  "CMakeFiles/pim_align.dir/paired.cpp.o"
+  "CMakeFiles/pim_align.dir/paired.cpp.o.d"
+  "CMakeFiles/pim_align.dir/parallel_aligner.cpp.o"
+  "CMakeFiles/pim_align.dir/parallel_aligner.cpp.o.d"
+  "CMakeFiles/pim_align.dir/sam_writer.cpp.o"
+  "CMakeFiles/pim_align.dir/sam_writer.cpp.o.d"
+  "CMakeFiles/pim_align.dir/seed_extend.cpp.o"
+  "CMakeFiles/pim_align.dir/seed_extend.cpp.o.d"
+  "CMakeFiles/pim_align.dir/smith_waterman.cpp.o"
+  "CMakeFiles/pim_align.dir/smith_waterman.cpp.o.d"
+  "libpim_align.a"
+  "libpim_align.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pim_align.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

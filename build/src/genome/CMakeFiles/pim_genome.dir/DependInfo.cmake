@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/genome/alphabet.cpp" "src/genome/CMakeFiles/pim_genome.dir/alphabet.cpp.o" "gcc" "src/genome/CMakeFiles/pim_genome.dir/alphabet.cpp.o.d"
+  "/root/repo/src/genome/fasta.cpp" "src/genome/CMakeFiles/pim_genome.dir/fasta.cpp.o" "gcc" "src/genome/CMakeFiles/pim_genome.dir/fasta.cpp.o.d"
+  "/root/repo/src/genome/fastq.cpp" "src/genome/CMakeFiles/pim_genome.dir/fastq.cpp.o" "gcc" "src/genome/CMakeFiles/pim_genome.dir/fastq.cpp.o.d"
+  "/root/repo/src/genome/multi_reference.cpp" "src/genome/CMakeFiles/pim_genome.dir/multi_reference.cpp.o" "gcc" "src/genome/CMakeFiles/pim_genome.dir/multi_reference.cpp.o.d"
+  "/root/repo/src/genome/packed_sequence.cpp" "src/genome/CMakeFiles/pim_genome.dir/packed_sequence.cpp.o" "gcc" "src/genome/CMakeFiles/pim_genome.dir/packed_sequence.cpp.o.d"
+  "/root/repo/src/genome/synthetic_genome.cpp" "src/genome/CMakeFiles/pim_genome.dir/synthetic_genome.cpp.o" "gcc" "src/genome/CMakeFiles/pim_genome.dir/synthetic_genome.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/pim_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

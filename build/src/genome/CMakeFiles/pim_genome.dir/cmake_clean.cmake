@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pim_genome.dir/alphabet.cpp.o"
+  "CMakeFiles/pim_genome.dir/alphabet.cpp.o.d"
+  "CMakeFiles/pim_genome.dir/fasta.cpp.o"
+  "CMakeFiles/pim_genome.dir/fasta.cpp.o.d"
+  "CMakeFiles/pim_genome.dir/fastq.cpp.o"
+  "CMakeFiles/pim_genome.dir/fastq.cpp.o.d"
+  "CMakeFiles/pim_genome.dir/multi_reference.cpp.o"
+  "CMakeFiles/pim_genome.dir/multi_reference.cpp.o.d"
+  "CMakeFiles/pim_genome.dir/packed_sequence.cpp.o"
+  "CMakeFiles/pim_genome.dir/packed_sequence.cpp.o.d"
+  "CMakeFiles/pim_genome.dir/synthetic_genome.cpp.o"
+  "CMakeFiles/pim_genome.dir/synthetic_genome.cpp.o.d"
+  "libpim_genome.a"
+  "libpim_genome.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pim_genome.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

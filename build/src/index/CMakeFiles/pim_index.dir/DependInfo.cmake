@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/index/bwt.cpp" "src/index/CMakeFiles/pim_index.dir/bwt.cpp.o" "gcc" "src/index/CMakeFiles/pim_index.dir/bwt.cpp.o.d"
+  "/root/repo/src/index/fm_index.cpp" "src/index/CMakeFiles/pim_index.dir/fm_index.cpp.o" "gcc" "src/index/CMakeFiles/pim_index.dir/fm_index.cpp.o.d"
+  "/root/repo/src/index/index_io.cpp" "src/index/CMakeFiles/pim_index.dir/index_io.cpp.o" "gcc" "src/index/CMakeFiles/pim_index.dir/index_io.cpp.o.d"
+  "/root/repo/src/index/marker_table.cpp" "src/index/CMakeFiles/pim_index.dir/marker_table.cpp.o" "gcc" "src/index/CMakeFiles/pim_index.dir/marker_table.cpp.o.d"
+  "/root/repo/src/index/occ_table.cpp" "src/index/CMakeFiles/pim_index.dir/occ_table.cpp.o" "gcc" "src/index/CMakeFiles/pim_index.dir/occ_table.cpp.o.d"
+  "/root/repo/src/index/sampled_sa.cpp" "src/index/CMakeFiles/pim_index.dir/sampled_sa.cpp.o" "gcc" "src/index/CMakeFiles/pim_index.dir/sampled_sa.cpp.o.d"
+  "/root/repo/src/index/suffix_array.cpp" "src/index/CMakeFiles/pim_index.dir/suffix_array.cpp.o" "gcc" "src/index/CMakeFiles/pim_index.dir/suffix_array.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/genome/CMakeFiles/pim_genome.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pim_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

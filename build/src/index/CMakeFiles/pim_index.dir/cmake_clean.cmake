@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pim_index.dir/bwt.cpp.o"
+  "CMakeFiles/pim_index.dir/bwt.cpp.o.d"
+  "CMakeFiles/pim_index.dir/fm_index.cpp.o"
+  "CMakeFiles/pim_index.dir/fm_index.cpp.o.d"
+  "CMakeFiles/pim_index.dir/index_io.cpp.o"
+  "CMakeFiles/pim_index.dir/index_io.cpp.o.d"
+  "CMakeFiles/pim_index.dir/marker_table.cpp.o"
+  "CMakeFiles/pim_index.dir/marker_table.cpp.o.d"
+  "CMakeFiles/pim_index.dir/occ_table.cpp.o"
+  "CMakeFiles/pim_index.dir/occ_table.cpp.o.d"
+  "CMakeFiles/pim_index.dir/sampled_sa.cpp.o"
+  "CMakeFiles/pim_index.dir/sampled_sa.cpp.o.d"
+  "CMakeFiles/pim_index.dir/suffix_array.cpp.o"
+  "CMakeFiles/pim_index.dir/suffix_array.cpp.o.d"
+  "libpim_index.a"
+  "libpim_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pim_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pim/controller.cpp" "src/pim/CMakeFiles/pim_pim.dir/controller.cpp.o" "gcc" "src/pim/CMakeFiles/pim_pim.dir/controller.cpp.o.d"
+  "/root/repo/src/pim/endurance.cpp" "src/pim/CMakeFiles/pim_pim.dir/endurance.cpp.o" "gcc" "src/pim/CMakeFiles/pim_pim.dir/endurance.cpp.o.d"
+  "/root/repo/src/pim/interconnect.cpp" "src/pim/CMakeFiles/pim_pim.dir/interconnect.cpp.o" "gcc" "src/pim/CMakeFiles/pim_pim.dir/interconnect.cpp.o.d"
+  "/root/repo/src/pim/mapping.cpp" "src/pim/CMakeFiles/pim_pim.dir/mapping.cpp.o" "gcc" "src/pim/CMakeFiles/pim_pim.dir/mapping.cpp.o.d"
+  "/root/repo/src/pim/pipeline.cpp" "src/pim/CMakeFiles/pim_pim.dir/pipeline.cpp.o" "gcc" "src/pim/CMakeFiles/pim_pim.dir/pipeline.cpp.o.d"
+  "/root/repo/src/pim/pipeline_sim.cpp" "src/pim/CMakeFiles/pim_pim.dir/pipeline_sim.cpp.o" "gcc" "src/pim/CMakeFiles/pim_pim.dir/pipeline_sim.cpp.o.d"
+  "/root/repo/src/pim/platform.cpp" "src/pim/CMakeFiles/pim_pim.dir/platform.cpp.o" "gcc" "src/pim/CMakeFiles/pim_pim.dir/platform.cpp.o.d"
+  "/root/repo/src/pim/sense_amp.cpp" "src/pim/CMakeFiles/pim_pim.dir/sense_amp.cpp.o" "gcc" "src/pim/CMakeFiles/pim_pim.dir/sense_amp.cpp.o.d"
+  "/root/repo/src/pim/sot_mram.cpp" "src/pim/CMakeFiles/pim_pim.dir/sot_mram.cpp.o" "gcc" "src/pim/CMakeFiles/pim_pim.dir/sot_mram.cpp.o.d"
+  "/root/repo/src/pim/subarray.cpp" "src/pim/CMakeFiles/pim_pim.dir/subarray.cpp.o" "gcc" "src/pim/CMakeFiles/pim_pim.dir/subarray.cpp.o.d"
+  "/root/repo/src/pim/timing_energy.cpp" "src/pim/CMakeFiles/pim_pim.dir/timing_energy.cpp.o" "gcc" "src/pim/CMakeFiles/pim_pim.dir/timing_energy.cpp.o.d"
+  "/root/repo/src/pim/trace.cpp" "src/pim/CMakeFiles/pim_pim.dir/trace.cpp.o" "gcc" "src/pim/CMakeFiles/pim_pim.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/index/CMakeFiles/pim_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/align/CMakeFiles/pim_align.dir/DependInfo.cmake"
+  "/root/repo/build/src/genome/CMakeFiles/pim_genome.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pim_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pim_pim.dir/controller.cpp.o"
+  "CMakeFiles/pim_pim.dir/controller.cpp.o.d"
+  "CMakeFiles/pim_pim.dir/endurance.cpp.o"
+  "CMakeFiles/pim_pim.dir/endurance.cpp.o.d"
+  "CMakeFiles/pim_pim.dir/interconnect.cpp.o"
+  "CMakeFiles/pim_pim.dir/interconnect.cpp.o.d"
+  "CMakeFiles/pim_pim.dir/mapping.cpp.o"
+  "CMakeFiles/pim_pim.dir/mapping.cpp.o.d"
+  "CMakeFiles/pim_pim.dir/pipeline.cpp.o"
+  "CMakeFiles/pim_pim.dir/pipeline.cpp.o.d"
+  "CMakeFiles/pim_pim.dir/pipeline_sim.cpp.o"
+  "CMakeFiles/pim_pim.dir/pipeline_sim.cpp.o.d"
+  "CMakeFiles/pim_pim.dir/platform.cpp.o"
+  "CMakeFiles/pim_pim.dir/platform.cpp.o.d"
+  "CMakeFiles/pim_pim.dir/sense_amp.cpp.o"
+  "CMakeFiles/pim_pim.dir/sense_amp.cpp.o.d"
+  "CMakeFiles/pim_pim.dir/sot_mram.cpp.o"
+  "CMakeFiles/pim_pim.dir/sot_mram.cpp.o.d"
+  "CMakeFiles/pim_pim.dir/subarray.cpp.o"
+  "CMakeFiles/pim_pim.dir/subarray.cpp.o.d"
+  "CMakeFiles/pim_pim.dir/timing_energy.cpp.o"
+  "CMakeFiles/pim_pim.dir/timing_energy.cpp.o.d"
+  "CMakeFiles/pim_pim.dir/trace.cpp.o"
+  "CMakeFiles/pim_pim.dir/trace.cpp.o.d"
+  "libpim_pim.a"
+  "libpim_pim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pim_pim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/readsim/paired_simulator.cpp" "src/readsim/CMakeFiles/pim_readsim.dir/paired_simulator.cpp.o" "gcc" "src/readsim/CMakeFiles/pim_readsim.dir/paired_simulator.cpp.o.d"
+  "/root/repo/src/readsim/read_simulator.cpp" "src/readsim/CMakeFiles/pim_readsim.dir/read_simulator.cpp.o" "gcc" "src/readsim/CMakeFiles/pim_readsim.dir/read_simulator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/genome/CMakeFiles/pim_genome.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pim_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

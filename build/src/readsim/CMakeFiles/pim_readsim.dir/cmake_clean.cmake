@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pim_readsim.dir/paired_simulator.cpp.o"
+  "CMakeFiles/pim_readsim.dir/paired_simulator.cpp.o.d"
+  "CMakeFiles/pim_readsim.dir/read_simulator.cpp.o"
+  "CMakeFiles/pim_readsim.dir/read_simulator.cpp.o.d"
+  "libpim_readsim.a"
+  "libpim_readsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pim_readsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

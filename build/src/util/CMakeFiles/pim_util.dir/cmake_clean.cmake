@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pim_util.dir/bit_vector.cpp.o"
+  "CMakeFiles/pim_util.dir/bit_vector.cpp.o.d"
+  "CMakeFiles/pim_util.dir/config.cpp.o"
+  "CMakeFiles/pim_util.dir/config.cpp.o.d"
+  "CMakeFiles/pim_util.dir/stats.cpp.o"
+  "CMakeFiles/pim_util.dir/stats.cpp.o.d"
+  "CMakeFiles/pim_util.dir/table.cpp.o"
+  "CMakeFiles/pim_util.dir/table.cpp.o.d"
+  "libpim_util.a"
+  "libpim_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pim_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/varcall/pileup.cpp" "src/varcall/CMakeFiles/pim_varcall.dir/pileup.cpp.o" "gcc" "src/varcall/CMakeFiles/pim_varcall.dir/pileup.cpp.o.d"
+  "/root/repo/src/varcall/sam_reader.cpp" "src/varcall/CMakeFiles/pim_varcall.dir/sam_reader.cpp.o" "gcc" "src/varcall/CMakeFiles/pim_varcall.dir/sam_reader.cpp.o.d"
+  "/root/repo/src/varcall/snv_caller.cpp" "src/varcall/CMakeFiles/pim_varcall.dir/snv_caller.cpp.o" "gcc" "src/varcall/CMakeFiles/pim_varcall.dir/snv_caller.cpp.o.d"
+  "/root/repo/src/varcall/vcf_writer.cpp" "src/varcall/CMakeFiles/pim_varcall.dir/vcf_writer.cpp.o" "gcc" "src/varcall/CMakeFiles/pim_varcall.dir/vcf_writer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/align/CMakeFiles/pim_align.dir/DependInfo.cmake"
+  "/root/repo/build/src/genome/CMakeFiles/pim_genome.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pim_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/pim_index.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pim_varcall.dir/pileup.cpp.o"
+  "CMakeFiles/pim_varcall.dir/pileup.cpp.o.d"
+  "CMakeFiles/pim_varcall.dir/sam_reader.cpp.o"
+  "CMakeFiles/pim_varcall.dir/sam_reader.cpp.o.d"
+  "CMakeFiles/pim_varcall.dir/snv_caller.cpp.o"
+  "CMakeFiles/pim_varcall.dir/snv_caller.cpp.o.d"
+  "CMakeFiles/pim_varcall.dir/vcf_writer.cpp.o"
+  "CMakeFiles/pim_varcall.dir/vcf_writer.cpp.o.d"
+  "libpim_varcall.a"
+  "libpim_varcall.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pim_varcall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

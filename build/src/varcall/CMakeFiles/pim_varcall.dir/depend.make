@@ -1,0 +1,2 @@
+# Empty dependencies file for pim_varcall.
+# This may be replaced when dependencies are built.

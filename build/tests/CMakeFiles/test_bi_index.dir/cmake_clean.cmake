@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bi_index.dir/test_bi_index.cpp.o"
+  "CMakeFiles/test_bi_index.dir/test_bi_index.cpp.o.d"
+  "test_bi_index"
+  "test_bi_index.pdb"
+  "test_bi_index[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bi_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bwt.dir/test_bwt.cpp.o"
+  "CMakeFiles/test_bwt.dir/test_bwt.cpp.o.d"
+  "test_bwt"
+  "test_bwt.pdb"
+  "test_bwt[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bwt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

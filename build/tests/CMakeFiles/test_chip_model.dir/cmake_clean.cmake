@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_chip_model.dir/test_chip_model.cpp.o"
+  "CMakeFiles/test_chip_model.dir/test_chip_model.cpp.o.d"
+  "test_chip_model"
+  "test_chip_model.pdb"
+  "test_chip_model[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_chip_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_exact_search.dir/test_exact_search.cpp.o"
+  "CMakeFiles/test_exact_search.dir/test_exact_search.cpp.o.d"
+  "test_exact_search"
+  "test_exact_search.pdb"
+  "test_exact_search[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_exact_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fm_index.dir/test_fm_index.cpp.o"
+  "CMakeFiles/test_fm_index.dir/test_fm_index.cpp.o.d"
+  "test_fm_index"
+  "test_fm_index.pdb"
+  "test_fm_index[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fm_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

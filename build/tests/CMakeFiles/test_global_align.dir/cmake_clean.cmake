@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_global_align.dir/test_global_align.cpp.o"
+  "CMakeFiles/test_global_align.dir/test_global_align.cpp.o.d"
+  "test_global_align"
+  "test_global_align.pdb"
+  "test_global_align[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_global_align.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_inexact_search.dir/test_inexact_search.cpp.o"
+  "CMakeFiles/test_inexact_search.dir/test_inexact_search.cpp.o.d"
+  "test_inexact_search"
+  "test_inexact_search.pdb"
+  "test_inexact_search[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_inexact_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kmer_index.dir/test_kmer_index.cpp.o"
+  "CMakeFiles/test_kmer_index.dir/test_kmer_index.cpp.o.d"
+  "test_kmer_index"
+  "test_kmer_index.pdb"
+  "test_kmer_index[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kmer_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_marker_table.dir/test_marker_table.cpp.o"
+  "CMakeFiles/test_marker_table.dir/test_marker_table.cpp.o.d"
+  "test_marker_table"
+  "test_marker_table.pdb"
+  "test_marker_table[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_marker_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

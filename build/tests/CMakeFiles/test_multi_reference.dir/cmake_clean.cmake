@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_multi_reference.dir/test_multi_reference.cpp.o"
+  "CMakeFiles/test_multi_reference.dir/test_multi_reference.cpp.o.d"
+  "test_multi_reference"
+  "test_multi_reference.pdb"
+  "test_multi_reference[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_multi_reference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

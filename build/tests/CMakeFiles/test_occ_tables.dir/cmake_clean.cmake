@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_occ_tables.dir/test_occ_tables.cpp.o"
+  "CMakeFiles/test_occ_tables.dir/test_occ_tables.cpp.o.d"
+  "test_occ_tables"
+  "test_occ_tables.pdb"
+  "test_occ_tables[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_occ_tables.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

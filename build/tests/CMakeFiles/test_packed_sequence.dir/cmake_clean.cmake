@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_packed_sequence.dir/test_packed_sequence.cpp.o"
+  "CMakeFiles/test_packed_sequence.dir/test_packed_sequence.cpp.o.d"
+  "test_packed_sequence"
+  "test_packed_sequence.pdb"
+  "test_packed_sequence[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_packed_sequence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

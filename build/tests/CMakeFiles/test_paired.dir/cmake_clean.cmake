@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_paired.dir/test_paired.cpp.o"
+  "CMakeFiles/test_paired.dir/test_paired.cpp.o.d"
+  "test_paired"
+  "test_paired.pdb"
+  "test_paired[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_paired.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_parallel_aligner.dir/test_parallel_aligner.cpp.o"
+  "CMakeFiles/test_parallel_aligner.dir/test_parallel_aligner.cpp.o.d"
+  "test_parallel_aligner"
+  "test_parallel_aligner.pdb"
+  "test_parallel_aligner[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_parallel_aligner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pipeline_model.dir/test_pipeline_model.cpp.o"
+  "CMakeFiles/test_pipeline_model.dir/test_pipeline_model.cpp.o.d"
+  "test_pipeline_model"
+  "test_pipeline_model.pdb"
+  "test_pipeline_model[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pipeline_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

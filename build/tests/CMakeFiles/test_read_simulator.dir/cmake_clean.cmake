@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_read_simulator.dir/test_read_simulator.cpp.o"
+  "CMakeFiles/test_read_simulator.dir/test_read_simulator.cpp.o.d"
+  "test_read_simulator"
+  "test_read_simulator.pdb"
+  "test_read_simulator[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_read_simulator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

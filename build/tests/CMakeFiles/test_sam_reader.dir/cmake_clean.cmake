@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sam_reader.dir/test_sam_reader.cpp.o"
+  "CMakeFiles/test_sam_reader.dir/test_sam_reader.cpp.o.d"
+  "test_sam_reader"
+  "test_sam_reader.pdb"
+  "test_sam_reader[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sam_reader.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sam_writer.dir/test_sam_writer.cpp.o"
+  "CMakeFiles/test_sam_writer.dir/test_sam_writer.cpp.o.d"
+  "test_sam_writer"
+  "test_sam_writer.pdb"
+  "test_sam_writer[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sam_writer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

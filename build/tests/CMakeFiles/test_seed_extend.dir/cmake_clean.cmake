@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_seed_extend.dir/test_seed_extend.cpp.o"
+  "CMakeFiles/test_seed_extend.dir/test_seed_extend.cpp.o.d"
+  "test_seed_extend"
+  "test_seed_extend.pdb"
+  "test_seed_extend[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_seed_extend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

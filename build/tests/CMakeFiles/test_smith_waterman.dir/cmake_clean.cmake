@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_smith_waterman.dir/test_smith_waterman.cpp.o"
+  "CMakeFiles/test_smith_waterman.dir/test_smith_waterman.cpp.o.d"
+  "test_smith_waterman"
+  "test_smith_waterman.pdb"
+  "test_smith_waterman[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_smith_waterman.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sot_mram.dir/test_sot_mram.cpp.o"
+  "CMakeFiles/test_sot_mram.dir/test_sot_mram.cpp.o.d"
+  "test_sot_mram"
+  "test_sot_mram.pdb"
+  "test_sot_mram[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sot_mram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_subarray.cpp" "tests/CMakeFiles/test_subarray.dir/test_subarray.cpp.o" "gcc" "tests/CMakeFiles/test_subarray.dir/test_subarray.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/accel/CMakeFiles/pim_accel.dir/DependInfo.cmake"
+  "/root/repo/build/src/pim/CMakeFiles/pim_pim.dir/DependInfo.cmake"
+  "/root/repo/build/src/varcall/CMakeFiles/pim_varcall.dir/DependInfo.cmake"
+  "/root/repo/build/src/align/CMakeFiles/pim_align.dir/DependInfo.cmake"
+  "/root/repo/build/src/readsim/CMakeFiles/pim_readsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/pim_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/genome/CMakeFiles/pim_genome.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pim_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_subarray.dir/test_subarray.cpp.o"
+  "CMakeFiles/test_subarray.dir/test_subarray.cpp.o.d"
+  "test_subarray"
+  "test_subarray.pdb"
+  "test_subarray[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_subarray.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_synthetic_genome.dir/test_synthetic_genome.cpp.o"
+  "CMakeFiles/test_synthetic_genome.dir/test_synthetic_genome.cpp.o.d"
+  "test_synthetic_genome"
+  "test_synthetic_genome.pdb"
+  "test_synthetic_genome[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_synthetic_genome.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_timing_energy.dir/test_timing_energy.cpp.o"
+  "CMakeFiles/test_timing_energy.dir/test_timing_energy.cpp.o.d"
+  "test_timing_energy"
+  "test_timing_energy.pdb"
+  "test_timing_energy[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_timing_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_varcall.dir/test_varcall.cpp.o"
+  "CMakeFiles/test_varcall.dir/test_varcall.cpp.o.d"
+  "test_varcall"
+  "test_varcall.pdb"
+  "test_varcall[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_varcall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

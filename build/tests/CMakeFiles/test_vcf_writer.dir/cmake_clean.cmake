@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vcf_writer.dir/test_vcf_writer.cpp.o"
+  "CMakeFiles/test_vcf_writer.dir/test_vcf_writer.cpp.o.d"
+  "test_vcf_writer"
+  "test_vcf_writer.pdb"
+  "test_vcf_writer[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vcf_writer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
