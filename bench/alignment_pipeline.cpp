@@ -6,10 +6,9 @@
 #include <cstdio>
 #include <memory>
 
-#include "src/align/aligner.h"
+#include "src/align/engine.h"
 #include "src/genome/synthetic_genome.h"
-#include "src/pim/controller.h"
-#include "src/pim/platform.h"
+#include "src/pim/pim_engine.h"
 #include "src/readsim/read_simulator.h"
 #include "src/util/table.h"
 
@@ -45,16 +44,18 @@ int main() {
               "(paper: 'up to ~70%% ... exactly aligned')\n",
               set.exact_fraction() * 100.0);
 
-  std::vector<std::vector<pim::genome::Base>> reads;
-  reads.reserve(set.reads.size());
-  for (const auto& r : set.reads) reads.push_back(r.bases);
+  pim::align::ReadBatchBuilder builder;
+  builder.reserve(set.reads.size(), set.reads.size() * kReadLen);
+  for (const auto& r : set.reads) builder.add(r.bases);
+  const auto batch = builder.build();
 
   pim::hw::TimingEnergyModel timing;
   pim::hw::PimAlignerPlatform platform(fm, timing);
   pim::align::AlignerOptions options;
   options.inexact.max_diffs = 2;  // the paper considers <= 2 mismatches
-  pim::hw::PimBatchDriver driver(platform, options);
-  const auto report = driver.run(reads);
+  const pim::hw::PimEngine engine(platform, options);
+  pim::align::BatchResult hw_results;
+  const auto report = engine.run(batch, hw_results);
 
   TextTable out({"metric", "value"});
   out.add_row({"reads total", std::to_string(report.stats.reads_total)});
@@ -80,14 +81,16 @@ int main() {
                               static_cast<double>(report.stats.reads_total))});
   std::printf("%s", out.render().c_str());
 
-  // Ground-truth origin recovery.
+  // Ground-truth origin recovery, via the software engine over the same
+  // batch (bit-identical to the hardware results by construction).
   std::size_t recovered = 0, aligned = 0;
-  pim::align::Aligner software(fm, options);
-  for (std::size_t i = 0; i < reads.size(); ++i) {
-    const auto result = software.align(reads[i]);
-    if (!result.aligned()) continue;
+  const pim::align::SoftwareEngine software(fm, options);
+  pim::align::BatchResult sw_results;
+  software.align_batch(batch, sw_results);
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    if (!sw_results.aligned(i)) continue;
     ++aligned;
-    for (const auto& hit : result.hits) {
+    for (const auto& hit : sw_results.hits(i)) {
       if (hit.position == set.reads[i].origin) {
         ++recovered;
         break;

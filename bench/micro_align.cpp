@@ -7,6 +7,7 @@
 #include <cstdio>
 
 #include "src/align/backward_search.h"
+#include "src/align/engine.h"
 #include "src/align/inexact_search.h"
 #include "src/align/smith_waterman.h"
 #include "src/genome/synthetic_genome.h"
@@ -110,6 +111,40 @@ void BM_InexactSearchNoPruning(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_InexactSearchNoPruning)->Arg(1)->Arg(2);
+
+// The two batch dispatch paths over the same reads: legacy vector-of-vectors
+// through Aligner::align_batch versus the packed ReadBatch arena through
+// SoftwareEngine. Same search work by construction; the delta is the
+// per-read allocation/copy overhead the engine layer removes (the dedicated
+// engine_throughput bench quantifies it at production batch sizes).
+void BM_AlignBatchLegacy(benchmark::State& state) {
+  auto& w = workload();
+  pim::align::AlignerOptions opt;
+  opt.inexact.max_diffs = 2;
+  const pim::align::Aligner aligner(w.fm, opt);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(aligner.align_batch(w.reads));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(w.reads.size()));
+}
+BENCHMARK(BM_AlignBatchLegacy);
+
+void BM_AlignBatchEngine(benchmark::State& state) {
+  auto& w = workload();
+  pim::align::AlignerOptions opt;
+  opt.inexact.max_diffs = 2;
+  const pim::align::SoftwareEngine engine(w.fm, opt);
+  const auto batch = pim::align::ReadBatch::from_reads(w.reads);
+  pim::align::BatchResult results;
+  for (auto _ : state) {
+    engine.align_batch(batch, results);
+    benchmark::DoNotOptimize(results);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(batch.size()));
+}
+BENCHMARK(BM_AlignBatchEngine);
 
 void BM_IndexBuild(benchmark::State& state) {
   pim::genome::SyntheticGenomeSpec spec;

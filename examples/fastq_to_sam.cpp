@@ -1,4 +1,6 @@
-// End-to-end aligner tool: FASTA reference + FASTQ reads -> SAM alignments.
+// End-to-end aligner tool: FASTA reference + FASTQ reads -> SAM alignments,
+// on the unified engine layer: FASTQ -> ReadBatch (one packed arena) ->
+// chunked parallel scheduler over SoftwareEngine -> batch SAM output.
 //
 //   ./fastq_to_sam ref.fasta reads.fastq out.sam [threads] [max_diffs]
 //
@@ -38,20 +40,22 @@ int run(const std::string& ref_path, const std::string& fastq_path,
   std::printf("index built (%zu B resident)\n",
               fm.memory_footprint().total());
 
-  const auto reads = genome::read_fastq_file(fastq_path);
-  std::printf("reads: %zu from %s\n", reads.size(), fastq_path.c_str());
+  // Pack all reads (with names and qualities) into one arena-backed batch:
+  // no per-read heap allocation, no copies at layer boundaries.
+  const auto batch = align::ReadBatch::from_fastq(
+      genome::read_fastq_file(fastq_path));
+  std::printf("reads: %zu from %s (%.2f MB packed)\n", batch.size(),
+              fastq_path.c_str(),
+              static_cast<double>(batch.memory_bytes()) / (1024.0 * 1024.0));
 
   align::AlignerOptions options;
   options.inexact.max_diffs = max_diffs;
-  const align::Aligner aligner(fm, options);
+  const align::SoftwareEngine engine(fm, options);
 
-  std::vector<std::vector<genome::Base>> read_bases;
-  read_bases.reserve(reads.size());
-  for (const auto& r : reads) read_bases.push_back(r.sequence.unpack());
-
-  align::AlignerStats stats;
-  const auto results =
-      align::align_batch_parallel(aligner, read_bases, threads, &stats);
+  align::BatchResult results;
+  align::align_batch_parallel(engine, batch, results,
+                              align::ParallelOptions{.num_threads = threads});
+  const auto& stats = results.stats();
 
   std::ofstream sam_out(sam_path);
   if (!sam_out) {
@@ -63,22 +67,17 @@ int run(const std::string& ref_path, const std::string& fastq_path,
   if (ref_name.empty()) ref_name = "ref";
   align::SamWriter writer(sam_out, ref_name, reference);
   writer.write_header();
-  for (std::size_t i = 0; i < reads.size(); ++i) {
-    const std::string qname =
-        reads[i].name.substr(0, reads[i].name.find(' '));
-    writer.write_alignment(qname, read_bases[i], results[i],
-                           reads[i].qualities);
-  }
+  writer.write_batch(batch, results);
 
   std::printf("\naligned %llu/%llu reads (%llu exact, %llu inexact, "
-              "%llu unaligned); %zu SAM records -> %s\n",
+              "%llu unaligned) in %.1f ms; %zu SAM records -> %s\n",
               static_cast<unsigned long long>(stats.reads_exact +
                                               stats.reads_inexact),
               static_cast<unsigned long long>(stats.reads_total),
               static_cast<unsigned long long>(stats.reads_exact),
               static_cast<unsigned long long>(stats.reads_inexact),
               static_cast<unsigned long long>(stats.reads_unaligned),
-              writer.records_written(), sam_path.c_str());
+              stats.wall_ms, writer.records_written(), sam_path.c_str());
   return 0;
 }
 

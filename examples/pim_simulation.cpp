@@ -7,10 +7,9 @@
 // operation is charged to the timing/energy model.
 #include <cstdio>
 
-#include "src/align/aligner.h"
+#include "src/align/engine.h"
 #include "src/genome/synthetic_genome.h"
-#include "src/pim/controller.h"
-#include "src/pim/platform.h"
+#include "src/pim/pim_engine.h"
 #include "src/readsim/read_simulator.h"
 #include "src/util/table.h"
 
@@ -69,13 +68,16 @@ int main() {
   rspec.sequencing_error_rate = 0.002;
   rspec.seed = 5;
   const auto set = readsim::ReadSimulator(rspec).generate(reference);
-  std::vector<std::vector<genome::Base>> reads;
-  for (const auto& r : set.reads) reads.push_back(r.bases);
+  align::ReadBatchBuilder builder;
+  builder.reserve(set.reads.size(), set.reads.size() * rspec.read_length);
+  for (const auto& r : set.reads) builder.add(r.bases);
+  const auto batch = builder.build();
 
   align::AlignerOptions options;
   options.inexact.max_diffs = 2;
-  hw::PimBatchDriver driver(platform, options);
-  const auto report = driver.run(reads);
+  const hw::PimEngine engine(platform, options);
+  align::BatchResult hw_results;
+  const auto report = engine.run(batch, hw_results);
 
   TextTable out({"metric", "value"});
   out.add_row({"reads", std::to_string(report.stats.reads_total)});
@@ -90,15 +92,30 @@ int main() {
                TextTable::num(report.busy_ns * 1e-6)});
   std::printf("%s", out.render().c_str());
 
-  // Cross-check a few reads against the pure-software aligner.
-  const align::Aligner software(fm, options);
+  // Cross-check the whole batch against the software engine: same reads,
+  // same interface, different backend — the results must be bit-identical.
+  const align::SoftwareEngine software(fm, options);
+  align::BatchResult sw_results;
+  software.align_batch(batch, sw_results);
   std::size_t mismatches = 0;
-  for (std::size_t i = 0; i < 20; ++i) {
-    const auto sw = software.align(reads[i]);
-    const auto hw_result = driver.align(reads[i]);
-    if (sw.hits.size() != hw_result.hits.size()) ++mismatches;
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    if (sw_results.stage(i) != hw_results.stage(i) ||
+        sw_results.hits(i).size() != hw_results.hits(i).size()) {
+      ++mismatches;
+      continue;
+    }
+    for (std::size_t h = 0; h < sw_results.hits(i).size(); ++h) {
+      const auto& a = sw_results.hits(i)[h];
+      const auto& b = hw_results.hits(i)[h];
+      if (a.position != b.position || a.diffs != b.diffs ||
+          a.strand != b.strand) {
+        ++mismatches;
+        break;
+      }
+    }
   }
-  std::printf("\nsoftware/hardware cross-check on 20 reads: %zu mismatches\n",
-              mismatches);
+  std::printf("\nsoftware/hardware engine cross-check on %zu reads: "
+              "%zu mismatches\n",
+              batch.size(), mismatches);
   return 0;
 }

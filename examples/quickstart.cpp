@@ -1,13 +1,13 @@
-// Quickstart — build an FM-index over a reference, align a handful of reads
-// through the two-stage pipeline (exact, then inexact with backtracking),
-// and print the hits.
+// Quickstart — build an FM-index over a reference, pack a handful of reads
+// into a ReadBatch, align them through the batch engine (two-stage pipeline:
+// exact, then inexact with backtracking), and print the hits.
 //
 //   ./quickstart                 # built-in demo reference
 //   ./quickstart ref.fasta       # index the first record of a FASTA file
 #include <cstdio>
 #include <string>
 
-#include "src/align/aligner.h"
+#include "src/align/engine.h"
 #include "src/genome/fasta.h"
 #include "src/genome/synthetic_genome.h"
 
@@ -41,40 +41,51 @@ int main(int argc, char** argv) {
   std::printf("index built: BWT %zu B, MT %zu B, SA %zu B\n", fp.bwt_bytes,
               fp.marker_bytes, fp.sa_bytes);
 
-  // 3. Align: a perfect read, a mutated read, and a reverse-complement read.
-  align::AlignerOptions options;
-  options.inexact.max_diffs = 2;
-  const align::Aligner aligner(fm, options);
-
-  struct Demo {
-    const char* label;
-    std::vector<genome::Base> read;
-  };
-  auto perfect = reference.slice(1000, 1100);
+  // 3. Pack the demo reads — a perfect read, a mutated read, and a
+  //    reverse-complement read — into one arena-backed batch.
   auto mutated = reference.slice(5000, 5100);
   mutated[37] = genome::complement(mutated[37] == genome::Base::A
                                        ? genome::Base::C
                                        : genome::Base::A);
-  auto reverse = genome::reverse_complement(reference.slice(9000, 9100));
-  const Demo demos[] = {{"perfect read @1000", perfect},
-                        {"1-mismatch read @5000", mutated},
-                        {"reverse-strand read @9000", reverse}};
+  align::ReadBatchBuilder builder;
+  builder.add_slice(reference, 1000, 1100, "perfect read @1000");
+  builder.add(mutated, "1-mismatch read @5000");
+  builder.add(genome::reverse_complement(reference.slice(9000, 9100)),
+              "reverse-strand read @9000");
+  const auto batch = builder.build();
 
-  for (const auto& demo : demos) {
-    const auto result = aligner.align(demo.read);
+  // 4. Align the batch through the engine interface. Swapping this line for
+  //    hw::PimEngine runs the same batch on the simulated SOT-MRAM
+  //    sub-arrays with bit-identical results (see examples/pim_simulation).
+  align::AlignerOptions options;
+  options.inexact.max_diffs = 2;
+  const align::SoftwareEngine engine(fm, options);
+  align::BatchResult results;
+  engine.align_batch(batch, results);
+
+  for (std::size_t i = 0; i < batch.size(); ++i) {
     const char* stage =
-        result.stage == align::AlignmentStage::kExact      ? "exact"
-        : result.stage == align::AlignmentStage::kInexact  ? "inexact"
-                                                           : "unaligned";
-    std::printf("\n%s -> stage: %s, %zu hit(s)\n", demo.label, stage,
-                result.hits.size());
+        results.stage(i) == align::AlignmentStage::kExact      ? "exact"
+        : results.stage(i) == align::AlignmentStage::kInexact  ? "inexact"
+                                                               : "unaligned";
+    std::printf("\n%.*s -> stage: %s, %zu hit(s)\n",
+                static_cast<int>(batch.name(i).size()), batch.name(i).data(),
+                stage, results.hits(i).size());
     std::size_t shown = 0;
-    for (const auto& hit : result.hits) {
+    for (const auto& hit : results.hits(i)) {
       std::printf("   pos %llu, %u diff(s), %s strand\n",
                   static_cast<unsigned long long>(hit.position), hit.diffs,
                   hit.strand == align::Strand::kForward ? "fwd" : "rev");
       if (++shown == 5) break;
     }
   }
+  std::printf("\nengine '%.*s': %llu reads in %.2f ms (%llu exact searches, "
+              "%llu inexact)\n",
+              static_cast<int>(engine.name().size()), engine.name().data(),
+              static_cast<unsigned long long>(results.stats().reads_total),
+              results.stats().wall_ms,
+              static_cast<unsigned long long>(results.stats().exact_searches),
+              static_cast<unsigned long long>(
+                  results.stats().inexact_searches));
   return 0;
 }

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "src/align/engine.h"
+
 namespace pim::align {
 
 std::optional<AlignmentHit> AlignmentResult::best() const {
@@ -14,55 +16,12 @@ std::optional<AlignmentHit> AlignmentResult::best() const {
   return *it;
 }
 
-void Aligner::collect_exact(const std::vector<genome::Base>& read,
-                            Strand strand,
-                            std::vector<AlignmentHit>& hits) const {
-  const ExactResult result = exact_search(index_, read);
-  if (!result.found()) return;
-  for (const auto pos : index_.locate_all(result.interval)) {
-    hits.push_back(AlignmentHit{pos, 0, strand});
-    if (options_.max_hits != 0 && hits.size() >= options_.max_hits) return;
-  }
-}
-
-void Aligner::collect_inexact(const std::vector<genome::Base>& read,
-                              Strand strand,
-                              std::vector<AlignmentHit>& hits) const {
-  for (const auto& [pos, diffs] :
-       inexact_locate(index_, read, options_.inexact)) {
-    hits.push_back(AlignmentHit{pos, diffs, strand});
-    if (options_.max_hits != 0 && hits.size() >= options_.max_hits) return;
-  }
-}
-
 AlignmentResult Aligner::align(const std::vector<genome::Base>& read) const {
+  detail::TwoStageScratch scratch;
   AlignmentResult result;
-
-  // Stage one: exact alignment, both strands.
-  collect_exact(read, Strand::kForward, result.hits);
-  if (options_.try_reverse_complement &&
-      (options_.max_hits == 0 || result.hits.size() < options_.max_hits)) {
-    collect_exact(genome::reverse_complement(read), Strand::kReverseComplement,
-                  result.hits);
-  }
-  if (!result.hits.empty()) {
-    result.stage = AlignmentStage::kExact;
-  } else if (options_.inexact.max_diffs > 0) {
-    // Stage two: inexact alignment with the configured difference budget.
-    collect_inexact(read, Strand::kForward, result.hits);
-    if (options_.try_reverse_complement &&
-        (options_.max_hits == 0 || result.hits.size() < options_.max_hits)) {
-      collect_inexact(genome::reverse_complement(read),
-                      Strand::kReverseComplement, result.hits);
-    }
-    if (!result.hits.empty()) result.stage = AlignmentStage::kInexact;
-  }
-
-  std::sort(result.hits.begin(), result.hits.end(),
-            [](const AlignmentHit& a, const AlignmentHit& b) {
-              if (a.position != b.position) return a.position < b.position;
-              return a.diffs < b.diffs;
-            });
+  result.stage =
+      detail::align_two_stage(index_, options_, read, scratch, nullptr);
+  result.hits = std::move(scratch.hits);
   return result;
 }
 

@@ -61,6 +61,12 @@ struct AlignerStats {
   }
 };
 
+/// Legacy per-read front-end. Since the batch-engine refactor (S37) this is
+/// a thin adapter over the same two-stage core SoftwareEngine runs
+/// (detail::align_two_stage in engine.h), so per-read and batch paths are
+/// bit-identical by construction. Batch work should prefer
+/// SoftwareEngine::align_batch over a ReadBatch — it does O(1) heap
+/// allocations per batch instead of O(reads).
 class Aligner {
  public:
   explicit Aligner(const index::FmIndex& index, AlignerOptions options = {})
@@ -75,13 +81,9 @@ class Aligner {
       AlignerStats* stats = nullptr) const;
 
   const AlignerOptions& options() const { return options_; }
+  const index::FmIndex& index() const { return index_; }
 
  private:
-  void collect_exact(const std::vector<genome::Base>& read, Strand strand,
-                     std::vector<AlignmentHit>& hits) const;
-  void collect_inexact(const std::vector<genome::Base>& read, Strand strand,
-                       std::vector<AlignmentHit>& hits) const;
-
   const index::FmIndex& index_;
   AlignerOptions options_;
 };

@@ -1,0 +1,247 @@
+#include "src/align/engine.h"
+
+#include <algorithm>
+#include <chrono>
+#include <stdexcept>
+
+#include "src/align/backward_search.h"
+#include "src/align/inexact_search.h"
+
+namespace pim::align {
+
+void EngineStats::merge(const EngineStats& other) {
+  reads_total += other.reads_total;
+  reads_exact += other.reads_exact;
+  reads_inexact += other.reads_inexact;
+  reads_unaligned += other.reads_unaligned;
+  hits_total += other.hits_total;
+  exact_searches += other.exact_searches;
+  inexact_searches += other.inexact_searches;
+  batches += other.batches;
+  wall_ms += other.wall_ms;
+  result_bytes += other.result_bytes;
+}
+
+AlignerStats EngineStats::to_aligner_stats() const {
+  AlignerStats s;
+  s.reads_total = reads_total;
+  s.reads_exact = reads_exact;
+  s.reads_inexact = reads_inexact;
+  s.reads_unaligned = reads_unaligned;
+  return s;
+}
+
+void BatchResult::clear() {
+  stages_.clear();
+  hit_begin_.assign(1, 0);
+  hits_.clear();
+  stats_ = EngineStats{};
+}
+
+void BatchResult::reserve(std::size_t reads, std::size_t expected_hits) {
+  stages_.reserve(reads);
+  hit_begin_.reserve(reads + 1);
+  hits_.reserve(expected_hits);
+}
+
+void BatchResult::add_read(AlignmentStage stage,
+                           std::span<const AlignmentHit> hits) {
+  stages_.push_back(stage);
+  hits_.insert(hits_.end(), hits.begin(), hits.end());
+  hit_begin_.push_back(hits_.size());
+  ++stats_.reads_total;
+  switch (stage) {
+    case AlignmentStage::kExact: ++stats_.reads_exact; break;
+    case AlignmentStage::kInexact: ++stats_.reads_inexact; break;
+    case AlignmentStage::kUnaligned: ++stats_.reads_unaligned; break;
+  }
+  stats_.hits_total += hits.size();
+}
+
+void BatchResult::append(const BatchResult& chunk) {
+  const std::uint64_t base = hits_.size();
+  stages_.insert(stages_.end(), chunk.stages_.begin(), chunk.stages_.end());
+  hits_.insert(hits_.end(), chunk.hits_.begin(), chunk.hits_.end());
+  for (std::size_t i = 1; i < chunk.hit_begin_.size(); ++i) {
+    hit_begin_.push_back(base + chunk.hit_begin_[i]);
+  }
+  stats_.merge(chunk.stats_);
+}
+
+std::optional<AlignmentHit> BatchResult::best(std::size_t i) const {
+  const auto h = hits(i);
+  if (h.empty()) return std::nullopt;
+  const auto it = std::min_element(
+      h.begin(), h.end(), [](const AlignmentHit& a, const AlignmentHit& b) {
+        if (a.diffs != b.diffs) return a.diffs < b.diffs;
+        return a.position < b.position;
+      });
+  return *it;
+}
+
+AlignmentResult BatchResult::result(std::size_t i) const {
+  AlignmentResult r;
+  r.stage = stages_[i];
+  const auto h = hits(i);
+  r.hits.assign(h.begin(), h.end());
+  return r;
+}
+
+std::vector<AlignmentResult> BatchResult::to_results() const {
+  std::vector<AlignmentResult> out;
+  out.reserve(size());
+  for (std::size_t i = 0; i < size(); ++i) out.push_back(result(i));
+  return out;
+}
+
+std::size_t BatchResult::memory_bytes() const {
+  return stages_.capacity() * sizeof(AlignmentStage) +
+         hit_begin_.capacity() * sizeof(std::uint64_t) +
+         hits_.capacity() * sizeof(AlignmentHit);
+}
+
+void AlignmentEngine::align_batch(const ReadBatch& batch,
+                                  BatchResult& out) const {
+  const auto t0 = std::chrono::steady_clock::now();
+  out.clear();
+  // Most short reads place with one or two hits; reserving 2/read keeps the
+  // hits arena to a couple of growth steps on skewed batches.
+  out.reserve(batch.size(), batch.size() * 2);
+  align_range(batch, 0, batch.size(), out);
+  const auto t1 = std::chrono::steady_clock::now();
+  out.stats().batches = 1;
+  out.stats().wall_ms =
+      std::chrono::duration<double, std::milli>(t1 - t0).count();
+  out.stats().result_bytes = out.memory_bytes();
+}
+
+namespace detail {
+
+namespace {
+
+void collect_exact_hits(const index::FmIndex& index,
+                        const AlignerOptions& options,
+                        const std::vector<genome::Base>& oriented,
+                        Strand strand, TwoStageScratch& scratch) {
+  const ExactResult result = exact_search(index, oriented);
+  if (!result.found()) return;
+  index.locate_all_into(result.interval, scratch.positions);
+  for (const auto pos : scratch.positions) {
+    scratch.hits.push_back(AlignmentHit{pos, 0, strand});
+    if (options.max_hits != 0 && scratch.hits.size() >= options.max_hits) {
+      return;
+    }
+  }
+}
+
+void collect_inexact_hits(const index::FmIndex& index,
+                          const AlignerOptions& options,
+                          const std::vector<genome::Base>& oriented,
+                          Strand strand, std::vector<AlignmentHit>& hits) {
+  for (const auto& [pos, diffs] :
+       inexact_locate(index, oriented, options.inexact)) {
+    hits.push_back(AlignmentHit{pos, diffs, strand});
+    if (options.max_hits != 0 && hits.size() >= options.max_hits) return;
+  }
+}
+
+}  // namespace
+
+AlignmentStage align_two_stage(const index::FmIndex& index,
+                               const AlignerOptions& options,
+                               const std::vector<genome::Base>& read,
+                               TwoStageScratch& scratch, EngineStats* stats) {
+  auto& hits = scratch.hits;
+  hits.clear();
+  AlignmentStage stage = AlignmentStage::kUnaligned;
+  bool rc_ready = false;
+
+  // Stage one: exact alignment, both strands.
+  collect_exact_hits(index, options, read, Strand::kForward, scratch);
+  if (stats != nullptr) ++stats->exact_searches;
+  if (options.try_reverse_complement &&
+      (options.max_hits == 0 || hits.size() < options.max_hits)) {
+    genome::reverse_complement_into(read, scratch.rc);
+    rc_ready = true;
+    collect_exact_hits(index, options, scratch.rc,
+                       Strand::kReverseComplement, scratch);
+    if (stats != nullptr) ++stats->exact_searches;
+  }
+  if (!hits.empty()) {
+    stage = AlignmentStage::kExact;
+  } else if (options.inexact.max_diffs > 0) {
+    // Stage two: inexact alignment with the configured difference budget.
+    collect_inexact_hits(index, options, read, Strand::kForward, hits);
+    if (stats != nullptr) ++stats->inexact_searches;
+    if (options.try_reverse_complement &&
+        (options.max_hits == 0 || hits.size() < options.max_hits)) {
+      if (!rc_ready) genome::reverse_complement_into(read, scratch.rc);
+      collect_inexact_hits(index, options, scratch.rc,
+                           Strand::kReverseComplement, hits);
+      if (stats != nullptr) ++stats->inexact_searches;
+    }
+    if (!hits.empty()) stage = AlignmentStage::kInexact;
+  }
+
+  std::sort(hits.begin(), hits.end(),
+            [](const AlignmentHit& a, const AlignmentHit& b) {
+              if (a.position != b.position) return a.position < b.position;
+              return a.diffs < b.diffs;
+            });
+  return stage;
+}
+
+}  // namespace detail
+
+void SoftwareEngine::align_range(const ReadBatch& batch, std::size_t begin,
+                                 std::size_t end, BatchResult& out) const {
+  detail::TwoStageScratch scratch;
+  for (std::size_t i = begin; i < end; ++i) {
+    batch.read(i).unpack_into(scratch.read);
+    const AlignmentStage stage = detail::align_two_stage(
+        *index_, options_, scratch.read, scratch, &out.stats());
+    out.add_read(stage, scratch.hits);
+  }
+}
+
+SeedExtendEngine::SeedExtendEngine(const index::FmIndex& index,
+                                   const genome::PackedSequence& reference,
+                                   SeedExtendOptions options)
+    : index_(&index), reference_(&reference), options_(options) {
+  if (index.reference_size() != reference.size()) {
+    throw std::invalid_argument("SeedExtendEngine: index/reference mismatch");
+  }
+}
+
+void SeedExtendEngine::align_range(const ReadBatch& batch, std::size_t begin,
+                                   std::size_t end, BatchResult& out) const {
+  detail::TwoStageScratch scratch;
+  for (std::size_t i = begin; i < end; ++i) {
+    batch.read(i).unpack_into(scratch.read);
+    scratch.hits.clear();
+
+    SeedExtendResult se =
+        seed_extend_align(*index_, *reference_, scratch.read, options_);
+    Strand strand = Strand::kForward;
+    ++out.stats().inexact_searches;
+    if (!se.found()) {
+      genome::reverse_complement_into(scratch.read, scratch.rc);
+      se = seed_extend_align(*index_, *reference_, scratch.rc, options_);
+      strand = Strand::kReverseComplement;
+      ++out.stats().inexact_searches;
+    }
+
+    for (const auto& hit : se.hits) {
+      scratch.hits.push_back(AlignmentHit{hit.ref_begin, 0, strand});
+    }
+    std::sort(scratch.hits.begin(), scratch.hits.end(),
+              [](const AlignmentHit& a, const AlignmentHit& b) {
+                return a.position < b.position;
+              });
+    out.add_read(se.found() ? AlignmentStage::kInexact
+                            : AlignmentStage::kUnaligned,
+                 scratch.hits);
+  }
+}
+
+}  // namespace pim::align

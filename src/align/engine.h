@@ -1,0 +1,197 @@
+// Unified batch alignment engine (S37).
+//
+// One interface — align_batch(const ReadBatch&, BatchResult&) — across every
+// backend the repo grew one-off drivers for: the two-stage software FM
+// pipeline (SoftwareEngine), the simulated SOT-MRAM platform
+// (pim::hw::PimEngine, defined in src/pim to respect library layering), and
+// seed-and-extend long-read alignment (SeedExtendEngine). Front-ends
+// (parallel scheduler, MultiAligner, PairedAligner, SamWriter, examples,
+// benches) program against AlignmentEngine, so swapping the software path
+// for the PIM model — or a future sharded/async backend — is a one-line
+// change, and the software/PIM bit-identical-results invariant is asserted
+// at exactly one seam (tests/test_engine.cpp).
+//
+// BatchResult is arena-backed like ReadBatch: all hits of a batch live in
+// one contiguous vector with per-read extents, so the engine path performs
+// O(1) heap allocations per batch where the legacy vector-of-vectors path
+// performed O(reads). EngineStats carries the per-stage counters that the
+// legacy front-ends (paired, multi) used to silently drop.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "src/align/aligner.h"
+#include "src/align/read_batch.h"
+#include "src/align/seed_extend.h"
+#include "src/genome/packed_sequence.h"
+#include "src/index/fm_index.h"
+
+namespace pim::align {
+
+/// Per-stage engine statistics: stage outcomes, search-invocation counters,
+/// wall time, and result-arena allocation. Merges associatively, so chunked
+/// parallel workers accumulate privately and combine at join.
+struct EngineStats {
+  std::uint64_t reads_total = 0;
+  std::uint64_t reads_exact = 0;
+  std::uint64_t reads_inexact = 0;
+  std::uint64_t reads_unaligned = 0;
+  std::uint64_t hits_total = 0;
+  /// Strand searches issued per stage (2 per read with
+  /// try_reverse_complement; stage two only runs for stage-one misses).
+  std::uint64_t exact_searches = 0;
+  std::uint64_t inexact_searches = 0;
+  std::uint64_t batches = 0;
+  double wall_ms = 0.0;            ///< align_batch / scheduler wall time.
+  std::uint64_t result_bytes = 0;  ///< BatchResult arena footprint.
+
+  double exact_fraction() const {
+    return reads_total ? static_cast<double>(reads_exact) /
+                             static_cast<double>(reads_total)
+                       : 0.0;
+  }
+  void merge(const EngineStats& other);
+  /// Bridge to the legacy stats struct front-ends still print.
+  AlignerStats to_aligner_stats() const;
+};
+
+/// Arena-backed batch results: stages + one contiguous hits vector with
+/// per-read extents. Materialize a legacy AlignmentResult with result(i)
+/// only at I/O boundaries (SAM writing, tests).
+class BatchResult {
+ public:
+  BatchResult() { hit_begin_.push_back(0); }
+
+  void clear();
+  void reserve(std::size_t reads, std::size_t expected_hits);
+
+  /// Append the next read's outcome (reads arrive in order). Updates the
+  /// stage/hit counters in stats().
+  void add_read(AlignmentStage stage, std::span<const AlignmentHit> hits);
+  /// Stitch a chunk produced by a parallel worker onto this result.
+  void append(const BatchResult& chunk);
+
+  std::size_t size() const { return stages_.size(); }
+  AlignmentStage stage(std::size_t i) const { return stages_[i]; }
+  bool aligned(std::size_t i) const {
+    return stages_[i] != AlignmentStage::kUnaligned;
+  }
+  std::span<const AlignmentHit> hits(std::size_t i) const {
+    return std::span<const AlignmentHit>(hits_.data() + hit_begin_[i],
+                                         hit_begin_[i + 1] - hit_begin_[i]);
+  }
+  /// Best (fewest-diff, leftmost) hit of read i, like AlignmentResult::best.
+  std::optional<AlignmentHit> best(std::size_t i) const;
+
+  /// Materialize read i as the legacy per-read struct (copies the hits).
+  AlignmentResult result(std::size_t i) const;
+  std::vector<AlignmentResult> to_results() const;
+
+  EngineStats& stats() { return stats_; }
+  const EngineStats& stats() const { return stats_; }
+
+  std::size_t memory_bytes() const;
+
+ private:
+  std::vector<AlignmentStage> stages_;
+  std::vector<std::uint64_t> hit_begin_;  ///< size()+1 extents into hits_.
+  std::vector<AlignmentHit> hits_;
+  EngineStats stats_;
+};
+
+/// The one engine interface. Implementations align half-open read ranges of
+/// a batch; align_batch adds timing. align_range must append exactly
+/// (end - begin) reads to `out` in read order. Engines whose thread_safe()
+/// returns true guarantee align_range is safe to call concurrently from
+/// multiple threads (on disjoint output chunks) — the chunked parallel
+/// scheduler in parallel_aligner.h checks this before fanning out.
+class AlignmentEngine {
+ public:
+  virtual ~AlignmentEngine() = default;
+
+  virtual std::string_view name() const = 0;
+  virtual bool thread_safe() const { return false; }
+  virtual void align_range(const ReadBatch& batch, std::size_t begin,
+                           std::size_t end, BatchResult& out) const = 0;
+
+  /// Align the whole batch serially into `out` (cleared first), recording
+  /// wall time and arena footprint in out.stats().
+  void align_batch(const ReadBatch& batch, BatchResult& out) const;
+};
+
+namespace detail {
+
+/// Reusable per-worker buffers for the two-stage pipeline: the unpacked
+/// read, its reverse complement, the read's hit set, and the SA-locate
+/// output. One set per worker replaces four heap allocations per read.
+struct TwoStageScratch {
+  std::vector<genome::Base> read;
+  std::vector<genome::Base> rc;
+  std::vector<AlignmentHit> hits;
+  std::vector<std::uint64_t> positions;
+};
+
+/// The canonical two-stage pipeline (stage one exact, stage two inexact,
+/// both strands), shared verbatim by Aligner::align and SoftwareEngine so
+/// the per-read adapter and the batch engine are bit-identical by
+/// construction. On return scratch.hits holds the read's sorted hits.
+/// `stats` may be null (the legacy adapter path).
+AlignmentStage align_two_stage(const index::FmIndex& index,
+                               const AlignerOptions& options,
+                               const std::vector<genome::Base>& read,
+                               TwoStageScratch& scratch, EngineStats* stats);
+
+}  // namespace detail
+
+/// The two-stage FM pipeline (Algorithms 1 and 2) as an engine. Stateless
+/// between calls and const over an immutable index, hence thread-safe.
+class SoftwareEngine final : public AlignmentEngine {
+ public:
+  explicit SoftwareEngine(const index::FmIndex& index,
+                          AlignerOptions options = {})
+      : index_(&index), options_(options) {}
+
+  std::string_view name() const override { return "software-fm"; }
+  bool thread_safe() const override { return true; }
+  void align_range(const ReadBatch& batch, std::size_t begin, std::size_t end,
+                   BatchResult& out) const override;
+
+  const AlignerOptions& options() const { return options_; }
+  const index::FmIndex& index() const { return *index_; }
+
+ private:
+  const index::FmIndex* index_;
+  AlignerOptions options_;
+};
+
+/// Seed-and-extend long-read alignment as an engine. Hits map the
+/// best-scoring SW-verified windows to AlignmentHit positions (diffs is not
+/// meaningful for SW-scored placements and reports 0); a read whose forward
+/// orientation yields nothing is retried as its reverse complement. Found
+/// reads count as stage two (approximate placement), mirroring the
+/// short-read pipeline's exact/inexact split.
+class SeedExtendEngine final : public AlignmentEngine {
+ public:
+  /// `reference` must be the sequence `index` was built over.
+  SeedExtendEngine(const index::FmIndex& index,
+                   const genome::PackedSequence& reference,
+                   SeedExtendOptions options = {});
+
+  std::string_view name() const override { return "seed-extend"; }
+  bool thread_safe() const override { return true; }
+  void align_range(const ReadBatch& batch, std::size_t begin, std::size_t end,
+                   BatchResult& out) const override;
+
+  const SeedExtendOptions& options() const { return options_; }
+
+ private:
+  const index::FmIndex* index_;
+  const genome::PackedSequence* reference_;
+  SeedExtendOptions options_;
+};
+
+}  // namespace pim::align

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "src/align/parallel_aligner.h"
+
 namespace pim::align {
 
 MultiAligner::MultiAligner(const genome::MultiReference& reference,
@@ -15,17 +17,17 @@ MultiAligner::MultiAligner(const genome::MultiReference& reference,
   }
 }
 
-MultiAlignmentResult MultiAligner::align(
-    const std::vector<genome::Base>& read) const {
-  const AlignmentResult raw = aligner_.align(read);
+MultiAlignmentResult MultiAligner::convert(
+    std::size_t read_length, AlignmentStage stage,
+    std::span<const AlignmentHit> hits) const {
   MultiAlignmentResult result;
 
   // The matched reference span can stretch by the difference budget when
   // indels are allowed; be conservative at junctions.
   const std::uint64_t span =
-      read.size() + aligner_.options().inexact.max_diffs;
+      read_length + aligner_.options().inexact.max_diffs;
 
-  for (const auto& hit : raw.hits) {
+  for (const auto& hit : hits) {
     // Clamp to the concatenation end: a hit whose worst-case span would run
     // off the end is fine as long as it stays within its chromosome.
     const std::uint64_t clamped = std::min<std::uint64_t>(
@@ -44,9 +46,33 @@ MultiAlignmentResult MultiAligner::align(
   }
   // The stage only counts if real (non-artefact) hits survive.
   if (!result.hits.empty()) {
-    result.stage = raw.stage;
+    result.stage = stage;
   }
   return result;
+}
+
+MultiAlignmentResult MultiAligner::align(
+    const std::vector<genome::Base>& read) const {
+  const AlignmentResult raw = aligner_.align(read);
+  return convert(read.size(), raw.stage,
+                 std::span<const AlignmentHit>(raw.hits));
+}
+
+std::vector<MultiAlignmentResult> MultiAligner::align_batch(
+    const ReadBatch& batch, std::size_t num_threads,
+    EngineStats* stats) const {
+  const SoftwareEngine engine(aligner_.index(), aligner_.options());
+  BatchResult raw;
+  align_batch_parallel(engine, batch, raw,
+                       ParallelOptions{.num_threads = num_threads});
+
+  std::vector<MultiAlignmentResult> results;
+  results.reserve(batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    results.push_back(convert(batch.read_length(i), raw.stage(i), raw.hits(i)));
+  }
+  if (stats != nullptr) stats->merge(raw.stats());
+  return results;
 }
 
 }  // namespace pim::align

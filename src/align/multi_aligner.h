@@ -6,6 +6,8 @@
 #include <vector>
 
 #include "src/align/aligner.h"
+#include "src/align/engine.h"
+#include "src/align/read_batch.h"
 #include "src/genome/multi_reference.h"
 #include "src/index/fm_index.h"
 
@@ -34,9 +36,23 @@ class MultiAligner {
 
   MultiAlignmentResult align(const std::vector<genome::Base>& read) const;
 
+  /// Batch front-end: runs the engine scheduler over the concatenated-index
+  /// pipeline, then converts hits to (chromosome, offset) coordinates with
+  /// junction filtering. `stats`, when given, accumulates the per-stage
+  /// engine counters (the per-read path has no way to report them).
+  /// Note: the stage counters reflect the raw concatenation alignment;
+  /// reads whose only hits are junction artefacts still report unaligned
+  /// in the returned results.
+  std::vector<MultiAlignmentResult> align_batch(
+      const ReadBatch& batch, std::size_t num_threads = 1,
+      EngineStats* stats = nullptr) const;
+
   const genome::MultiReference& reference() const { return *reference_; }
 
  private:
+  MultiAlignmentResult convert(std::size_t read_length, AlignmentStage stage,
+                               std::span<const AlignmentHit> hits) const;
+
   const genome::MultiReference* reference_;
   Aligner aligner_;
 };

@@ -2,6 +2,9 @@
 
 #include <cmath>
 #include <limits>
+#include <stdexcept>
+
+#include "src/align/parallel_aligner.h"
 
 namespace pim::align {
 
@@ -46,18 +49,12 @@ std::optional<ProperPair> PairedAligner::best_proper_pair(
   return best;
 }
 
-PairedResult PairedAligner::align_pair(
-    const std::vector<genome::Base>& read1,
-    const std::vector<genome::Base>& read2) const {
-  PairedResult result;
-  result.mate1 = aligner_.align(read1);
-  result.mate2 = aligner_.align(read2);
-
+void PairedAligner::classify(PairedResult& result, std::size_t len1,
+                             std::size_t len2) const {
   const bool a1 = result.mate1.aligned();
   const bool a2 = result.mate2.aligned();
   if (a1 && a2) {
-    result.pair = best_proper_pair(result.mate1, result.mate2, read1.size(),
-                                   read2.size());
+    result.pair = best_proper_pair(result.mate1, result.mate2, len1, len2);
     result.cls =
         result.pair ? PairClass::kProperPair : PairClass::kDiscordant;
   } else if (a1 || a2) {
@@ -65,7 +62,45 @@ PairedResult PairedAligner::align_pair(
   } else {
     result.cls = PairClass::kNeither;
   }
+}
+
+PairedResult PairedAligner::align_pair(
+    const std::vector<genome::Base>& read1,
+    const std::vector<genome::Base>& read2) const {
+  PairedResult result;
+  result.mate1 = aligner_.align(read1);
+  result.mate2 = aligner_.align(read2);
+  classify(result, read1.size(), read2.size());
   return result;
+}
+
+std::vector<PairedResult> PairedAligner::align_pairs(
+    const ReadBatch& mates1, const ReadBatch& mates2, std::size_t num_threads,
+    EngineStats* stats) const {
+  if (mates1.size() != mates2.size()) {
+    throw std::invalid_argument("align_pairs: mate batches differ in size");
+  }
+  const SoftwareEngine engine(aligner_.index(), aligner_.options());
+  BatchResult b1, b2;
+  align_batch_parallel(engine, mates1, b1,
+                       ParallelOptions{.num_threads = num_threads});
+  align_batch_parallel(engine, mates2, b2,
+                       ParallelOptions{.num_threads = num_threads});
+
+  std::vector<PairedResult> results;
+  results.reserve(mates1.size());
+  for (std::size_t i = 0; i < mates1.size(); ++i) {
+    PairedResult result;
+    result.mate1 = b1.result(i);
+    result.mate2 = b2.result(i);
+    classify(result, mates1.read_length(i), mates2.read_length(i));
+    results.push_back(std::move(result));
+  }
+  if (stats != nullptr) {
+    stats->merge(b1.stats());
+    stats->merge(b2.stats());
+  }
+  return results;
 }
 
 }  // namespace pim::align

@@ -14,6 +14,8 @@
 #include <vector>
 
 #include "src/align/aligner.h"
+#include "src/align/engine.h"
+#include "src/align/read_batch.h"
 
 namespace pim::align {
 
@@ -53,12 +55,24 @@ class PairedAligner {
   PairedResult align_pair(const std::vector<genome::Base>& read1,
                           const std::vector<genome::Base>& read2) const;
 
+  /// Batch front-end: mates1[i] pairs with mates2[i] (the batches must be
+  /// the same size). Both mate batches run through the engine scheduler,
+  /// then pairing classifies each index. `stats`, when given, accumulates
+  /// the per-stage engine counters over BOTH mates — the statistics the
+  /// per-pair path used to drop.
+  std::vector<PairedResult> align_pairs(const ReadBatch& mates1,
+                                        const ReadBatch& mates2,
+                                        std::size_t num_threads = 1,
+                                        EngineStats* stats = nullptr) const;
+
   const PairedOptions& options() const { return options_; }
 
  private:
   std::optional<ProperPair> best_proper_pair(
       const AlignmentResult& r1, const AlignmentResult& r2,
       std::size_t len1, std::size_t len2) const;
+  void classify(PairedResult& result, std::size_t len1,
+                std::size_t len2) const;
 
   Aligner aligner_;
   PairedOptions options_;

@@ -1,53 +1,94 @@
 #include "src/align/parallel_aligner.h"
 
+#include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <thread>
 
 namespace pim::align {
 
-std::vector<AlignmentResult> align_batch_parallel(
-    const Aligner& aligner, const std::vector<std::vector<genome::Base>>& reads,
-    std::size_t num_threads, AlignerStats* stats) {
+namespace {
+
+std::size_t pick_chunk_size(std::size_t num_reads, std::size_t num_threads,
+                            std::size_t requested) {
+  if (requested != 0) return requested;
+  // ~8 chunks per thread balances load without losing range amortization.
+  const std::size_t target = num_reads / (num_threads * 8) + 1;
+  return std::max<std::size_t>(std::min<std::size_t>(target, 1024),
+                               std::min<std::size_t>(num_reads, 16));
+}
+
+}  // namespace
+
+void align_batch_parallel(const AlignmentEngine& engine,
+                          const ReadBatch& batch, BatchResult& out,
+                          ParallelOptions options) {
+  const auto t0 = std::chrono::steady_clock::now();
+
+  std::size_t num_threads = options.num_threads;
   if (num_threads == 0) {
     num_threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
   }
-  num_threads = std::min(num_threads, std::max<std::size_t>(1, reads.size()));
+  num_threads = std::min(num_threads, std::max<std::size_t>(1, batch.size()));
 
-  std::vector<AlignmentResult> results(reads.size());
+  if (!engine.thread_safe() || num_threads == 1 || batch.size() == 0) {
+    engine.align_batch(batch, out);
+    return;
+  }
+
+  const std::size_t chunk_size =
+      pick_chunk_size(batch.size(), num_threads, options.chunk_size);
+  const std::size_t num_chunks = (batch.size() + chunk_size - 1) / chunk_size;
+
+  // Each chunk gets its own BatchResult; workers write disjoint slots, so
+  // no locking — and stitching in chunk order keeps the output positionally
+  // deterministic across thread counts.
+  std::vector<BatchResult> chunks(num_chunks);
   std::atomic<std::size_t> cursor{0};
-  std::vector<AlignerStats> partial(num_threads);
 
-  auto worker = [&](std::size_t worker_id) {
-    AlignerStats& local = partial[worker_id];
+  auto worker = [&]() {
     while (true) {
-      const std::size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
-      if (i >= reads.size()) break;
-      results[i] = aligner.align(reads[i]);
-      ++local.reads_total;
-      switch (results[i].stage) {
-        case AlignmentStage::kExact: ++local.reads_exact; break;
-        case AlignmentStage::kInexact: ++local.reads_inexact; break;
-        case AlignmentStage::kUnaligned: ++local.reads_unaligned; break;
-      }
+      const std::size_t c = cursor.fetch_add(1, std::memory_order_relaxed);
+      if (c >= num_chunks) break;
+      const std::size_t begin = c * chunk_size;
+      const std::size_t end = std::min(begin + chunk_size, batch.size());
+      chunks[c].reserve(end - begin, (end - begin) * 2);
+      engine.align_range(batch, begin, end, chunks[c]);
     }
   };
 
   std::vector<std::thread> threads;
   threads.reserve(num_threads);
-  for (std::size_t t = 0; t < num_threads; ++t) {
-    threads.emplace_back(worker, t);
-  }
+  for (std::size_t t = 0; t < num_threads; ++t) threads.emplace_back(worker);
   for (auto& t : threads) t.join();
 
+  out.clear();
+  out.reserve(batch.size(), batch.size() * 2);
+  for (const auto& chunk : chunks) out.append(chunk);
+
+  const auto t1 = std::chrono::steady_clock::now();
+  out.stats().batches = 1;
+  out.stats().wall_ms =
+      std::chrono::duration<double, std::milli>(t1 - t0).count();
+  out.stats().result_bytes = out.memory_bytes();
+}
+
+std::vector<AlignmentResult> align_batch_parallel(
+    const Aligner& aligner, const std::vector<std::vector<genome::Base>>& reads,
+    std::size_t num_threads, AlignerStats* stats) {
+  const ReadBatch batch = ReadBatch::from_reads(reads);
+  const SoftwareEngine engine(aligner.index(), aligner.options());
+  BatchResult result;
+  align_batch_parallel(engine, batch, result,
+                       ParallelOptions{.num_threads = num_threads});
   if (stats != nullptr) {
-    for (const auto& p : partial) {
-      stats->reads_total += p.reads_total;
-      stats->reads_exact += p.reads_exact;
-      stats->reads_inexact += p.reads_inexact;
-      stats->reads_unaligned += p.reads_unaligned;
-    }
+    const AlignerStats merged = result.stats().to_aligner_stats();
+    stats->reads_total += merged.reads_total;
+    stats->reads_exact += merged.reads_exact;
+    stats->reads_inexact += merged.reads_inexact;
+    stats->reads_unaligned += merged.reads_unaligned;
   }
-  return results;
+  return result.to_results();
 }
 
 }  // namespace pim::align

@@ -1,21 +1,46 @@
-// Multithreaded batch alignment.
+// Chunked parallel scheduling over any AlignmentEngine.
 //
-// The FM-index is immutable after construction and Aligner::align is const,
-// so reads shard trivially across threads: a shared atomic cursor hands out
-// read indices, each worker accumulates private stage statistics, and the
-// partial stats merge at join. Results land at their read's index, so the
-// output order is deterministic regardless of scheduling.
+// The FM-index is immutable after construction and engine align_range is
+// const, so read ranges shard trivially across threads. A shared atomic
+// cursor hands out fixed-size *chunks* of the batch (not single read
+// indices): workers amortize dispatch over a whole range, keep the packed
+// arena's cache locality, and accumulate results + EngineStats into a
+// private per-chunk BatchResult. Chunks stitch back in index order at join,
+// so the output is positionally identical to a serial align_batch no matter
+// the thread count or scheduling.
+//
+// Engines that are not thread-safe (PimEngine: shared sub-array stats) run
+// the whole batch serially through the same entry point — callers don't
+// branch on backend.
 #pragma once
 
 #include <cstddef>
 #include <vector>
 
 #include "src/align/aligner.h"
+#include "src/align/engine.h"
+#include "src/align/read_batch.h"
 
 namespace pim::align {
 
-/// Align `reads` using `num_threads` workers (0 = hardware concurrency).
-/// Results are positionally identical to Aligner::align_batch.
+struct ParallelOptions {
+  std::size_t num_threads = 0;  ///< 0 = hardware concurrency.
+  /// Reads per scheduling unit; 0 picks a size that gives each thread ~8
+  /// chunks (load balance) without dropping below 16 reads (dispatch
+  /// amortization).
+  std::size_t chunk_size = 0;
+};
+
+/// Align a batch across threads; results are positionally identical to
+/// engine.align_batch. out.stats() carries the merged per-stage counters
+/// plus the scheduler's wall time.
+void align_batch_parallel(const AlignmentEngine& engine,
+                          const ReadBatch& batch, BatchResult& out,
+                          ParallelOptions options = {});
+
+/// Legacy adapter: vector-of-vectors in, vector of per-read results out.
+/// Internally packs a ReadBatch and runs SoftwareEngine through the chunked
+/// scheduler; kept for existing call sites and as the bench baseline.
 std::vector<AlignmentResult> align_batch_parallel(
     const Aligner& aligner, const std::vector<std::vector<genome::Base>>& reads,
     std::size_t num_threads = 0, AlignerStats* stats = nullptr);

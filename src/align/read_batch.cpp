@@ -1,0 +1,154 @@
+#include "src/align/read_batch.h"
+
+namespace pim::align {
+
+void ReadView::unpack_into(std::vector<genome::Base>& out) const {
+  out.clear();
+  out.reserve(length_);
+  std::uint64_t g = offset_;
+  std::size_t remaining = length_;
+  while (remaining > 0) {
+    // Drain the current word from the read's phase onward.
+    const std::uint64_t word = words_[g >> 5];
+    std::size_t lane = g & 31;
+    const std::size_t take = std::min<std::size_t>(32 - lane, remaining);
+    std::uint64_t shifted = word >> (lane * 2);
+    for (std::size_t k = 0; k < take; ++k) {
+      out.push_back(static_cast<genome::Base>(shifted & 0b11));
+      shifted >>= 2;
+    }
+    g += take;
+    remaining -= take;
+  }
+}
+
+std::vector<genome::Base> ReadView::unpack() const {
+  std::vector<genome::Base> out;
+  unpack_into(out);
+  return out;
+}
+
+std::string_view ReadBatch::name(std::size_t i) const {
+  if (!has_names()) return {};
+  return std::string_view(names_).substr(
+      name_offsets_[i], name_offsets_[i + 1] - name_offsets_[i]);
+}
+
+std::string_view ReadBatch::qualities(std::size_t i) const {
+  if (!has_qualities()) return {};
+  return std::string_view(quals_).substr(
+      qual_offsets_[i], qual_offsets_[i + 1] - qual_offsets_[i]);
+}
+
+std::size_t ReadBatch::memory_bytes() const {
+  return words_.capacity() * sizeof(std::uint64_t) +
+         read_offsets_.capacity() * sizeof(std::uint64_t) +
+         names_.capacity() + name_offsets_.capacity() * sizeof(std::uint64_t) +
+         quals_.capacity() + qual_offsets_.capacity() * sizeof(std::uint64_t);
+}
+
+ReadBatch ReadBatch::from_reads(
+    const std::vector<std::vector<genome::Base>>& reads) {
+  ReadBatchBuilder builder;
+  std::size_t total = 0;
+  for (const auto& r : reads) total += r.size();
+  builder.reserve(reads.size(), total);
+  for (const auto& r : reads) builder.add(r);
+  return builder.build();
+}
+
+ReadBatch ReadBatch::from_fastq(
+    const std::vector<genome::FastqRecord>& records) {
+  ReadBatchBuilder builder;
+  std::size_t total = 0;
+  for (const auto& r : records) total += r.sequence.size();
+  builder.reserve(records.size(), total);
+  for (const auto& r : records) builder.add(r);
+  return builder.build();
+}
+
+ReadBatchBuilder::ReadBatchBuilder() = default;
+
+void ReadBatchBuilder::reserve(std::size_t num_reads,
+                               std::size_t expected_total_bases) {
+  batch_.words_.reserve((expected_total_bases + 31) / 32 + 1);
+  batch_.read_offsets_.reserve(num_reads + 1);
+}
+
+void ReadBatchBuilder::push_base(genome::Base b) {
+  const std::size_t word = static_cast<std::size_t>(cursor_ >> 5);
+  if (word == batch_.words_.size()) batch_.words_.push_back(0);
+  batch_.words_[word] |= static_cast<std::uint64_t>(b)
+                         << ((cursor_ & 31) * 2);
+  ++cursor_;
+}
+
+void ReadBatchBuilder::finish_read(std::string_view name,
+                                   std::string_view qualities) {
+  batch_.read_offsets_.push_back(cursor_);
+  const std::size_t n = batch_.read_offsets_.size() - 1;  // reads so far
+
+  if (!name.empty() && !any_names_) {
+    // Backfill empty names for earlier reads.
+    any_names_ = true;
+    batch_.name_offsets_.assign(n, 0);
+  }
+  if (any_names_) {
+    batch_.names_.append(name);
+    batch_.name_offsets_.push_back(batch_.names_.size());
+  }
+
+  if (!qualities.empty() && !any_quals_) {
+    any_quals_ = true;
+    batch_.qual_offsets_.assign(n, 0);
+  }
+  if (any_quals_) {
+    batch_.quals_.append(qualities);
+    batch_.qual_offsets_.push_back(batch_.quals_.size());
+  }
+}
+
+void ReadBatchBuilder::add(const std::vector<genome::Base>& read,
+                           std::string_view name, std::string_view qualities) {
+  for (const auto b : read) push_base(b);
+  finish_read(name, qualities);
+}
+
+void ReadBatchBuilder::add(const genome::PackedSequence& read,
+                           std::string_view name, std::string_view qualities) {
+  add_slice(read, 0, read.size(), name, qualities);
+}
+
+void ReadBatchBuilder::add_slice(const genome::PackedSequence& reference,
+                                 std::size_t begin, std::size_t end,
+                                 std::string_view name,
+                                 std::string_view qualities) {
+  for (std::size_t i = begin; i < end; ++i) push_base(reference.at(i));
+  finish_read(name, qualities);
+}
+
+void ReadBatchBuilder::add(const genome::FastqRecord& record) {
+  add_slice(record.sequence, 0, record.sequence.size(), record.name,
+            record.qualities);
+}
+
+ReadBatch ReadBatchBuilder::build() {
+  // name/qual offset vectors must cover every read or be absent entirely.
+  if (any_names_) {
+    while (batch_.name_offsets_.size() < batch_.read_offsets_.size()) {
+      batch_.name_offsets_.push_back(batch_.names_.size());
+    }
+  }
+  if (any_quals_) {
+    while (batch_.qual_offsets_.size() < batch_.read_offsets_.size()) {
+      batch_.qual_offsets_.push_back(batch_.quals_.size());
+    }
+  }
+  ReadBatch out = std::move(batch_);
+  batch_ = ReadBatch();
+  cursor_ = 0;
+  any_names_ = any_quals_ = false;
+  return out;
+}
+
+}  // namespace pim::align

@@ -136,6 +136,25 @@ void SamWriter::write_alignment(const std::string& qname,
   }
 }
 
+void SamWriter::write_batch(const ReadBatch& batch,
+                            const BatchResult& results) {
+  std::vector<genome::Base> scratch;
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    std::string qname(batch.name(i));
+    if (qname.empty()) qname = "read" + std::to_string(i);
+    // Ground-truth suffixes and comments stay out of QNAME.
+    if (const auto space = qname.find(' '); space != std::string::npos) {
+      qname.resize(space);
+    }
+    batch.read(i).unpack_into(scratch);
+    std::optional<std::string> qual;
+    if (batch.has_qualities() && !batch.qualities(i).empty()) {
+      qual = std::string(batch.qualities(i));
+    }
+    write_alignment(qname, scratch, results.result(i), qual);
+  }
+}
+
 void SamWriter::write_pair(const std::string& qname,
                            const std::vector<genome::Base>& read1,
                            const std::vector<genome::Base>& read2,

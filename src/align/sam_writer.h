@@ -14,7 +14,9 @@
 #include <vector>
 
 #include "src/align/aligner.h"
+#include "src/align/engine.h"
 #include "src/align/paired.h"
+#include "src/align/read_batch.h"
 #include "src/genome/packed_sequence.h"
 
 namespace pim::align {
@@ -68,6 +70,11 @@ class SamWriter {
                        const std::vector<genome::Base>& read,
                        const AlignmentResult& result,
                        const std::optional<std::string>& qualities = {});
+
+  /// Engine-layer batch output: one write_alignment per read, pulling
+  /// QNAMEs and qualities from the batch's slabs (reads without names get
+  /// "read<i>"). Reads unpack through one reusable scratch buffer.
+  void write_batch(const ReadBatch& batch, const BatchResult& results);
 
   /// Emit the two primary records of a paired alignment with full pair
   /// flags (0x1/0x2/0x40/0x80, mate strand/unmapped, RNEXT "=", TLEN).

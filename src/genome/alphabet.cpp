@@ -76,11 +76,17 @@ std::string decode(const std::vector<Base>& bases) {
 
 std::vector<Base> reverse_complement(const std::vector<Base>& bases) {
   std::vector<Base> out;
+  reverse_complement_into(bases, out);
+  return out;
+}
+
+void reverse_complement_into(const std::vector<Base>& bases,
+                             std::vector<Base>& out) {
+  out.clear();
   out.reserve(bases.size());
   for (auto it = bases.rbegin(); it != bases.rend(); ++it) {
     out.push_back(complement(*it));
   }
-  return out;
 }
 
 }  // namespace pim::genome

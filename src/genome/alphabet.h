@@ -48,4 +48,11 @@ std::string decode(const std::vector<Base>& bases);
 /// strand of the reference).
 std::vector<Base> reverse_complement(const std::vector<Base>& bases);
 
+/// Reverse complement into `out`, reusing its capacity (clear + append).
+/// The batch-engine hot path calls this once per read with a scratch buffer
+/// so the per-read allocation of the value-returning overload disappears.
+/// `out` must not alias `bases`.
+void reverse_complement_into(const std::vector<Base>& bases,
+                             std::vector<Base>& out);
+
 }  // namespace pim::genome

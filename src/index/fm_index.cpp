@@ -31,13 +31,19 @@ std::uint64_t FmIndex::locate(std::size_t row) const {
 std::vector<std::uint64_t> FmIndex::locate_all(
     const SaInterval& interval) const {
   std::vector<std::uint64_t> positions;
-  if (!interval.valid()) return positions;
-  positions.reserve(interval.count());
-  for (std::uint64_t row = interval.low; row < interval.high; ++row) {
-    positions.push_back(locate(static_cast<std::size_t>(row)));
-  }
-  std::sort(positions.begin(), positions.end());
+  locate_all_into(interval, positions);
   return positions;
+}
+
+void FmIndex::locate_all_into(const SaInterval& interval,
+                              std::vector<std::uint64_t>& out) const {
+  out.clear();
+  if (!interval.valid()) return;
+  out.reserve(interval.count());
+  for (std::uint64_t row = interval.low; row < interval.high; ++row) {
+    out.push_back(locate(static_cast<std::size_t>(row)));
+  }
+  std::sort(out.begin(), out.end());
 }
 
 FmIndex::MemoryFootprint FmIndex::memory_footprint() const {

@@ -85,6 +85,11 @@ class FmIndex {
   /// All text positions in an interval, sorted ascending.
   std::vector<std::uint64_t> locate_all(const SaInterval& interval) const;
 
+  /// Same, into `out` (clear + append, reusing capacity) — the engine hot
+  /// path calls this once per located read with a per-worker scratch buffer.
+  void locate_all_into(const SaInterval& interval,
+                       std::vector<std::uint64_t>& out) const;
+
   /// Memory footprint of the persisted structures, for Fig. 10a-style
   /// accounting (scaled analytically to Hg19 in the chip model).
   struct MemoryFootprint {

@@ -1,0 +1,36 @@
+#include "src/pim/pim_engine.h"
+
+namespace pim::hw {
+
+void PimEngine::align_range(const align::ReadBatch& batch, std::size_t begin,
+                            std::size_t end, align::BatchResult& out) const {
+  std::vector<genome::Base> scratch;
+  for (std::size_t i = begin; i < end; ++i) {
+    batch.read(i).unpack_into(scratch);
+    const align::AlignmentResult result = driver_.align(scratch);
+    // Stage-search accounting mirrors the software engine: two strand
+    // searches per attempted stage (stage two only on stage-one misses).
+    const bool both =
+        driver_.options().try_reverse_complement;
+    out.stats().exact_searches += both ? 2 : 1;
+    if (result.stage != align::AlignmentStage::kExact &&
+        driver_.options().inexact.max_diffs > 0) {
+      out.stats().inexact_searches += both ? 2 : 1;
+    }
+    out.add_read(result.stage, result.hits);
+  }
+}
+
+HwBatchReport PimEngine::run(const align::ReadBatch& batch,
+                             align::BatchResult& out) const {
+  platform_->reset_stats();
+  align_batch(batch, out);
+  HwBatchReport report;
+  report.stats = out.stats().to_aligner_stats();
+  report.hardware = platform_->aggregate_stats();
+  report.busy_ns = report.hardware.ops.busy_ns;
+  report.energy_pj = report.hardware.ops.energy_pj;
+  return report;
+}
+
+}  // namespace pim::hw

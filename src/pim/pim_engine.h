@@ -1,0 +1,49 @@
+// The PIM platform behind the unified AlignmentEngine interface (S37).
+//
+// PimEngine runs the same two-stage pipeline as align::SoftwareEngine, but
+// every backward-extension step executes as MEM/XNOR_Match/IM_ADD operations
+// on the simulated SOT-MRAM sub-arrays via PimBatchDriver — so batch
+// front-ends (the chunked scheduler, SAM output, benches) swap backends
+// without code changes, and the software/PIM bit-identical-results
+// invariant is asserted at the engine seam (tests/test_engine.cpp).
+//
+// The engine reports thread_safe() == false: sub-array op/energy tallies
+// are shared mutable state, so the scheduler runs PIM batches serially —
+// which also matches the platform model (one DPU issuing commands).
+#pragma once
+
+#include "src/align/engine.h"
+#include "src/pim/controller.h"
+#include "src/pim/platform.h"
+
+namespace pim::hw {
+
+class PimEngine final : public align::AlignmentEngine {
+ public:
+  explicit PimEngine(PimAlignerPlatform& platform,
+                     align::AlignerOptions options = {})
+      : platform_(&platform), driver_(platform, options) {}
+
+  std::string_view name() const override { return "pim-mram"; }
+  bool thread_safe() const override { return false; }
+  void align_range(const align::ReadBatch& batch, std::size_t begin,
+                   std::size_t end, align::BatchResult& out) const override;
+
+  /// Align a whole batch and report alignment outcomes plus the hardware
+  /// op/energy tallies (resets the platform's stats at entry so the report
+  /// covers exactly this batch) — the engine-layer equivalent of
+  /// PimBatchDriver::run.
+  HwBatchReport run(const align::ReadBatch& batch,
+                    align::BatchResult& out) const;
+
+  PimAlignerPlatform& platform() const { return *platform_; }
+  const align::AlignerOptions& options() const { return driver_.options(); }
+
+ private:
+  PimAlignerPlatform* platform_;
+  /// The DPU role is logically device state; align_range stays const so the
+  /// engine satisfies the (thread-compatible) interface contract.
+  mutable PimBatchDriver driver_;
+};
+
+}  // namespace pim::hw

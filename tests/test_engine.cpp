@@ -1,0 +1,360 @@
+// Equivalence suite for the unified batch alignment engine (S37):
+//   * SoftwareEngine, PimEngine, and the legacy per-read Aligner path must
+//     produce bit-identical AlignmentResults on randomized reads (exact,
+//     inexact, reverse-complement, unaligned);
+//   * chunked parallel scheduling must be positionally deterministic across
+//     thread counts and chunk sizes;
+//   * ReadBatch must round-trip reads, names, and qualities losslessly;
+//   * EngineStats must carry the per-stage counters the legacy front-ends
+//     used to drop.
+#include "src/align/engine.h"
+
+#include <gtest/gtest.h>
+
+#include "src/align/parallel_aligner.h"
+#include "src/genome/synthetic_genome.h"
+#include "src/pim/pim_engine.h"
+#include "src/readsim/read_simulator.h"
+#include "src/util/rng.h"
+
+namespace pim::align {
+namespace {
+
+// Randomized read mix covering every outcome class: exact copies, mutated
+// reads (stage two), reverse-complement strands of both, and random garbage
+// (unaligned).
+std::vector<std::vector<genome::Base>> make_read_mix(
+    const genome::PackedSequence& reference, std::size_t count,
+    std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  std::vector<std::vector<genome::Base>> reads;
+  reads.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::size_t len = 60 + rng.bounded(41);  // 60-100 bp
+    std::vector<genome::Base> read;
+    if (i % 5 == 4) {
+      // Random garbage: overwhelmingly unaligned.
+      for (std::size_t k = 0; k < len; ++k) {
+        read.push_back(static_cast<genome::Base>(rng.bounded(4)));
+      }
+    } else {
+      const std::size_t start = rng.bounded(reference.size() - len);
+      read = reference.slice(start, start + len);
+      if (i % 5 == 1 || i % 5 == 3) {
+        // 1-2 substitutions: exercises the inexact stage.
+        const std::size_t subs = 1 + rng.bounded(2);
+        for (std::size_t s = 0; s < subs; ++s) {
+          const std::size_t pos = rng.bounded(read.size());
+          read[pos] = genome::complement(read[pos]);
+        }
+      }
+      if (i % 5 >= 2) read = genome::reverse_complement(read);
+    }
+    reads.push_back(std::move(read));
+  }
+  return reads;
+}
+
+struct Fixture {
+  genome::PackedSequence reference;
+  index::FmIndex fm;
+  std::vector<std::vector<genome::Base>> reads;
+  ReadBatch batch;
+  AlignerOptions options;
+
+  explicit Fixture(std::size_t num_reads = 120, std::uint64_t seed = 21) {
+    genome::SyntheticGenomeSpec spec;
+    spec.length = 60000;
+    spec.seed = 15;
+    reference = genome::generate_reference(spec);
+    fm = index::FmIndex::build(reference, {.bucket_width = 128});
+    reads = make_read_mix(reference, num_reads, seed);
+    batch = ReadBatch::from_reads(reads);
+    options.inexact.max_diffs = 2;
+  }
+};
+
+void expect_identical(const AlignmentResult& want, AlignmentStage got_stage,
+                      std::span<const AlignmentHit> got_hits,
+                      std::size_t read_index, const char* label) {
+  EXPECT_EQ(got_stage, want.stage) << label << " read " << read_index;
+  ASSERT_EQ(got_hits.size(), want.hits.size())
+      << label << " read " << read_index;
+  for (std::size_t h = 0; h < want.hits.size(); ++h) {
+    EXPECT_EQ(got_hits[h].position, want.hits[h].position)
+        << label << " read " << read_index << " hit " << h;
+    EXPECT_EQ(got_hits[h].diffs, want.hits[h].diffs)
+        << label << " read " << read_index << " hit " << h;
+    EXPECT_EQ(got_hits[h].strand, want.hits[h].strand)
+        << label << " read " << read_index << " hit " << h;
+  }
+}
+
+TEST(ReadBatch, RoundTripsReads) {
+  Fixture f;
+  ASSERT_EQ(f.batch.size(), f.reads.size());
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < f.reads.size(); ++i) {
+    total += f.reads[i].size();
+    EXPECT_EQ(f.batch.read_length(i), f.reads[i].size());
+    EXPECT_EQ(f.batch.read(i).unpack(), f.reads[i]) << i;
+    // Random access through the view matches too.
+    const ReadView view = f.batch.read(i);
+    for (std::size_t k = 0; k < f.reads[i].size(); k += 7) {
+      EXPECT_EQ(view[k], f.reads[i][k]);
+    }
+  }
+  EXPECT_EQ(f.batch.total_bases(), total);
+  EXPECT_FALSE(f.batch.has_names());
+  EXPECT_FALSE(f.batch.has_qualities());
+}
+
+TEST(ReadBatch, CarriesNamesAndQualities) {
+  genome::SyntheticGenomeSpec spec;
+  spec.length = 20000;
+  spec.seed = 4;
+  const auto reference = genome::generate_reference(spec);
+  readsim::ReadSimSpec rspec;
+  rspec.read_length = 50;
+  rspec.num_reads = 40;
+  rspec.emit_qualities = true;
+  rspec.seed = 6;
+  const auto set = readsim::ReadSimulator(rspec).generate(reference);
+  const auto records = readsim::to_fastq(set, "r");
+
+  const auto batch = ReadBatch::from_fastq(records);
+  ASSERT_EQ(batch.size(), records.size());
+  EXPECT_TRUE(batch.has_names());
+  EXPECT_TRUE(batch.has_qualities());
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    EXPECT_EQ(batch.name(i), records[i].name) << i;
+    EXPECT_EQ(batch.qualities(i), records[i].qualities) << i;
+    EXPECT_EQ(batch.read(i).unpack(), records[i].sequence.unpack()) << i;
+  }
+}
+
+TEST(ReadBatch, UnnamedReadsBeforeNamedOnesBackfillEmpty) {
+  ReadBatchBuilder builder;
+  builder.add(std::vector<genome::Base>{genome::Base::A, genome::Base::C});
+  builder.add(std::vector<genome::Base>{genome::Base::G}, "named");
+  const auto batch = builder.build();
+  ASSERT_TRUE(batch.has_names());
+  EXPECT_EQ(batch.name(0), "");
+  EXPECT_EQ(batch.name(1), "named");
+}
+
+TEST(Engine, SoftwareEngineBitIdenticalToLegacyAligner) {
+  Fixture f;
+  const Aligner aligner(f.fm, f.options);
+  const SoftwareEngine engine(f.fm, f.options);
+
+  AlignerStats legacy_stats;
+  const auto legacy = aligner.align_batch(f.reads, &legacy_stats);
+
+  BatchResult result;
+  engine.align_batch(f.batch, result);
+
+  ASSERT_EQ(result.size(), legacy.size());
+  for (std::size_t i = 0; i < legacy.size(); ++i) {
+    expect_identical(legacy[i], result.stage(i), result.hits(i), i,
+                     "software");
+  }
+  // Outcome classes all occur in the mix (the suite is vacuous otherwise).
+  EXPECT_GT(result.stats().reads_exact, 0u);
+  EXPECT_GT(result.stats().reads_inexact, 0u);
+  EXPECT_GT(result.stats().reads_unaligned, 0u);
+  // And the stats agree with the legacy accounting.
+  EXPECT_EQ(result.stats().reads_total, legacy_stats.reads_total);
+  EXPECT_EQ(result.stats().reads_exact, legacy_stats.reads_exact);
+  EXPECT_EQ(result.stats().reads_inexact, legacy_stats.reads_inexact);
+  EXPECT_EQ(result.stats().reads_unaligned, legacy_stats.reads_unaligned);
+}
+
+TEST(Engine, PimEngineBitIdenticalToSoftwareEngine) {
+  Fixture f(60);  // PIM simulation pays per-op accounting; keep it modest.
+  const SoftwareEngine software(f.fm, f.options);
+  hw::TimingEnergyModel timing;
+  hw::PimAlignerPlatform platform(f.fm, timing);
+  const hw::PimEngine pim_engine(platform, f.options);
+
+  BatchResult sw, hw_result;
+  software.align_batch(f.batch, sw);
+  const auto report = pim_engine.run(f.batch, hw_result);
+
+  ASSERT_EQ(hw_result.size(), sw.size());
+  for (std::size_t i = 0; i < sw.size(); ++i) {
+    expect_identical(sw.result(i), hw_result.stage(i), hw_result.hits(i), i,
+                     "pim");
+  }
+  EXPECT_EQ(report.stats.reads_total, sw.stats().reads_total);
+  EXPECT_EQ(report.stats.reads_exact, sw.stats().reads_exact);
+  EXPECT_GT(report.hardware.lfm_calls, 0u);
+  EXPECT_GT(report.energy_pj, 0.0);
+}
+
+TEST(Engine, ChunkedParallelDeterministicAcrossThreadAndChunkCounts) {
+  Fixture f;
+  const SoftwareEngine engine(f.fm, f.options);
+
+  BatchResult serial;
+  engine.align_batch(f.batch, serial);
+
+  for (const std::size_t threads : {1u, 2u, 3u, 8u}) {
+    for (const std::size_t chunk : {0u, 1u, 7u, 64u, 1000u}) {
+      BatchResult parallel;
+      align_batch_parallel(engine, f.batch, parallel,
+                           ParallelOptions{.num_threads = threads,
+                                           .chunk_size = chunk});
+      ASSERT_EQ(parallel.size(), serial.size());
+      for (std::size_t i = 0; i < serial.size(); ++i) {
+        expect_identical(serial.result(i), parallel.stage(i),
+                         parallel.hits(i), i, "parallel");
+      }
+      EXPECT_EQ(parallel.stats().reads_total, serial.stats().reads_total);
+      EXPECT_EQ(parallel.stats().reads_exact, serial.stats().reads_exact);
+      EXPECT_EQ(parallel.stats().reads_inexact, serial.stats().reads_inexact);
+      EXPECT_EQ(parallel.stats().reads_unaligned,
+                serial.stats().reads_unaligned);
+      EXPECT_EQ(parallel.stats().hits_total, serial.stats().hits_total);
+    }
+  }
+}
+
+TEST(Engine, SchedulerRunsNonThreadSafeEnginesSerially) {
+  Fixture f(30);
+  hw::TimingEnergyModel timing;
+  hw::PimAlignerPlatform platform(f.fm, timing);
+  const hw::PimEngine engine(platform, f.options);
+  EXPECT_FALSE(engine.thread_safe());
+
+  BatchResult serial, scheduled;
+  engine.align_batch(f.batch, serial);
+  align_batch_parallel(engine, f.batch, scheduled,
+                       ParallelOptions{.num_threads = 8});
+  ASSERT_EQ(scheduled.size(), serial.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    expect_identical(serial.result(i), scheduled.stage(i), scheduled.hits(i),
+                     i, "pim-scheduled");
+  }
+}
+
+TEST(Engine, LegacyParallelAdapterMatchesAlignerAndReportsStats) {
+  Fixture f;
+  const Aligner aligner(f.fm, f.options);
+  AlignerStats serial_stats, parallel_stats;
+  const auto serial = aligner.align_batch(f.reads, &serial_stats);
+  const auto parallel =
+      align_batch_parallel(aligner, f.reads, 4, &parallel_stats);
+  ASSERT_EQ(parallel.size(), serial.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    expect_identical(serial[i], parallel[i].stage,
+                     std::span<const AlignmentHit>(parallel[i].hits), i,
+                     "legacy-adapter");
+  }
+  EXPECT_EQ(parallel_stats.reads_total, serial_stats.reads_total);
+  EXPECT_EQ(parallel_stats.reads_exact, serial_stats.reads_exact);
+  EXPECT_EQ(parallel_stats.reads_inexact, serial_stats.reads_inexact);
+  EXPECT_EQ(parallel_stats.reads_unaligned, serial_stats.reads_unaligned);
+}
+
+TEST(Engine, StatsCarryStageSearchCountersAndWallTime) {
+  Fixture f;
+  const SoftwareEngine engine(f.fm, f.options);
+  BatchResult result;
+  engine.align_batch(f.batch, result);
+  const auto& s = result.stats();
+  // Both strands of stage one run for every read.
+  EXPECT_EQ(s.exact_searches, 2 * s.reads_total);
+  // Stage two runs (both strands) exactly for stage-one misses.
+  EXPECT_EQ(s.inexact_searches,
+            2 * (s.reads_inexact + s.reads_unaligned));
+  EXPECT_EQ(s.batches, 1u);
+  EXPECT_GT(s.wall_ms, 0.0);
+  EXPECT_GT(s.result_bytes, 0u);
+
+  // merge() is associative accumulation.
+  EngineStats merged;
+  merged.merge(s);
+  merged.merge(s);
+  EXPECT_EQ(merged.reads_total, 2 * s.reads_total);
+  EXPECT_EQ(merged.exact_searches, 2 * s.exact_searches);
+
+  const AlignerStats legacy = s.to_aligner_stats();
+  EXPECT_EQ(legacy.reads_total, s.reads_total);
+  EXPECT_EQ(legacy.reads_exact, s.reads_exact);
+}
+
+TEST(Engine, BatchResultBestMatchesLegacyBest) {
+  Fixture f;
+  const SoftwareEngine engine(f.fm, f.options);
+  const Aligner aligner(f.fm, f.options);
+  BatchResult result;
+  engine.align_batch(f.batch, result);
+  for (std::size_t i = 0; i < f.reads.size(); ++i) {
+    const auto want = aligner.align(f.reads[i]).best();
+    const auto got = result.best(i);
+    ASSERT_EQ(got.has_value(), want.has_value()) << i;
+    if (want) {
+      EXPECT_EQ(got->position, want->position) << i;
+      EXPECT_EQ(got->diffs, want->diffs) << i;
+      EXPECT_EQ(got->strand, want->strand) << i;
+    }
+  }
+}
+
+TEST(Engine, SeedExtendEngineAlignsLongReads) {
+  genome::SyntheticGenomeSpec spec;
+  spec.length = 120000;
+  spec.seed = 31;
+  const auto reference = genome::generate_reference(spec);
+  const auto fm = index::FmIndex::build(reference, {.bucket_width = 128});
+
+  util::Xoshiro256 rng(77);
+  ReadBatchBuilder builder;
+  std::vector<std::uint64_t> origins;
+  for (int i = 0; i < 10; ++i) {
+    const std::size_t start = rng.bounded(reference.size() - 1000);
+    auto read = reference.slice(start, start + 1000);
+    for (int s = 0; s < 3; ++s) {  // ~0.3% divergence
+      const std::size_t pos = rng.bounded(read.size());
+      read[pos] = genome::complement(read[pos]);
+    }
+    if (i % 2 == 1) read = genome::reverse_complement(read);
+    builder.add(read);
+    origins.push_back(start);
+  }
+  const auto batch = builder.build();
+
+  const SeedExtendEngine engine(fm, reference);
+  BatchResult result;
+  engine.align_batch(batch, result);
+
+  ASSERT_EQ(result.size(), batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    ASSERT_TRUE(result.aligned(i)) << i;
+    // The best-voted window must land near the true origin.
+    bool near = false;
+    for (const auto& hit : result.hits(i)) {
+      const std::uint64_t lo =
+          hit.position > 64 ? hit.position - 64 : 0;
+      if (origins[i] >= lo && origins[i] <= hit.position + 64) near = true;
+    }
+    EXPECT_TRUE(near) << i;
+  }
+  EXPECT_EQ(result.stats().reads_inexact, batch.size());
+}
+
+TEST(Engine, EmptyBatchIsHarmless) {
+  Fixture f(1);
+  const SoftwareEngine engine(f.fm, f.options);
+  const ReadBatch empty;
+  BatchResult result;
+  engine.align_batch(empty, result);
+  EXPECT_EQ(result.size(), 0u);
+  align_batch_parallel(engine, empty, result, ParallelOptions{});
+  EXPECT_EQ(result.size(), 0u);
+  EXPECT_EQ(result.stats().reads_total, 0u);
+}
+
+}  // namespace
+}  // namespace pim::align
