@@ -1,5 +1,13 @@
 // Host-side batch dispatch: legacy vector-of-vectors versus the arena-backed
-// ReadBatch engine path (S37), at batch sizes 1k / 10k / 100k.
+// ReadBatch engine path (S37), at batch sizes 1k / 10k / 100k — then the
+// multi-chip shard sweep (S38): the same batch fanned across 1/2/4/8 engine
+// shards behind ShardedEngine, with per-shard load emitted as JSON lines
+// (grep '^{') so the throughput trajectory is machine-trackable across PRs.
+// A small PIM-chip-fleet pass closes the loop: measured per-chip LFM
+// tallies feed the closed-loop chip simulator in place of assumed demand.
+//
+// Usage: engine_throughput [max_reads]  (default 100000; CI's sanitizer job
+// passes a small count so the bench smoke-runs under ASan).
 //
 // Both paths run the identical two-stage search (bit-identical results,
 // asserted below), so the measured delta is exactly the layer this refactor
@@ -16,11 +24,16 @@
 
 #include <atomic>
 #include <chrono>
+#include <memory>
+#include <string>
 #include <vector>
 
+#include "src/accel/measured_load.h"
 #include "src/align/engine.h"
 #include "src/align/parallel_aligner.h"
+#include "src/align/sharded_engine.h"
 #include "src/genome/synthetic_genome.h"
+#include "src/pim/pim_fleet.h"
 #include "src/util/rng.h"
 #include "src/util/table.h"
 
@@ -141,13 +154,67 @@ PassResult run_engine(const Workload& w, std::size_t n,
   return r;
 }
 
+pim::align::ReadBatch build_batch(const Workload& w, std::size_t n) {
+  pim::align::ReadBatchBuilder builder;
+  builder.reserve(n, n * Workload::kReadLen);
+  for (std::size_t i = 0; i < n; ++i) {
+    builder.add_slice(w.reference, w.starts[i],
+                      w.starts[i] + Workload::kReadLen);
+  }
+  return builder.build();
+}
+
+/// One shard-sweep point: the batch fanned across `shards` SoftwareEngine
+/// instances (one simulated chip each), emitted as a JSON line with the
+/// per-shard breakdown. Returns reads/s.
+double run_shard_point(const Workload& w, const pim::align::ReadBatch& batch,
+                       const pim::align::AlignerOptions& options,
+                       std::size_t shards, std::uint64_t want_hits) {
+  namespace align = pim::align;
+  std::vector<std::unique_ptr<align::AlignmentEngine>> engines;
+  for (std::size_t s = 0; s < shards; ++s) {
+    engines.push_back(std::make_unique<align::SoftwareEngine>(w.fm, options));
+  }
+  const align::ShardedEngine sharded(std::move(engines));
+
+  const auto t0 = Clock::now();
+  align::BatchResult results;
+  sharded.align_batch(batch, results);
+  const auto t1 = Clock::now();
+  const double seconds = std::chrono::duration<double>(t1 - t0).count();
+  const double qps = static_cast<double>(batch.size()) / seconds;
+
+  std::string per_shard;
+  for (const auto& s : sharded.shard_stats()) {
+    if (!per_shard.empty()) per_shard += ",";
+    per_shard += "{\"shard\":" + std::to_string(s.shard) +
+                 ",\"reads\":" + std::to_string(s.reads) +
+                 ",\"hits\":" + std::to_string(s.hits) + ",\"wall_ms\":" +
+                 std::to_string(s.wall_ms) + "}";
+  }
+  std::printf("{\"bench\":\"shard_sweep\",\"shards\":%zu,\"reads\":%zu,"
+              "\"reads_per_s\":%.0f,\"hits\":%llu,\"identical\":%s,"
+              "\"per_shard\":[%s]}\n",
+              shards, batch.size(), qps,
+              static_cast<unsigned long long>(results.stats().hits_total),
+              results.stats().hits_total == want_hits ? "true" : "false",
+              per_shard.c_str());
+  return qps;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using pim::util::TextTable;
 
-  constexpr std::size_t kSizes[] = {1000, 10000, 100000};
-  constexpr std::size_t kMax = 100000;
+  const std::size_t kMax =
+      argc > 1 ? static_cast<std::size_t>(std::stoul(argv[1])) : 100000;
+  std::vector<std::size_t> sizes;
+  for (const std::size_t n : {std::size_t{1000}, std::size_t{10000},
+                              std::size_t{100000}}) {
+    if (n < kMax) sizes.push_back(n);
+  }
+  sizes.push_back(kMax);
 
   std::printf("=== Engine throughput: legacy vector-of-vectors vs ReadBatch "
               "===\n");
@@ -162,12 +229,12 @@ int main() {
   const pim::align::SoftwareEngine engine(w.fm, options);
 
   // Warm up index caches so the first pass is not penalized.
-  (void)run_engine(w, 1000, engine);
+  (void)run_engine(w, std::min<std::size_t>(1000, kMax), engine);
 
   TextTable out({"batch", "path", "reads/s", "allocs", "allocs/read",
                  "MB alloc", "speedup", "alloc ratio"});
   bool ok = true;
-  for (const auto n : kSizes) {
+  for (const auto n : sizes) {
     const auto legacy = run_legacy(w, n, aligner);
     const auto eng = run_engine(w, n, engine);
     ok = ok && legacy.aligned == eng.aligned;
@@ -191,5 +258,61 @@ int main() {
   std::printf("%s", out.render().c_str());
   std::printf("\nresult equivalence across paths: %s\n",
               ok ? "bit-identical aligned counts" : "MISMATCH");
-  return ok ? 0 : 1;
+
+  // --- Shard sweep (S38): one batch across 1/2/4/8 simulated chips --------
+  std::printf("\n=== Shard sweep: ShardedEngine over N software chips, "
+              "%zu reads (JSON lines) ===\n",
+              kMax);
+  const auto batch = build_batch(w, kMax);
+  pim::align::BatchResult unsharded;
+  engine.align_batch(batch, unsharded);
+  const std::uint64_t want_hits = unsharded.stats().hits_total;
+  const double base_qps =
+      static_cast<double>(batch.size()) / (unsharded.stats().wall_ms / 1e3);
+
+  double qps1 = 0.0;
+  for (const std::size_t shards : {1u, 2u, 4u, 8u}) {
+    const double qps = run_shard_point(w, batch, options, shards, want_hits);
+    if (shards == 1) qps1 = qps;
+  }
+  std::printf("unsharded baseline: %.0f reads/s; sharded(1): %.0f reads/s "
+              "(%.2fx)\n",
+              base_qps, qps1, qps1 / base_qps);
+
+  // --- Measured per-chip load -> chip simulator ---------------------------
+  // A small PIM fleet pass: each chip's hardware LFM tally (not the model's
+  // assumed stage mix) becomes the service demand of the closed-loop chip
+  // simulator.
+  const std::size_t pim_reads = std::min<std::size_t>(512, kMax);
+  std::printf("\n=== PIM fleet (2 chips, %zu reads): measured load -> "
+              "chip_sim ===\n",
+              pim_reads);
+  const pim::hw::TimingEnergyModel timing;
+  pim::hw::PimChipFleet fleet(w.fm, timing, 2, options);
+  const auto pim_batch = build_batch(w, pim_reads);
+  pim::align::BatchResult fleet_results;
+  fleet.engine().align_batch(pim_batch, fleet_results);
+  const bool fleet_ok =
+      fleet_results.stats().hits_total ==
+      [&] {
+        pim::align::BatchResult sw;
+        engine.align_batch(pim_batch, sw);
+        return sw.stats().hits_total;
+      }();
+  for (const auto& load : pim::accel::measured_loads(fleet)) {
+    const auto sim_cfg = pim::accel::chip_sim_from_measured(load);
+    const auto sim = pim::accel::simulate_chip(sim_cfg);
+    std::printf("{\"bench\":\"fleet_measured\",\"chip\":%zu,\"reads\":%llu,"
+                "\"hits\":%llu,\"lfm_calls\":%llu,\"lfm_per_read\":%.1f,"
+                "\"wall_ms\":%.2f,\"sim_throughput_qps\":%.0f,"
+                "\"sim_group_util\":%.3f}\n",
+                load.chip, static_cast<unsigned long long>(load.reads),
+                static_cast<unsigned long long>(load.hits),
+                static_cast<unsigned long long>(load.lfm_calls),
+                load.lfm_per_read(), load.wall_ms, sim.throughput_qps,
+                sim.mean_group_utilization);
+  }
+  std::printf("fleet equivalence vs software: %s\n",
+              fleet_ok ? "bit-identical hit counts" : "MISMATCH");
+  return (ok && fleet_ok) ? 0 : 1;
 }

@@ -1,8 +1,12 @@
 // End-to-end aligner tool: FASTA reference + FASTQ reads -> SAM alignments,
 // on the unified engine layer: FASTQ -> ReadBatch (one packed arena) ->
 // chunked parallel scheduler over SoftwareEngine -> batch SAM output.
+// With shards >= 2 the batch instead fans out across N engine shards
+// (simulated chips) behind ShardedEngine — the SAM path is unchanged
+// because the sharded engine sits behind the same interface.
 //
 //   ./fastq_to_sam ref.fasta reads.fastq out.sam [threads] [max_diffs]
+//                  [shards]
 //
 // With no arguments, runs a self-contained demo: generates a synthetic
 // reference and ART-like FASTQ reads (with quality ramp), writes them to
@@ -10,11 +14,14 @@
 // prints the first SAM records plus summary statistics.
 #include <cstdio>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "src/align/parallel_aligner.h"
 #include "src/align/sam_writer.h"
+#include "src/align/sharded_engine.h"
 #include "src/genome/fasta.h"
 #include "src/genome/fastq.h"
 #include "src/genome/synthetic_genome.h"
@@ -24,7 +31,7 @@ namespace {
 
 int run(const std::string& ref_path, const std::string& fastq_path,
         const std::string& sam_path, std::size_t threads,
-        std::uint32_t max_diffs) {
+        std::uint32_t max_diffs, std::size_t shards) {
   using namespace pim;
 
   const auto refs = genome::read_fasta_file(ref_path);
@@ -50,11 +57,29 @@ int run(const std::string& ref_path, const std::string& fastq_path,
 
   align::AlignerOptions options;
   options.inexact.max_diffs = max_diffs;
-  const align::SoftwareEngine engine(fm, options);
 
   align::BatchResult results;
-  align::align_batch_parallel(engine, batch, results,
-                              align::ParallelOptions{.num_threads = threads});
+  if (shards >= 2) {
+    // Multi-chip execution behind the same engine seam: one software engine
+    // shard per simulated chip, each run on its own thread.
+    std::vector<std::unique_ptr<align::AlignmentEngine>> chips;
+    for (std::size_t s = 0; s < shards; ++s) {
+      chips.push_back(std::make_unique<align::SoftwareEngine>(fm, options));
+    }
+    const align::ShardedEngine engine(std::move(chips));
+    engine.align_batch(batch, results);
+    std::printf("sharded across %zu chips:\n", shards);
+    for (const auto& s : engine.shard_stats()) {
+      std::printf("  chip %zu: %llu reads, %llu hits, %.1f ms\n", s.shard,
+                  static_cast<unsigned long long>(s.reads),
+                  static_cast<unsigned long long>(s.hits), s.wall_ms);
+    }
+  } else {
+    const align::SoftwareEngine engine(fm, options);
+    align::align_batch_parallel(
+        engine, batch, results,
+        align::ParallelOptions{.num_threads = threads});
+  }
   const auto& stats = results.stats();
 
   std::ofstream sam_out(sam_path);
@@ -108,7 +133,7 @@ int run_demo() {
 
   const int rc = run("/tmp/pim_aligner_demo_ref.fasta",
                      "/tmp/pim_aligner_demo_reads.fastq",
-                     "/tmp/pim_aligner_demo.sam", 4, 2);
+                     "/tmp/pim_aligner_demo.sam", 4, 2, /*shards=*/2);
   if (rc != 0) return rc;
 
   std::printf("\nfirst SAM lines:\n");
@@ -127,7 +152,7 @@ int main(int argc, char** argv) {
   if (argc < 4) {
     std::fprintf(stderr,
                  "usage: %s ref.fasta reads.fastq out.sam [threads] "
-                 "[max_diffs]\n",
+                 "[max_diffs] [shards]\n",
                  argv[0]);
     return 2;
   }
@@ -135,5 +160,7 @@ int main(int argc, char** argv) {
       argc > 4 ? static_cast<std::size_t>(std::stoul(argv[4])) : 0;
   const std::uint32_t max_diffs =
       argc > 5 ? static_cast<std::uint32_t>(std::stoul(argv[5])) : 2;
-  return run(argv[1], argv[2], argv[3], threads, max_diffs);
+  const std::size_t shards =
+      argc > 6 ? static_cast<std::size_t>(std::stoul(argv[6])) : 1;
+  return run(argv[1], argv[2], argv[3], threads, max_diffs, shards);
 }

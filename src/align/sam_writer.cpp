@@ -22,6 +22,11 @@ std::string SamRecord::to_line() const {
   return out.str();
 }
 
+std::string sanitize_qname(std::string_view name) {
+  const auto cut = name.find_first_of(" \t");
+  return std::string(name.substr(0, cut));
+}
+
 std::uint8_t estimate_mapq(std::size_t num_hits, std::uint32_t diffs) {
   if (num_hits == 0) return 0;
   if (num_hits == 1) {
@@ -76,11 +81,12 @@ std::vector<SamRecord> SamWriter::make_records(
   if (qualities && qualities->size() != read.size()) {
     throw std::invalid_argument("SamWriter: quality/read length mismatch");
   }
+  const std::string name = sanitize_qname(qname);
   std::vector<SamRecord> records;
 
   if (!result.aligned()) {
     SamRecord rec;
-    rec.qname = qname;
+    rec.qname = name;
     rec.flag = SamRecord::kFlagUnmapped;
     rec.seq = genome::decode(read);
     rec.qual = qualities.value_or("*");
@@ -98,29 +104,45 @@ std::vector<SamRecord> SamWriter::make_records(
                    });
   (void)best;
 
+  // SEQ is stored in reference orientation: reverse-strand hits emit the
+  // reverse complement (and reversed qualities). Both oriented variants are
+  // built at most once for the whole hit set — a repeat-heavy read with many
+  // secondary hits must not redo the copy per hit.
+  const std::string fwd_seq = genome::decode(read);
+  const std::string fwd_qual = qualities.value_or("*");
+  std::vector<genome::Base> rc;
+  std::string rc_seq, rc_qual;
+  bool rc_ready = false;
+
   const std::uint8_t mapq = estimate_mapq(ordered.size(), ordered[0].diffs);
   for (std::size_t i = 0; i < ordered.size(); ++i) {
     const auto& hit = ordered[i];
     SamRecord rec;
-    rec.qname = qname;
+    rec.qname = name;
     rec.rname = reference_name_;
     rec.pos = hit.position + 1;  // SAM is 1-based
     rec.mapq = (i == 0) ? mapq : 0;
     rec.edit_distance = hit.diffs;
     if (i > 0) rec.flag |= SamRecord::kFlagSecondary;
 
-    // SEQ is stored in reference orientation: reverse-strand hits emit the
-    // reverse complement (and reversed qualities).
-    std::vector<genome::Base> oriented = read;
-    std::string qual = qualities.value_or("*");
+    const std::vector<genome::Base>* oriented = &read;
     if (hit.strand == Strand::kReverseComplement) {
       rec.flag |= SamRecord::kFlagReverse;
-      oriented = genome::reverse_complement(read);
-      if (qualities) std::reverse(qual.begin(), qual.end());
+      if (!rc_ready) {
+        rc = genome::reverse_complement(read);
+        rc_seq = genome::decode(rc);
+        rc_qual = fwd_qual;
+        if (qualities) std::reverse(rc_qual.begin(), rc_qual.end());
+        rc_ready = true;
+      }
+      oriented = &rc;
+      rec.seq = rc_seq;
+      rec.qual = rc_qual;
+    } else {
+      rec.seq = fwd_seq;
+      rec.qual = fwd_qual;
     }
-    rec.seq = genome::decode(oriented);
-    rec.qual = qual;
-    rec.cigar = cigar_for_hit(oriented, hit);
+    rec.cigar = cigar_for_hit(*oriented, hit);
     records.push_back(std::move(rec));
   }
   return records;
@@ -140,12 +162,10 @@ void SamWriter::write_batch(const ReadBatch& batch,
                             const BatchResult& results) {
   std::vector<genome::Base> scratch;
   for (std::size_t i = 0; i < batch.size(); ++i) {
+    // make_records sanitizes names (comments and ground-truth suffixes stay
+    // out of QNAME); here only nameless reads need the "read<i>" backfill.
     std::string qname(batch.name(i));
     if (qname.empty()) qname = "read" + std::to_string(i);
-    // Ground-truth suffixes and comments stay out of QNAME.
-    if (const auto space = qname.find(' '); space != std::string::npos) {
-      qname.resize(space);
-    }
     batch.read(i).unpack_into(scratch);
     std::optional<std::string> qual;
     if (batch.has_qualities() && !batch.qualities(i).empty()) {
@@ -194,16 +214,31 @@ void SamWriter::write_pair(const std::string& qname,
     r1.flag |= SamRecord::kFlagProperPair;
     r2.flag |= SamRecord::kFlagProperPair;
   }
+  // SAM spec recommended practice: an unmapped read with a mapped mate
+  // takes its mate's RNAME/POS (it stays flagged 0x4 with CIGAR "*"), so
+  // the pair stays adjacent under coordinate sort instead of the unmapped
+  // half drifting to the unplaced block.
+  const bool mapped1 = (r1.flag & SamRecord::kFlagUnmapped) == 0;
+  const bool mapped2 = (r2.flag & SamRecord::kFlagUnmapped) == 0;
+  if (!mapped1 && mapped2) {
+    r1.rname = r2.rname;
+    r1.pos = r2.pos;
+  } else if (mapped1 && !mapped2) {
+    r2.rname = r1.rname;
+    r2.pos = r1.pos;
+  }
   const auto cross_link = [&](SamRecord& self, const SamRecord& mate) {
     if (mate.flag & SamRecord::kFlagUnmapped) {
+      // 0x20 is undefined for an unmapped mate; the placement above still
+      // gives RNEXT/PNEXT a coordinate when the mate was co-located.
       self.flag |= SamRecord::kFlagMateUnmapped;
-      return;
-    }
-    if (mate.flag & SamRecord::kFlagReverse) {
+    } else if (mate.flag & SamRecord::kFlagReverse) {
       self.flag |= SamRecord::kFlagMateReverse;
     }
-    self.rnext = "=";
-    self.pnext = mate.pos;
+    if (mate.pos != 0) {
+      self.rnext = "=";
+      self.pnext = mate.pos;
+    }
   };
   cross_link(r1, r2);
   cross_link(r2, r1);

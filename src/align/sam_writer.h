@@ -11,6 +11,7 @@
 #include <iosfwd>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "src/align/aligner.h"
@@ -51,6 +52,12 @@ struct SamRecord {
 /// MAPQ heuristic: unique hits score high (decaying with differences),
 /// multi-mapped reads score near zero, unmapped reads zero.
 std::uint8_t estimate_mapq(std::size_t num_hits, std::uint32_t diffs);
+
+/// QNAME as the SAM grammar allows it: everything from the first whitespace
+/// on (FASTQ comments, ground-truth suffixes) is dropped. Every record
+/// emission path routes through this, so the two mates of a pair and the
+/// batch/single-read paths agree on the name.
+std::string sanitize_qname(std::string_view name);
 
 class SamWriter {
  public:

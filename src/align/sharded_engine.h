@@ -1,0 +1,99 @@
+// Multi-chip sharded execution behind the one engine seam (S38).
+//
+// The paper's headline numbers (Fig. 8-10) are chip-scale: Pd-way pipelined
+// sub-arrays aggregated across a whole SOT-MRAM chip, and chips aggregated
+// across the platform. ShardedEngine is that aggregation seam on the host
+// side: it implements AlignmentEngine over N backend engine *instances*
+// (one simulated chip each — see pim::hw::PimChipFleet — or N software
+// engines as the zero-hardware baseline), partitions a ReadBatch into
+// contiguous per-shard ranges, fans the ranges out, and stitches the
+// per-shard BatchResults back in read order. EngineStats merge
+// associatively at the stitch, so the merged counters equal an unsharded
+// run by construction — asserted in tests/test_engine.cpp as
+// "sharded(N) == unsharded", the multi-chip extension of the software/PIM
+// bit-identity invariant.
+//
+// Because it sits behind AlignmentEngine, every front-end programmed against
+// the seam (parallel scheduler, SamWriter::write_batch, examples, benches)
+// gets multi-chip execution without code changes.
+//
+// Thread model: each shard engine instance is driven by exactly ONE thread,
+// so backends whose thread_safe() is false (PimEngine: per-chip op/energy
+// tallies) shard safely — the contract is that shard instances share no
+// mutable state (each PIM chip owns its platform). ShardedEngine itself
+// reports thread_safe() == false because it records a per-shard load
+// breakdown (shard_stats()) on each run; the chunked scheduler therefore
+// runs it through the serial path, and ShardedEngine does its own fan-out.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "src/align/engine.h"
+#include "src/align/read_batch.h"
+
+namespace pim::align {
+
+/// Per-chip load observed on the last sharded run — the measured feed for
+/// the chip/contention models in src/accel (see accel/measured_load.h),
+/// which otherwise assume uniform per-chip load.
+struct ShardStats {
+  std::size_t shard = 0;        ///< Shard (chip) index.
+  std::uint64_t reads = 0;      ///< Reads routed to this shard.
+  std::uint64_t hits = 0;       ///< Hits this shard produced.
+  double wall_ms = 0.0;         ///< This shard's align wall time.
+  EngineStats stats;            ///< Full per-shard engine counters.
+};
+
+struct ShardedOptions {
+  /// Run shards concurrently, one thread per shard (chips are independent
+  /// devices). false runs them sequentially — useful for deterministic
+  /// profiling of a single chip's share.
+  bool parallel = true;
+};
+
+class ShardedEngine final : public AlignmentEngine {
+ public:
+  /// Owning: the sharded engine keeps the backend instances alive.
+  explicit ShardedEngine(std::vector<std::unique_ptr<AlignmentEngine>> shards,
+                         ShardedOptions options = {});
+  /// Non-owning: `shards` must outlive the engine (PimChipFleet owns its
+  /// chips this way). Instances must be distinct objects sharing no mutable
+  /// state.
+  explicit ShardedEngine(std::vector<const AlignmentEngine*> shards,
+                         ShardedOptions options = {});
+
+  std::string_view name() const override { return "sharded"; }
+  /// align_range overwrites the shard_stats() breakdown, so concurrent
+  /// calls on one ShardedEngine are not allowed. (The internal per-shard
+  /// fan-out is still parallel.)
+  bool thread_safe() const override { return false; }
+  void align_range(const ReadBatch& batch, std::size_t begin, std::size_t end,
+                   BatchResult& out) const override;
+
+  std::size_t num_shards() const { return shards_.size(); }
+  const AlignmentEngine& shard(std::size_t i) const { return *shards_[i]; }
+  const ShardedOptions& options() const { return options_; }
+
+  /// Per-chip breakdown of the last align_range/align_batch call (empty
+  /// before the first run). Shards with no reads still appear, with zeroed
+  /// counters.
+  const std::vector<ShardStats>& shard_stats() const { return shard_stats_; }
+
+  /// Balanced contiguous partition: the half-open read range shard `s` of
+  /// `num_shards` covers within [0, reads). Exposed for tests and for
+  /// front-ends that pre-route per-shard auxiliary data.
+  static std::pair<std::size_t, std::size_t> shard_range(std::size_t reads,
+                                                         std::size_t num_shards,
+                                                         std::size_t s);
+
+ private:
+  std::vector<std::unique_ptr<AlignmentEngine>> owned_;
+  std::vector<const AlignmentEngine*> shards_;
+  ShardedOptions options_;
+  mutable std::vector<ShardStats> shard_stats_;
+};
+
+}  // namespace pim::align

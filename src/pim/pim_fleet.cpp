@@ -1,0 +1,34 @@
+#include "src/pim/pim_fleet.h"
+
+#include <stdexcept>
+
+namespace pim::hw {
+
+PimChipFleet::PimChipFleet(const index::FmIndex& fm,
+                           const TimingEnergyModel& timing,
+                           std::size_t num_chips,
+                           align::AlignerOptions options, ZoneLayout layout,
+                           AddPlacement placement,
+                           align::ShardedOptions sharding) {
+  if (num_chips == 0) {
+    throw std::invalid_argument("PimChipFleet: need at least one chip");
+  }
+  platforms_.reserve(num_chips);
+  engines_.reserve(num_chips);
+  std::vector<const align::AlignmentEngine*> shards;
+  shards.reserve(num_chips);
+  for (std::size_t c = 0; c < num_chips; ++c) {
+    platforms_.push_back(
+        std::make_unique<PimAlignerPlatform>(fm, timing, layout, placement));
+    engines_.push_back(std::make_unique<PimEngine>(*platforms_[c], options));
+    shards.push_back(engines_[c].get());
+  }
+  sharded_ = std::make_unique<align::ShardedEngine>(std::move(shards),
+                                                    sharding);
+}
+
+void PimChipFleet::reset_stats() {
+  for (auto& platform : platforms_) platform->reset_stats();
+}
+
+}  // namespace pim::hw

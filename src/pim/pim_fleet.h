@@ -1,0 +1,62 @@
+// A fleet of simulated SOT-MRAM chips behind one ShardedEngine (S38).
+//
+// The paper evaluates PIM-Aligner at chip scale; PimChipFleet builds that
+// configuration for the simulator: N independent PimAlignerPlatform
+// instances over one shared FM-index (each chip owns its tiles, DPU
+// registers, and op/energy tallies) wrapped in N PimEngines and exposed as
+// a single align::ShardedEngine. A batch fanned through engine() runs one
+// contiguous read range per chip — concurrently, since the chips share no
+// mutable state — and results stitch back bit-identical to a single-chip
+// (or pure software) run.
+//
+// Per-chip hardware tallies survive the run: chip_stats(i) reports chip i's
+// LFM calls, sub-array ops, and energy for exactly the reads it was routed,
+// which accel/measured_load.h converts into measured (rather than assumed)
+// chip/contention-model load.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "src/align/sharded_engine.h"
+#include "src/pim/pim_engine.h"
+#include "src/pim/platform.h"
+
+namespace pim::hw {
+
+class PimChipFleet {
+ public:
+  /// Builds `num_chips` platforms over `fm` (all chips hold the full index,
+  /// as the paper's chips each hold the full reference slice mapping).
+  /// `fm` and `timing` must outlive the fleet.
+  PimChipFleet(const index::FmIndex& fm, const TimingEnergyModel& timing,
+               std::size_t num_chips, align::AlignerOptions options = {},
+               ZoneLayout layout = {},
+               AddPlacement placement = AddPlacement::kMethodI,
+               align::ShardedOptions sharding = {});
+
+  /// The fleet as one AlignmentEngine: align_batch fans out across chips.
+  align::ShardedEngine& engine() { return *sharded_; }
+  const align::ShardedEngine& engine() const { return *sharded_; }
+
+  std::size_t num_chips() const { return engines_.size(); }
+  PimAlignerPlatform& chip(std::size_t i) { return *platforms_[i]; }
+  const PimAlignerPlatform& chip(std::size_t i) const {
+    return *platforms_[i];
+  }
+
+  /// Chip i's hardware op/energy tallies since the last reset_stats().
+  PimAlignerPlatform::AggregateStats chip_stats(std::size_t i) const {
+    return platforms_[i]->aggregate_stats();
+  }
+  /// Clears every chip's hardware tallies (call between measured batches).
+  void reset_stats();
+
+ private:
+  std::vector<std::unique_ptr<PimAlignerPlatform>> platforms_;
+  std::vector<std::unique_ptr<PimEngine>> engines_;
+  std::unique_ptr<align::ShardedEngine> sharded_;
+};
+
+}  // namespace pim::hw

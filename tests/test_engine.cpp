@@ -11,9 +11,14 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+
+#include "src/accel/measured_load.h"
 #include "src/align/parallel_aligner.h"
+#include "src/align/sharded_engine.h"
 #include "src/genome/synthetic_genome.h"
 #include "src/pim/pim_engine.h"
+#include "src/pim/pim_fleet.h"
 #include "src/readsim/read_simulator.h"
 #include "src/util/rng.h"
 
@@ -342,6 +347,206 @@ TEST(Engine, SeedExtendEngineAlignsLongReads) {
     EXPECT_TRUE(near) << i;
   }
   EXPECT_EQ(result.stats().reads_inexact, batch.size());
+}
+
+std::unique_ptr<ShardedEngine> make_software_sharded(const Fixture& f,
+                                                     std::size_t shards) {
+  std::vector<std::unique_ptr<AlignmentEngine>> engines;
+  for (std::size_t s = 0; s < shards; ++s) {
+    engines.push_back(std::make_unique<SoftwareEngine>(f.fm, f.options));
+  }
+  return std::make_unique<ShardedEngine>(std::move(engines));
+}
+
+TEST(Sharded, BitIdenticalToUnshardedAcrossShardCounts) {
+  Fixture f;
+  const SoftwareEngine unsharded(f.fm, f.options);
+  BatchResult want;
+  unsharded.align_batch(f.batch, want);
+
+  for (const std::size_t shards : {1u, 2u, 4u}) {
+    const auto engine = make_software_sharded(f, shards);
+    BatchResult got;
+    engine->align_batch(f.batch, got);
+
+    ASSERT_EQ(got.size(), want.size()) << shards << " shards";
+    for (std::size_t i = 0; i < want.size(); ++i) {
+      expect_identical(want.result(i), got.stage(i), got.hits(i), i,
+                       "sharded");
+    }
+    // Merged stats equal the unsharded counts (associative merge).
+    EXPECT_EQ(got.stats().reads_total, want.stats().reads_total);
+    EXPECT_EQ(got.stats().hits_total, want.stats().hits_total);
+    EXPECT_EQ(got.stats().reads_exact, want.stats().reads_exact);
+    EXPECT_EQ(got.stats().reads_inexact, want.stats().reads_inexact);
+    EXPECT_EQ(got.stats().reads_unaligned, want.stats().reads_unaligned);
+    EXPECT_EQ(got.stats().exact_searches, want.stats().exact_searches);
+    EXPECT_EQ(got.stats().inexact_searches, want.stats().inexact_searches);
+
+    // Per-chip breakdown: every read and hit is attributed to exactly one
+    // shard, sizes are balanced to within one read.
+    const auto& per_shard = engine->shard_stats();
+    ASSERT_EQ(per_shard.size(), shards);
+    std::uint64_t reads = 0, hits = 0;
+    for (std::size_t s = 0; s < shards; ++s) {
+      EXPECT_EQ(per_shard[s].shard, s);
+      EXPECT_GE(per_shard[s].wall_ms, 0.0);
+      reads += per_shard[s].reads;
+      hits += per_shard[s].hits;
+      const auto [lo, hi] =
+          ShardedEngine::shard_range(f.batch.size(), shards, s);
+      EXPECT_EQ(per_shard[s].reads, hi - lo);
+    }
+    EXPECT_EQ(reads, want.stats().reads_total);
+    EXPECT_EQ(hits, want.stats().hits_total);
+  }
+}
+
+TEST(Sharded, SerialOptionMatchesParallel) {
+  Fixture f(60);
+  const SoftwareEngine unsharded(f.fm, f.options);
+  BatchResult want;
+  unsharded.align_batch(f.batch, want);
+
+  std::vector<std::unique_ptr<AlignmentEngine>> engines;
+  for (int s = 0; s < 3; ++s) {
+    engines.push_back(std::make_unique<SoftwareEngine>(f.fm, f.options));
+  }
+  const ShardedEngine engine(std::move(engines),
+                             ShardedOptions{.parallel = false});
+  BatchResult got;
+  engine.align_batch(f.batch, got);
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    expect_identical(want.result(i), got.stage(i), got.hits(i), i,
+                     "sharded-serial");
+  }
+}
+
+TEST(Sharded, PimChipFleetBitIdenticalToSoftware) {
+  Fixture f(48);  // PIM simulation pays per-op accounting; keep it modest.
+  const SoftwareEngine software(f.fm, f.options);
+  BatchResult want;
+  software.align_batch(f.batch, want);
+
+  hw::TimingEnergyModel timing;
+  hw::PimChipFleet fleet(f.fm, timing, 2, f.options);
+  BatchResult got;
+  fleet.engine().align_batch(f.batch, got);
+
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    expect_identical(want.result(i), got.stage(i), got.hits(i), i,
+                     "pim-fleet");
+  }
+  EXPECT_EQ(got.stats().reads_total, want.stats().reads_total);
+  EXPECT_EQ(got.stats().hits_total, want.stats().hits_total);
+
+  // Each chip did hardware work for exactly its share, and the measured
+  // loads expose the per-chip LFM tallies for the accel models.
+  const auto loads = accel::measured_loads(fleet);
+  ASSERT_EQ(loads.size(), 2u);
+  std::uint64_t reads = 0;
+  for (const auto& load : loads) {
+    EXPECT_GT(load.reads, 0u);
+    EXPECT_GT(load.lfm_calls, 0u);
+    reads += load.reads;
+  }
+  EXPECT_EQ(reads, want.stats().reads_total);
+}
+
+TEST(Sharded, MeasuredLoadFeedsChipAndContentionModels) {
+  accel::MeasuredChipLoad load;
+  load.reads = 500;
+  load.lfm_calls = 150000;  // 300 LFM per read
+  EXPECT_DOUBLE_EQ(load.lfm_per_read(), 300.0);
+
+  const auto sim = accel::chip_sim_from_measured(load);
+  EXPECT_EQ(sim.reads_to_complete, 500u);
+  EXPECT_EQ(sim.lfm_per_read, 300u);
+
+  const auto model = accel::chip_model_from_measured(load, 100);
+  EXPECT_DOUBLE_EQ(model.lfm_stage_mix, 1.5);
+
+  // Unmeasured (software shard): consumers keep their assumed demand.
+  accel::MeasuredChipLoad soft;
+  soft.reads = 500;
+  const accel::ChipSimConfig base;
+  EXPECT_EQ(accel::chip_sim_from_measured(soft).lfm_per_read,
+            base.lfm_per_read);
+  EXPECT_DOUBLE_EQ(accel::chip_model_from_measured(soft, 100).lfm_stage_mix,
+                   accel::ChipModelConfig{}.lfm_stage_mix);
+}
+
+TEST(Sharded, MoreShardsThanReadsAndEmptyBatchAreHarmless) {
+  Fixture f(3);
+  const SoftwareEngine unsharded(f.fm, f.options);
+  BatchResult want;
+  unsharded.align_batch(f.batch, want);
+
+  const auto engine = make_software_sharded(f, 8);
+  BatchResult got;
+  engine->align_batch(f.batch, got);
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    expect_identical(want.result(i), got.stage(i), got.hits(i), i,
+                     "overshard");
+  }
+  // Idle shards report zero load, not garbage.
+  std::uint64_t reads = 0;
+  for (const auto& s : engine->shard_stats()) reads += s.reads;
+  EXPECT_EQ(reads, 3u);
+
+  const ReadBatch empty;
+  engine->align_batch(empty, got);
+  EXPECT_EQ(got.size(), 0u);
+  EXPECT_EQ(got.stats().reads_total, 0u);
+}
+
+TEST(Sharded, ShardRangePartitionIsBalancedAndComplete) {
+  for (const std::size_t reads : {0u, 1u, 7u, 64u, 1001u}) {
+    for (const std::size_t shards : {1u, 2u, 3u, 8u}) {
+      std::size_t expected_begin = 0;
+      for (std::size_t s = 0; s < shards; ++s) {
+        const auto [lo, hi] = ShardedEngine::shard_range(reads, shards, s);
+        EXPECT_EQ(lo, expected_begin);  // contiguous, in order
+        EXPECT_LE(hi - lo, reads / shards + 1);
+        EXPECT_GE(hi - lo, reads / shards);
+        expected_begin = hi;
+      }
+      EXPECT_EQ(expected_begin, reads);  // complete cover
+    }
+  }
+}
+
+TEST(Sharded, RejectsEmptyAndNullShards) {
+  EXPECT_THROW(
+      ShardedEngine(std::vector<std::unique_ptr<AlignmentEngine>>{}),
+      std::invalid_argument);
+  EXPECT_THROW(
+      ShardedEngine(std::vector<const AlignmentEngine*>{nullptr}),
+      std::invalid_argument);
+  Fixture f(1);
+  hw::TimingEnergyModel timing;
+  EXPECT_THROW(hw::PimChipFleet(f.fm, timing, 0), std::invalid_argument);
+}
+
+TEST(Engine, LegacyAdapterRoutesFullEngineStats) {
+  Fixture f(40);
+  const Aligner aligner(f.fm, f.options);
+  AlignerStats legacy;
+  EngineStats full;
+  const auto results = align_batch_parallel(aligner, f.reads, 2, &legacy,
+                                            &full);
+  ASSERT_EQ(results.size(), f.reads.size());
+  EXPECT_EQ(full.reads_total, legacy.reads_total);
+  // The counters the legacy bridge cannot carry arrive via EngineStats.
+  std::uint64_t hits = 0;
+  for (const auto& r : results) hits += r.hits.size();
+  EXPECT_EQ(full.hits_total, hits);
+  EXPECT_EQ(full.exact_searches, 2 * full.reads_total);
+  EXPECT_EQ(full.inexact_searches,
+            2 * (full.reads_inexact + full.reads_unaligned));
 }
 
 TEST(Engine, EmptyBatchIsHarmless) {

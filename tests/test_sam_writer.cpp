@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <fstream>
 #include <sstream>
 
 #include "src/genome/synthetic_genome.h"
@@ -230,6 +231,127 @@ TEST(SamWriter, OneMateUnmappedPair) {
   EXPECT_FALSE(flag1 & SamRecord::kFlagProperPair);
   EXPECT_TRUE(flag2 & SamRecord::kFlagUnmapped);
   EXPECT_TRUE(flag2 & SamRecord::kFlagSecondInPair);
+}
+
+TEST(SamWriter, SanitizeQname) {
+  EXPECT_EQ(sanitize_qname("read1"), "read1");
+  EXPECT_EQ(sanitize_qname("read1 ground:truth comment"), "read1");
+  EXPECT_EQ(sanitize_qname("read1\tBC:Z:ACGT"), "read1");
+  EXPECT_EQ(sanitize_qname(" leading"), "");
+  EXPECT_EQ(sanitize_qname(""), "");
+}
+
+TEST(SamWriter, EmptyBatchWritesNothing) {
+  const Fixture f;
+  std::ostringstream out;
+  SamWriter writer(out, "chrTest", f.reference);
+  const ReadBatch batch;
+  const BatchResult results;
+  writer.write_batch(batch, results);
+  EXPECT_TRUE(out.str().empty());
+  EXPECT_EQ(writer.records_written(), 0U);
+}
+
+// Golden-file test over hand-built pair results, covering the pair flag
+// bits, TLEN signs (including the r1.pos == r2.pos tie), QNAME comment
+// trimming, and the unmapped-mate placement recommended by the SAM spec.
+// Every field is deterministic: forced exact hits make CIGAR/NM trivial and
+// MAPQ fixed. Regenerate the golden after an intended format change by
+// copying /tmp/pim_paired_end_actual.sam (dumped on mismatch) over
+// tests/golden/paired_end.sam and reviewing the diff.
+TEST(SamWriter, PairedGoldenFile) {
+  const std::string ref_str =
+      "ACGTAGCTTGCAATCGGATCAAGCTTGACCGTTAGGCCAT"
+      "GGATCCAGTACTGGTTACGCGTTAACCGGATATCGGCTAA"
+      "CCTAGGTTGCAGATCCGGAACGTTGCCTAGATCGGATTCA"
+      "TTGACCGGTAAGCTTGGATCCGTAACGGCTTAGGCATCGA"
+      "AGGCTTAACCGGATCGTTGCAGGATCCATAGGCTTAACGG";
+  const PackedSequence reference(ref_str);
+  ASSERT_EQ(reference.size(), 200U);
+
+  std::ostringstream out;
+  SamWriter writer(out, "chrG", reference);
+  writer.write_header();
+
+  // Pair A: proper pair, mate 2 reverse, FASTQ comment in the QNAME.
+  {
+    const AlignmentHit h1{10, 0, Strand::kForward};
+    const AlignmentHit h2{110, 0, Strand::kReverseComplement};
+    PairedResult res;
+    res.cls = PairClass::kProperPair;
+    res.pair = ProperPair{h1, h2, 120, 0};
+    res.mate1 = {AlignmentStage::kExact, {h1}};
+    res.mate2 = {AlignmentStage::kExact, {h2}};
+    writer.write_pair("pairA ground:truth comment", reference.slice(10, 30),
+                      genome::reverse_complement(reference.slice(110, 130)),
+                      res, std::string("AAAABBBBCCCCDDDDEEEE"),
+                      std::string("FFFFGGGGHHHHIIIIJJJJ"));
+  }
+  // Pair B: both mates start at the same coordinate — the TLEN signs must
+  // still be one plus and one minus.
+  {
+    const AlignmentHit h1{50, 0, Strand::kForward};
+    const AlignmentHit h2{50, 0, Strand::kReverseComplement};
+    PairedResult res;
+    res.cls = PairClass::kProperPair;
+    res.pair = ProperPair{h1, h2, 20, 0};
+    res.mate1 = {AlignmentStage::kExact, {h1}};
+    res.mate2 = {AlignmentStage::kExact, {h2}};
+    writer.write_pair("pairB", reference.slice(50, 70),
+                      genome::reverse_complement(reference.slice(50, 70)),
+                      res);
+  }
+  // Pair C: mate 2 unmapped — per spec it takes its mate's RNAME/POS so the
+  // pair survives coordinate sorting, and keeps flag 0x4 with CIGAR "*".
+  {
+    const AlignmentHit h1{30, 0, Strand::kForward};
+    PairedResult res;
+    res.cls = PairClass::kOneMate;
+    res.mate1 = {AlignmentStage::kExact, {h1}};
+    writer.write_pair("pairC", reference.slice(30, 50),
+                      genome::encode("ACACACACACACACACACAC"), res);
+  }
+
+  const auto lines = split(out.str(), '\n');
+  ASSERT_GE(lines.size(), 9U);  // 3 header + 6 records
+
+  // Semantic spot checks, independent of the golden bytes.
+  const auto a1 = split(lines[3]), a2 = split(lines[4]);
+  EXPECT_EQ(a1[0], "pairA");  // comment trimmed...
+  EXPECT_EQ(a2[0], "pairA");  // ...identically on both mates
+  EXPECT_EQ(std::stoi(a1[1]), 0x1 | 0x2 | 0x20 | 0x40);  // 99
+  EXPECT_EQ(std::stoi(a2[1]), 0x1 | 0x2 | 0x10 | 0x80);  // 147
+  EXPECT_EQ(std::stol(a1[8]), 120);
+  EXPECT_EQ(std::stol(a2[8]), -120);
+  EXPECT_EQ(a2[10], "JJJJIIIIHHHHGGGGFFFF");  // reversed qualities
+
+  const auto b1 = split(lines[5]), b2 = split(lines[6]);
+  EXPECT_EQ(b1[3], b2[3]);  // tie: same POS
+  EXPECT_EQ(std::stol(b1[8]), 20);
+  EXPECT_EQ(std::stol(b2[8]), -20);
+
+  const auto c1 = split(lines[7]), c2 = split(lines[8]);
+  EXPECT_TRUE(std::stoi(c1[1]) & SamRecord::kFlagMateUnmapped);
+  EXPECT_TRUE(std::stoi(c2[1]) & SamRecord::kFlagUnmapped);
+  EXPECT_EQ(c2[2], c1[2]);  // unmapped mate placed at its mate's RNAME...
+  EXPECT_EQ(c2[3], c1[3]);  // ...and POS
+  EXPECT_EQ(c2[5], "*");    // but stays CIGAR-less
+  EXPECT_EQ(c1[6], "=");
+  EXPECT_EQ(c1[7], c1[3]);  // PNEXT = co-located mate
+  EXPECT_EQ(c2[6], "=");
+
+  // Byte-exact golden comparison.
+  std::ifstream golden(std::string(PIMALIGNER_SOURCE_DIR) +
+                       "/tests/golden/paired_end.sam");
+  ASSERT_TRUE(golden.good()) << "missing tests/golden/paired_end.sam";
+  std::stringstream want;
+  want << golden.rdbuf();
+  if (out.str() != want.str()) {
+    std::ofstream dump("/tmp/pim_paired_end_actual.sam");
+    dump << out.str();
+  }
+  EXPECT_EQ(out.str(), want.str())
+      << "actual output dumped to /tmp/pim_paired_end_actual.sam";
 }
 
 TEST(EstimateMapq, Heuristic) {
