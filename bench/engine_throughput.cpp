@@ -1,10 +1,16 @@
-// Host-side batch dispatch: legacy vector-of-vectors versus the arena-backed
-// ReadBatch engine path (S37), at batch sizes 1k / 10k / 100k — then the
-// multi-chip shard sweep (S38): the same batch fanned across 1/2/4/8 engine
-// shards behind ShardedEngine, with per-shard load emitted as JSON lines
+// Host-side batch dispatch: first the streaming pipeline (S39) against the
+// materialize-everything path — peak RSS (getrusage) and throughput as JSON
+// lines — then legacy vector-of-vectors versus the arena-backed ReadBatch
+// engine path (S37) at batch sizes 1k / 10k / 100k, then the multi-chip
+// shard sweep (S38): the same batch fanned across 1/2/4/8 engine shards
+// behind ShardedEngine, with per-shard load emitted as JSON lines
 // (grep '^{') so the throughput trajectory is machine-trackable across PRs.
 // A small PIM-chip-fleet pass closes the loop: measured per-chip LFM
 // tallies feed the closed-loop chip simulator in place of assumed demand.
+//
+// The streaming section runs FIRST: ru_maxrss is a process-lifetime
+// high-water mark, so the bounded-memory pass must finish before anything
+// materializes the whole workload.
 //
 // Usage: engine_throughput [max_reads]  (default 100000; CI's sanitizer job
 // passes a small count so the bench smoke-runs under ASan).
@@ -22,8 +28,11 @@
 #include <cstdlib>
 #include <new>
 
+#include <sys/resource.h>
+
 #include <atomic>
 #include <chrono>
+#include <fstream>
 #include <memory>
 #include <string>
 #include <vector>
@@ -31,7 +40,10 @@
 #include "src/accel/measured_load.h"
 #include "src/align/engine.h"
 #include "src/align/parallel_aligner.h"
+#include "src/align/sam_writer.h"
 #include "src/align/sharded_engine.h"
+#include "src/align/streaming_pipeline.h"
+#include "src/genome/fastq.h"
 #include "src/genome/synthetic_genome.h"
 #include "src/pim/pim_fleet.h"
 #include "src/util/rng.h"
@@ -154,6 +166,26 @@ PassResult run_engine(const Workload& w, std::size_t n,
   return r;
 }
 
+/// Resident-set high-water mark so far, in KB (Linux ru_maxrss units).
+long peak_rss_kb() {
+  struct rusage ru {};
+  getrusage(RUSAGE_SELF, &ru);
+  return ru.ru_maxrss;
+}
+
+/// Write the workload's reads as a FASTQ file so both end-to-end paths pay
+/// the same parse cost; the file lives on disk, not in either pass's RSS.
+void write_workload_fastq(const Workload& w, std::size_t n,
+                          const std::string& path) {
+  std::ofstream out(path);
+  for (std::size_t i = 0; i < n; ++i) {
+    out << "@r" << i << '\n'
+        << pim::genome::decode(
+               w.reference.slice(w.starts[i], w.starts[i] + Workload::kReadLen))
+        << "\n+\n" << std::string(Workload::kReadLen, 'I') << '\n';
+  }
+}
+
 pim::align::ReadBatch build_batch(const Workload& w, std::size_t n) {
   pim::align::ReadBatchBuilder builder;
   builder.reserve(n, n * Workload::kReadLen);
@@ -194,11 +226,11 @@ double run_shard_point(const Workload& w, const pim::align::ReadBatch& batch,
   }
   std::printf("{\"bench\":\"shard_sweep\",\"shards\":%zu,\"reads\":%zu,"
               "\"reads_per_s\":%.0f,\"hits\":%llu,\"identical\":%s,"
-              "\"per_shard\":[%s]}\n",
+              "\"peak_rss_kb\":%ld,\"per_shard\":[%s]}\n",
               shards, batch.size(), qps,
               static_cast<unsigned long long>(results.stats().hits_total),
               results.stats().hits_total == want_hits ? "true" : "false",
-              per_shard.c_str());
+              peak_rss_kb(), per_shard.c_str());
   return qps;
 }
 
@@ -216,17 +248,88 @@ int main(int argc, char** argv) {
   }
   sizes.push_back(kMax);
 
-  std::printf("=== Engine throughput: legacy vector-of-vectors vs ReadBatch "
-              "===\n");
-  std::printf("reference: 1 Mbp synthetic; 100-bp error-free reads; both "
-              "paths run the\nidentical two-stage search, serial, including "
-              "batch construction.\n\n");
-
   Workload w(kMax);
   pim::align::AlignerOptions options;
   options.inexact.max_diffs = 2;
   const pim::align::Aligner aligner(w.fm, options);
   const pim::align::SoftwareEngine engine(w.fm, options);
+
+  // --- Streaming pipeline (S39): bounded memory vs materialize ------------
+  // Runs before every other section (ru_maxrss only grows). Both passes do
+  // the full FASTQ -> align -> SAM trip; the streaming one holds two batch
+  // generations, the materialize one the whole dataset three times over.
+  std::printf("=== Streaming pipeline: FASTQ -> SAM end to end, %zu reads "
+              "(JSON lines) ===\n\n",
+              kMax);
+  const std::string fastq_path = "/tmp/engine_throughput_stream.fastq";
+  write_workload_fastq(w, kMax, fastq_path);
+
+  double stream_qps = 0.0;
+  long stream_rss_kb = 0;
+  std::uint64_t stream_hits = 0;
+  {
+    std::ifstream fastq_in(fastq_path);
+    std::ofstream devnull("/dev/null");
+    pim::align::SamWriter writer(devnull, "ref", w.reference);
+    writer.write_header();
+    pim::genome::FastqStreamReader reader(fastq_in);
+    const pim::align::StreamingPipeline pipeline(engine);
+    const auto stats = pipeline.run(reader, writer);
+    stream_qps = static_cast<double>(stats.reads) / (stats.wall_ms / 1e3);
+    stream_rss_kb = peak_rss_kb();
+    stream_hits = stats.engine.hits_total;
+    std::printf("{\"bench\":\"streaming_rss\",\"path\":\"streaming\","
+                "\"reads\":%llu,\"reads_per_s\":%.0f,\"peak_rss_kb\":%ld,"
+                "\"peak_batch_mb\":%.2f,\"batches\":%llu,\"chunks\":%llu,"
+                "\"ingest_wait_ms\":%.1f,\"sam_records\":%zu}\n",
+                static_cast<unsigned long long>(stats.reads), stream_qps,
+                stream_rss_kb,
+                static_cast<double>(stats.peak_batch_bytes) / 1e6,
+                static_cast<unsigned long long>(stats.batches),
+                static_cast<unsigned long long>(stats.chunks),
+                stats.ingest_wait_ms, writer.records_written());
+  }
+  double mat_qps = 0.0;
+  long mat_rss_kb = 0;
+  std::uint64_t mat_hits = 0;
+  {
+    const auto t0 = Clock::now();
+    const auto records = pim::genome::read_fastq_file(fastq_path);
+    const auto mat_batch = pim::align::ReadBatch::from_fastq(records);
+    pim::align::BatchResult mat_results;
+    pim::align::align_batch_parallel(engine, mat_batch, mat_results);
+    std::ofstream devnull("/dev/null");
+    pim::align::SamWriter writer(devnull, "ref", w.reference);
+    writer.write_header();
+    writer.write_batch(mat_batch, mat_results);
+    const double secs =
+        std::chrono::duration<double>(Clock::now() - t0).count();
+    mat_qps = static_cast<double>(mat_batch.size()) / secs;
+    mat_rss_kb = peak_rss_kb();
+    mat_hits = mat_results.stats().hits_total;
+    std::printf("{\"bench\":\"streaming_rss\",\"path\":\"materialize\","
+                "\"reads\":%zu,\"reads_per_s\":%.0f,\"peak_rss_kb\":%ld,"
+                "\"sam_records\":%zu}\n",
+                mat_batch.size(), mat_qps, mat_rss_kb,
+                writer.records_written());
+  }
+  std::remove(fastq_path.c_str());
+  const bool stream_ok = stream_hits == mat_hits;
+  std::printf("{\"bench\":\"streaming_rss\",\"path\":\"ratio\","
+              "\"rss_ratio\":%.2f,\"throughput_ratio\":%.2f,"
+              "\"identical\":%s}\n",
+              static_cast<double>(mat_rss_kb) /
+                  static_cast<double>(stream_rss_kb ? stream_rss_kb : 1),
+              stream_qps / (mat_qps > 0.0 ? mat_qps : 1.0),
+              stream_ok ? "true" : "false");
+  std::printf("streaming equivalence vs materialize: %s\n",
+              stream_ok ? "bit-identical hit counts" : "MISMATCH");
+
+  std::printf("\n=== Engine throughput: legacy vector-of-vectors vs ReadBatch "
+              "===\n");
+  std::printf("reference: 1 Mbp synthetic; 100-bp error-free reads; both "
+              "paths run the\nidentical two-stage search, serial, including "
+              "batch construction.\n\n");
 
   // Warm up index caches so the first pass is not penalized.
   (void)run_engine(w, std::min<std::size_t>(1000, kMax), engine);
@@ -314,5 +417,5 @@ int main(int argc, char** argv) {
   }
   std::printf("fleet equivalence vs software: %s\n",
               fleet_ok ? "bit-identical hit counts" : "MISMATCH");
-  return (ok && fleet_ok) ? 0 : 1;
+  return (ok && fleet_ok && stream_ok) ? 0 : 1;
 }

@@ -1,9 +1,12 @@
 // End-to-end aligner tool: FASTA reference + FASTQ reads -> SAM alignments,
-// on the unified engine layer: FASTQ -> ReadBatch (one packed arena) ->
-// chunked parallel scheduler over SoftwareEngine -> batch SAM output.
-// With shards >= 2 the batch instead fans out across N engine shards
-// (simulated chips) behind ShardedEngine — the SAM path is unchanged
-// because the sharded engine sits behind the same interface.
+// on the streaming pipeline (S39): a producer thread packs FASTQ records
+// into double-buffered ReadBatch generations while the engine aligns the
+// previous one, and every completed chunk is written to the SAM file as
+// soon as it (and all earlier chunks) finish. Peak memory is two batch
+// generations, not the dataset. With shards >= 2 each generation fans out
+// across N engine shards (simulated chips) behind ShardedEngine with
+// measured-load rebalancing — the SAM path is unchanged because the sharded
+// engine streams through the same chunk seam.
 //
 //   ./fastq_to_sam ref.fasta reads.fastq out.sam [threads] [max_diffs]
 //                  [shards]
@@ -19,9 +22,9 @@
 #include <string>
 #include <vector>
 
-#include "src/align/parallel_aligner.h"
 #include "src/align/sam_writer.h"
 #include "src/align/sharded_engine.h"
+#include "src/align/streaming_pipeline.h"
 #include "src/genome/fasta.h"
 #include "src/genome/fastq.h"
 #include "src/genome/synthetic_genome.h"
@@ -47,41 +50,14 @@ int run(const std::string& ref_path, const std::string& fastq_path,
   std::printf("index built (%zu B resident)\n",
               fm.memory_footprint().total());
 
-  // Pack all reads (with names and qualities) into one arena-backed batch:
-  // no per-read heap allocation, no copies at layer boundaries.
-  const auto batch = align::ReadBatch::from_fastq(
-      genome::read_fastq_file(fastq_path));
-  std::printf("reads: %zu from %s (%.2f MB packed)\n", batch.size(),
-              fastq_path.c_str(),
-              static_cast<double>(batch.memory_bytes()) / (1024.0 * 1024.0));
-
   align::AlignerOptions options;
   options.inexact.max_diffs = max_diffs;
 
-  align::BatchResult results;
-  if (shards >= 2) {
-    // Multi-chip execution behind the same engine seam: one software engine
-    // shard per simulated chip, each run on its own thread.
-    std::vector<std::unique_ptr<align::AlignmentEngine>> chips;
-    for (std::size_t s = 0; s < shards; ++s) {
-      chips.push_back(std::make_unique<align::SoftwareEngine>(fm, options));
-    }
-    const align::ShardedEngine engine(std::move(chips));
-    engine.align_batch(batch, results);
-    std::printf("sharded across %zu chips:\n", shards);
-    for (const auto& s : engine.shard_stats()) {
-      std::printf("  chip %zu: %llu reads, %llu hits, %.1f ms\n", s.shard,
-                  static_cast<unsigned long long>(s.reads),
-                  static_cast<unsigned long long>(s.hits), s.wall_ms);
-    }
-  } else {
-    const align::SoftwareEngine engine(fm, options);
-    align::align_batch_parallel(
-        engine, batch, results,
-        align::ParallelOptions{.num_threads = threads});
+  std::ifstream fastq_in(fastq_path);
+  if (!fastq_in) {
+    std::fprintf(stderr, "cannot read %s\n", fastq_path.c_str());
+    return 1;
   }
-  const auto& stats = results.stats();
-
   std::ofstream sam_out(sam_path);
   if (!sam_out) {
     std::fprintf(stderr, "cannot write %s\n", sam_path.c_str());
@@ -92,17 +68,52 @@ int run(const std::string& ref_path, const std::string& fastq_path,
   if (ref_name.empty()) ref_name = "ref";
   align::SamWriter writer(sam_out, ref_name, reference);
   writer.write_header();
-  writer.write_batch(batch, results);
+
+  // Stream: FASTQ records never all live at once. The producer packs the
+  // next generation while the engine aligns this one; chunks hit the SAM
+  // file in read order as they complete.
+  genome::FastqStreamReader reader(fastq_in);
+  align::StreamingOptions sopts;
+  sopts.parallel.num_threads = threads;
+
+  align::StreamingStats stats;
+  if (shards >= 2) {
+    // Multi-chip execution behind the same engine seam: one software engine
+    // shard per simulated chip, each generation fanned across chip threads
+    // with boundaries rebalanced from the measured wall-time skew.
+    std::vector<std::unique_ptr<align::AlignmentEngine>> chips;
+    for (std::size_t s = 0; s < shards; ++s) {
+      chips.push_back(std::make_unique<align::SoftwareEngine>(fm, options));
+    }
+    const align::ShardedEngine engine(std::move(chips),
+                                      align::ShardedOptions{.rebalance = true});
+    stats = align::StreamingPipeline(engine, sopts).run(reader, writer);
+    std::printf("sharded across %zu chips (last generation):\n", shards);
+    for (const auto& s : engine.shard_stats()) {
+      std::printf("  chip %zu: %llu reads, %llu hits, %.1f ms\n", s.shard,
+                  static_cast<unsigned long long>(s.reads),
+                  static_cast<unsigned long long>(s.hits), s.wall_ms);
+    }
+  } else {
+    const align::SoftwareEngine engine(fm, options);
+    stats = align::StreamingPipeline(engine, sopts).run(reader, writer);
+  }
+  const auto& es = stats.engine;
 
   std::printf("\naligned %llu/%llu reads (%llu exact, %llu inexact, "
-              "%llu unaligned) in %.1f ms; %zu SAM records -> %s\n",
-              static_cast<unsigned long long>(stats.reads_exact +
-                                              stats.reads_inexact),
-              static_cast<unsigned long long>(stats.reads_total),
-              static_cast<unsigned long long>(stats.reads_exact),
-              static_cast<unsigned long long>(stats.reads_inexact),
-              static_cast<unsigned long long>(stats.reads_unaligned),
-              stats.wall_ms, writer.records_written(), sam_path.c_str());
+              "%llu unaligned) in %.1f ms; %llu generations, %llu chunks, "
+              "peak %.2f MB batch arenas; %zu SAM records -> %s\n",
+              static_cast<unsigned long long>(es.reads_exact +
+                                              es.reads_inexact),
+              static_cast<unsigned long long>(es.reads_total),
+              static_cast<unsigned long long>(es.reads_exact),
+              static_cast<unsigned long long>(es.reads_inexact),
+              static_cast<unsigned long long>(es.reads_unaligned),
+              stats.wall_ms,
+              static_cast<unsigned long long>(stats.batches),
+              static_cast<unsigned long long>(stats.chunks),
+              static_cast<double>(stats.peak_batch_bytes) / (1024.0 * 1024.0),
+              writer.records_written(), sam_path.c_str());
   return 0;
 }
 

@@ -44,10 +44,25 @@ void BatchResult::reserve(std::size_t reads, std::size_t expected_hits) {
   hits_.reserve(expected_hits);
 }
 
+namespace {
+
+bool better_hit(const AlignmentHit& a, const AlignmentHit& b) {
+  if (a.diffs != b.diffs) return a.diffs < b.diffs;
+  return a.position < b.position;
+}
+
+}  // namespace
+
 void BatchResult::add_read(AlignmentStage stage,
                            std::span<const AlignmentHit> hits) {
   stages_.push_back(stage);
-  hits_.insert(hits_.end(), hits.begin(), hits.end());
+  std::size_t kept = hits.size();
+  if (best_hit_only_ && hits.size() > 1) {
+    hits_.push_back(*std::min_element(hits.begin(), hits.end(), better_hit));
+    kept = 1;
+  } else {
+    hits_.insert(hits_.end(), hits.begin(), hits.end());
+  }
   hit_begin_.push_back(hits_.size());
   ++stats_.reads_total;
   switch (stage) {
@@ -55,7 +70,7 @@ void BatchResult::add_read(AlignmentStage stage,
     case AlignmentStage::kInexact: ++stats_.reads_inexact; break;
     case AlignmentStage::kUnaligned: ++stats_.reads_unaligned; break;
   }
-  stats_.hits_total += hits.size();
+  stats_.hits_total += kept;
 }
 
 void BatchResult::append(const BatchResult& chunk) {
@@ -71,12 +86,7 @@ void BatchResult::append(const BatchResult& chunk) {
 std::optional<AlignmentHit> BatchResult::best(std::size_t i) const {
   const auto h = hits(i);
   if (h.empty()) return std::nullopt;
-  const auto it = std::min_element(
-      h.begin(), h.end(), [](const AlignmentHit& a, const AlignmentHit& b) {
-        if (a.diffs != b.diffs) return a.diffs < b.diffs;
-        return a.position < b.position;
-      });
-  return *it;
+  return *std::min_element(h.begin(), h.end(), better_hit);
 }
 
 AlignmentResult BatchResult::result(std::size_t i) const {
@@ -113,6 +123,35 @@ void AlignmentEngine::align_batch(const ReadBatch& batch,
   out.stats().wall_ms =
       std::chrono::duration<double, std::milli>(t1 - t0).count();
   out.stats().result_bytes = out.memory_bytes();
+}
+
+EngineStats AlignmentEngine::align_batch_chunked(const ReadBatch& batch,
+                                                 std::size_t chunk_size,
+                                                 const ChunkSink& sink,
+                                                 bool best_hit_only) const {
+  const auto t0 = std::chrono::steady_clock::now();
+  if (chunk_size == 0) {
+    chunk_size = std::max<std::size_t>(
+        1, std::min<std::size_t>(batch.size(), 1024));
+  }
+  EngineStats total;
+  // One chunk result recycled across iterations: clear() keeps the arena
+  // capacity, so a steady-state pass allocates nothing per chunk.
+  BatchResult chunk;
+  chunk.set_best_hit_only(best_hit_only);
+  for (std::size_t begin = 0; begin < batch.size(); begin += chunk_size) {
+    const std::size_t end = std::min(begin + chunk_size, batch.size());
+    chunk.clear();
+    chunk.reserve(end - begin, (end - begin) * 2);
+    align_range(batch, begin, end, chunk);
+    sink(BatchResultChunk{&batch, begin, end, &chunk, begin});
+    total.merge(chunk.stats());
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  total.batches = 1;
+  total.wall_ms =
+      std::chrono::duration<double, std::milli>(t1 - t0).count();
+  return total;
 }
 
 namespace detail {
@@ -195,6 +234,7 @@ AlignmentStage align_two_stage(const index::FmIndex& index,
 
 void SoftwareEngine::align_range(const ReadBatch& batch, std::size_t begin,
                                  std::size_t end, BatchResult& out) const {
+  if (options_.best_hit_only) out.set_best_hit_only(true);
   detail::TwoStageScratch scratch;
   for (std::size_t i = begin; i < end; ++i) {
     batch.read(i).unpack_into(scratch.read);

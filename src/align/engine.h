@@ -19,6 +19,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <span>
 #include <string_view>
@@ -69,8 +70,18 @@ class BatchResult {
   void clear();
   void reserve(std::size_t reads, std::size_t expected_hits);
 
+  /// Best-hit-only mode: add_read keeps only the best (fewest-diff,
+  /// leftmost) hit per read, shrinking the hit arena for workloads that
+  /// never inspect secondary hits. Configuration, not content: it survives
+  /// clear(). append() does NOT re-truncate already-built chunks, so paths
+  /// that stitch chunk results (parallel scheduler, ShardedEngine) propagate
+  /// the flag to their private chunks.
+  void set_best_hit_only(bool enabled) { best_hit_only_ = enabled; }
+  bool best_hit_only() const { return best_hit_only_; }
+
   /// Append the next read's outcome (reads arrive in order). Updates the
-  /// stage/hit counters in stats().
+  /// stage/hit counters in stats(). In best-hit-only mode only the best hit
+  /// of `hits` is stored (and counted in hits_total).
   void add_read(AlignmentStage stage, std::span<const AlignmentHit> hits);
   /// Stitch a chunk produced by a parallel worker onto this result.
   void append(const BatchResult& chunk);
@@ -101,7 +112,31 @@ class BatchResult {
   std::vector<std::uint64_t> hit_begin_;  ///< size()+1 extents into hits_.
   std::vector<AlignmentHit> hits_;
   EngineStats stats_;
+  bool best_hit_only_ = false;
 };
+
+/// A completed slice of a batch's results, handed to a ChunkSink as soon as
+/// the chunk (and every chunk before it) finishes. `result` holds exactly
+/// the reads [begin, end) of `batch`, so read i of the batch is
+/// result->result(i - begin). Valid only for the duration of the sink call —
+/// the producer recycles the arena afterwards.
+struct BatchResultChunk {
+  const ReadBatch* batch = nullptr;
+  std::size_t begin = 0;  ///< First read of the chunk (batch index).
+  std::size_t end = 0;    ///< One past the last read.
+  const BatchResult* result = nullptr;
+  /// Global index of read `begin` across a whole stream of batches (equals
+  /// `begin` for standalone batches); SamWriter uses it to backfill
+  /// "read<i>" names consistently with a non-streaming write_batch.
+  std::size_t base_index = 0;
+
+  std::size_t size() const { return end - begin; }
+};
+
+/// Called with completed chunks in read-index order. Sinks are invoked from
+/// at most one thread at a time (calls are serialized by the producer), but
+/// not necessarily from the thread that started the alignment.
+using ChunkSink = std::function<void(const BatchResultChunk&)>;
 
 /// The one engine interface. Implementations align half-open read ranges of
 /// a batch; align_batch adds timing. align_range must append exactly
@@ -121,6 +156,19 @@ class AlignmentEngine {
   /// Align the whole batch serially into `out` (cleared first), recording
   /// wall time and arena footprint in out.stats().
   void align_batch(const ReadBatch& batch, BatchResult& out) const;
+
+  /// Streaming alternative to align_batch: align the batch in chunks of
+  /// `chunk_size` reads (0 picks a default), delivering each completed chunk
+  /// to `sink` in index order instead of materializing one whole-batch
+  /// BatchResult — memory stays O(chunk) rather than O(batch). The default
+  /// implementation runs chunks serially through align_range; ShardedEngine
+  /// overrides it to forward per-shard completions, and the chunked parallel
+  /// scheduler (align_batch_parallel_chunked) provides the multi-threaded
+  /// version for thread-safe engines. Returns the merged stats of the run.
+  virtual EngineStats align_batch_chunked(const ReadBatch& batch,
+                                          std::size_t chunk_size,
+                                          const ChunkSink& sink,
+                                          bool best_hit_only = false) const;
 };
 
 namespace detail {

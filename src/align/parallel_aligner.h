@@ -5,13 +5,22 @@
 // cursor hands out fixed-size *chunks* of the batch (not single read
 // indices): workers amortize dispatch over a whole range, keep the packed
 // arena's cache locality, and accumulate results + EngineStats into a
-// private per-chunk BatchResult. Chunks stitch back in index order at join,
+// private per-chunk BatchResult.
+//
+// Completion is delivered IN INDEX ORDER as chunks finish (S39): the worker
+// that completes the lowest outstanding chunk drains every consecutive
+// finished chunk to the ChunkSink, then frees the chunk arenas. A bounded
+// start window (workers may run at most ~2x threads chunks ahead of the
+// next undelivered one) keeps undelivered results O(threads), not O(batch)
+// — the backpressure half of the streaming pipeline. align_batch_parallel
+// is now a thin sink that appends each delivered chunk onto one BatchResult,
 // so the output is positionally identical to a serial align_batch no matter
 // the thread count or scheduling.
 //
 // Engines that are not thread-safe (PimEngine: shared sub-array stats) run
-// the whole batch serially through the same entry point — callers don't
-// branch on backend.
+// the whole batch serially through the same entry points — callers don't
+// branch on backend. ShardedEngine's own align_batch_chunked override does
+// its per-shard fan-out instead.
 #pragma once
 
 #include <cstddef>
@@ -37,6 +46,17 @@ struct ParallelOptions {
 void align_batch_parallel(const AlignmentEngine& engine,
                           const ReadBatch& batch, BatchResult& out,
                           ParallelOptions options = {});
+
+/// Streaming form: align chunks across threads and hand each completed
+/// chunk — in index order, serialized — to `sink` instead of materializing
+/// a whole-batch result. Engines that are not thread-safe route through
+/// their (virtual) align_batch_chunked. Sink or engine exceptions abort the
+/// run and rethrow here. Returns the merged stats of the run.
+EngineStats align_batch_parallel_chunked(const AlignmentEngine& engine,
+                                         const ReadBatch& batch,
+                                         const ChunkSink& sink,
+                                         ParallelOptions options = {},
+                                         bool best_hit_only = false);
 
 /// Legacy adapter: vector-of-vectors in, vector of per-read results out.
 /// Internally packs a ReadBatch and runs SoftwareEngine through the chunked

@@ -132,6 +132,21 @@ void ReadBatchBuilder::add(const genome::FastqRecord& record) {
             record.qualities);
 }
 
+void ReadBatchBuilder::reset() { reset(std::move(batch_)); }
+
+void ReadBatchBuilder::reset(ReadBatch&& recycled) {
+  batch_ = std::move(recycled);
+  batch_.words_.clear();
+  batch_.read_offsets_.clear();
+  batch_.read_offsets_.push_back(0);
+  batch_.names_.clear();
+  batch_.name_offsets_.clear();
+  batch_.quals_.clear();
+  batch_.qual_offsets_.clear();
+  cursor_ = 0;
+  any_names_ = any_quals_ = false;
+}
+
 ReadBatch ReadBatchBuilder::build() {
   // name/qual offset vectors must cover every read or be absent entirely.
   if (any_names_) {

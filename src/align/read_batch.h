@@ -134,6 +134,13 @@ class ReadBatchBuilder {
   /// Finalize and move the batch out; the builder resets to empty.
   ReadBatch build();
 
+  /// Drop any in-progress batch and start over, keeping the current arena
+  /// capacity. With `recycled`, adopt that batch's arenas instead (contents
+  /// cleared, capacity kept) — the double-buffered streaming producer hands
+  /// consumed batches back this way so no generation reallocates.
+  void reset();
+  void reset(ReadBatch&& recycled);
+
  private:
   void push_base(genome::Base b);
   void finish_read(std::string_view name, std::string_view qualities);

@@ -158,21 +158,30 @@ void SamWriter::write_alignment(const std::string& qname,
   }
 }
 
-void SamWriter::write_batch(const ReadBatch& batch,
-                            const BatchResult& results) {
+void SamWriter::write_chunk(const BatchResultChunk& chunk) {
+  const ReadBatch& batch = *chunk.batch;
   std::vector<genome::Base> scratch;
-  for (std::size_t i = 0; i < batch.size(); ++i) {
+  for (std::size_t i = chunk.begin; i < chunk.end; ++i) {
     // make_records sanitizes names (comments and ground-truth suffixes stay
-    // out of QNAME); here only nameless reads need the "read<i>" backfill.
+    // out of QNAME); here only nameless reads need the "read<i>" backfill,
+    // numbered by global stream position.
     std::string qname(batch.name(i));
-    if (qname.empty()) qname = "read" + std::to_string(i);
+    if (qname.empty()) {
+      qname = "read" + std::to_string(chunk.base_index + (i - chunk.begin));
+    }
     batch.read(i).unpack_into(scratch);
     std::optional<std::string> qual;
     if (batch.has_qualities() && !batch.qualities(i).empty()) {
       qual = std::string(batch.qualities(i));
     }
-    write_alignment(qname, scratch, results.result(i), qual);
+    write_alignment(qname, scratch, chunk.result->result(i - chunk.begin),
+                    qual);
   }
+}
+
+void SamWriter::write_batch(const ReadBatch& batch,
+                            const BatchResult& results) {
+  write_chunk(BatchResultChunk{&batch, 0, batch.size(), &results, 0});
 }
 
 void SamWriter::write_pair(const std::string& qname,

@@ -83,6 +83,12 @@ class SamWriter {
   /// "read<i>"). Reads unpack through one reusable scratch buffer.
   void write_batch(const ReadBatch& batch, const BatchResult& results);
 
+  /// Streaming emission (S39): write the reads of one completed chunk. The
+  /// "read<i>" backfill for nameless reads uses chunk.base_index, so a
+  /// streamed run over many chunks/batches emits the same QNAMEs as one
+  /// write_batch over the whole set.
+  void write_chunk(const BatchResultChunk& chunk);
+
   /// Emit the two primary records of a paired alignment with full pair
   /// flags (0x1/0x2/0x40/0x80, mate strand/unmapped, RNEXT "=", TLEN).
   /// Proper pairs use the ProperPair hits; other classes fall back to each

@@ -1,7 +1,12 @@
 #include "src/align/sharded_engine.h"
 
+#include <algorithm>
 #include <chrono>
+#include <cmath>
+#include <condition_variable>
 #include <exception>
+#include <functional>
+#include <mutex>
 #include <stdexcept>
 #include <thread>
 #include <utility>
@@ -30,12 +35,14 @@ ShardedEngine::ShardedEngine(
   shards_.reserve(owned_.size());
   for (const auto& engine : owned_) shards_.push_back(engine.get());
   validate(shards_);
+  weights_.assign(shards_.size(), 1.0 / static_cast<double>(shards_.size()));
 }
 
 ShardedEngine::ShardedEngine(std::vector<const AlignmentEngine*> shards,
                              ShardedOptions options)
     : shards_(std::move(shards)), options_(options) {
   validate(shards_);
+  weights_.assign(shards_.size(), 1.0 / static_cast<double>(shards_.size()));
 }
 
 std::pair<std::size_t, std::size_t> ShardedEngine::shard_range(
@@ -49,18 +56,81 @@ std::pair<std::size_t, std::size_t> ShardedEngine::shard_range(
   return {begin, end};
 }
 
-void ShardedEngine::align_range(const ReadBatch& batch, std::size_t begin,
-                                std::size_t end, BatchResult& out) const {
-  using Clock = std::chrono::steady_clock;
-  const std::size_t reads = end - begin;
-  const std::size_t num = shards_.size();
+void ShardedEngine::set_shard_weights(std::vector<double> weights) {
+  if (weights.size() != shards_.size()) {
+    throw std::invalid_argument("ShardedEngine: weight count != shard count");
+  }
+  double total = 0.0;
+  for (const double w : weights) {
+    if (!(w > 0.0)) {
+      throw std::invalid_argument("ShardedEngine: weights must be positive");
+    }
+    total += w;
+  }
+  for (double& w : weights) w /= total;
+  weights_ = std::move(weights);
+}
 
-  std::vector<BatchResult> chunks(num);
+std::vector<std::size_t> ShardedEngine::partition(std::size_t reads) const {
+  const std::size_t num = shards_.size();
+  std::vector<std::size_t> bounds(num + 1, 0);
+  double total = 0.0;
+  for (const double w : weights_) total += w;
+  double cum = 0.0;
+  for (std::size_t s = 0; s + 1 < num; ++s) {
+    cum += weights_[s];
+    const auto b = static_cast<std::size_t>(
+        std::llround(static_cast<double>(reads) * (cum / total)));
+    bounds[s + 1] = std::clamp(b, bounds[s], reads);
+  }
+  bounds[num] = reads;
+  return bounds;
+}
+
+void ShardedEngine::update_weights() const {
+  const std::size_t num = shards_.size();
+  // Target weight ∝ measured throughput (reads/ms). Shards without a usable
+  // measurement (no reads routed, or wall below timer resolution) get the
+  // mean measured throughput so they neither starve nor balloon.
+  std::vector<double> tput(num, 0.0);
+  double sum = 0.0;
+  std::size_t measured = 0;
+  for (const auto& s : shard_stats_) {
+    if (s.shard < num && s.reads > 0 && s.wall_ms > 1e-6) {
+      tput[s.shard] = static_cast<double>(s.reads) / s.wall_ms;
+      sum += tput[s.shard];
+      ++measured;
+    }
+  }
+  if (measured == 0) return;
+  const double mean = sum / static_cast<double>(measured);
+  const double alpha = std::clamp(options_.rebalance_smoothing, 0.0, 1.0);
+  const double target_total = sum + mean * static_cast<double>(num - measured);
+  // A floor of 10% of a uniform share keeps a transiently slow shard from
+  // being starved out of future measurements entirely.
+  const double floor_w = 0.1 / static_cast<double>(num);
+  double total = 0.0;
+  for (std::size_t s = 0; s < num; ++s) {
+    const double target = (tput[s] > 0.0 ? tput[s] : mean) / target_total;
+    weights_[s] =
+        std::max(floor_w, (1.0 - alpha) * weights_[s] + alpha * target);
+    total += weights_[s];
+  }
+  for (double& w : weights_) w /= total;
+}
+
+void ShardedEngine::run_shards(
+    const ReadBatch& batch, std::size_t begin,
+    std::vector<std::size_t> const& bounds, std::vector<BatchResult>& chunks,
+    const ChunkSink* sink) const {
+  using Clock = std::chrono::steady_clock;
+  const std::size_t num = shards_.size();
+  const std::size_t reads = bounds.back();
   shard_stats_.assign(num, ShardStats{});
-  std::vector<std::exception_ptr> errors(num);
 
   auto run_shard = [&](std::size_t s) {
-    const auto [lo, hi] = shard_range(reads, num, s);
+    const std::size_t lo = bounds[s];
+    const std::size_t hi = bounds[s + 1];
     const auto t0 = Clock::now();
     if (hi > lo) {
       chunks[s].reserve(hi - lo, (hi - lo) * 2);
@@ -76,7 +146,23 @@ void ShardedEngine::align_range(const ReadBatch& batch, std::size_t begin,
     stats.stats.wall_ms = stats.wall_ms;
   };
 
+  // Forward shard s to the sink once it and all predecessors are done:
+  // shard order == read order, so delivery is globally in index order, and
+  // freeing each forwarded chunk keeps resident results bounded by the
+  // not-yet-forwarded shards instead of the whole batch.
+  auto forward = [&](std::size_t s) {
+    if (sink != nullptr && bounds[s + 1] > bounds[s]) {
+      (*sink)(BatchResultChunk{&batch, bounds[s], bounds[s + 1], &chunks[s],
+                               bounds[s]});
+      chunks[s] = BatchResult();  // free the forwarded arena
+    }
+  };
+
   if (options_.parallel && num > 1 && reads > 1) {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::vector<char> done(num, 0);
+    std::vector<std::exception_ptr> errors(num);
     std::vector<std::thread> threads;
     threads.reserve(num);
     for (std::size_t s = 0; s < num; ++s) {
@@ -86,20 +172,81 @@ void ShardedEngine::align_range(const ReadBatch& batch, std::size_t begin,
         } catch (...) {
           errors[s] = std::current_exception();
         }
+        {
+          std::lock_guard<std::mutex> lk(mu);
+          done[s] = 1;
+        }
+        cv.notify_all();
       });
+    }
+    // The calling thread forwards completions in shard order while later
+    // shards are still aligning.
+    std::exception_ptr forward_error;
+    for (std::size_t s = 0; s < num; ++s) {
+      {
+        std::unique_lock<std::mutex> lk(mu);
+        cv.wait(lk, [&] { return done[s] != 0; });
+      }
+      if (errors[s]) break;  // join everything, then rethrow in shard order
+      try {
+        forward(s);
+      } catch (...) {
+        forward_error = std::current_exception();
+        break;
+      }
     }
     for (auto& t : threads) t.join();
     for (const auto& error : errors) {
       if (error) std::rethrow_exception(error);
     }
+    if (forward_error) std::rethrow_exception(forward_error);
   } else {
-    for (std::size_t s = 0; s < num; ++s) run_shard(s);
+    for (std::size_t s = 0; s < num; ++s) {
+      run_shard(s);
+      forward(s);
+    }
   }
+}
+
+void ShardedEngine::align_range(const ReadBatch& batch, std::size_t begin,
+                                std::size_t end, BatchResult& out) const {
+  const std::size_t num = shards_.size();
+  const auto bounds = partition(end - begin);
+
+  std::vector<BatchResult> chunks(num);
+  for (auto& chunk : chunks) chunk.set_best_hit_only(out.best_hit_only());
+  run_shards(batch, begin, bounds, chunks, nullptr);
 
   // Stitch in shard order == read order; BatchResult::append merges the
   // per-shard EngineStats associatively, so the combined counters equal an
   // unsharded run over the same range.
   for (const auto& chunk : chunks) out.append(chunk);
+  if (options_.rebalance) update_weights();
+}
+
+EngineStats ShardedEngine::align_batch_chunked(const ReadBatch& batch,
+                                               std::size_t /*chunk_size*/,
+                                               const ChunkSink& sink,
+                                               bool best_hit_only) const {
+  const auto t0 = std::chrono::steady_clock::now();
+  const std::size_t num = shards_.size();
+  const auto bounds = partition(batch.size());
+
+  std::vector<BatchResult> chunks(num);
+  for (auto& chunk : chunks) chunk.set_best_hit_only(best_hit_only);
+  EngineStats total;
+  const ChunkSink forward = [&](const BatchResultChunk& chunk) {
+    sink(chunk);
+    total.merge(chunk.result->stats());
+  };
+  run_shards(batch, 0, bounds, chunks, &forward);
+  if (options_.rebalance) update_weights();
+
+  const auto t1 = std::chrono::steady_clock::now();
+  total.batches = 1;
+  total.wall_ms =
+      std::chrono::duration<double, std::milli>(t1 - t0).count();
+  return total;
 }
 
 }  // namespace pim::align

@@ -52,6 +52,17 @@ struct ShardedOptions {
   /// devices). false runs them sequentially — useful for deterministic
   /// profiling of a single chip's share.
   bool parallel = true;
+  /// After each run, reweight the shard boundaries proportionally to each
+  /// shard's measured throughput (reads / wall_ms from shard_stats()), so
+  /// the next batch equalizes expected wall time instead of read counts —
+  /// the load-balanced-sharding loop for streaming runs, where repeat-heavy
+  /// reads clustering in one shard would otherwise stall the whole fan-out
+  /// every generation. accel::rebalanced_shard_weights applies the same
+  /// reweighting to externally measured loads.
+  bool rebalance = false;
+  /// Blend factor for rebalancing: 0 keeps the old weights, 1 jumps to the
+  /// measured throughput. Intermediate values smooth out per-batch noise.
+  double rebalance_smoothing = 0.5;
 };
 
 class ShardedEngine final : public AlignmentEngine {
@@ -73,6 +84,16 @@ class ShardedEngine final : public AlignmentEngine {
   void align_range(const ReadBatch& batch, std::size_t begin, std::size_t end,
                    BatchResult& out) const override;
 
+  /// Streaming execution (S39): shards run concurrently as usual, but each
+  /// shard's completed result is forwarded to `sink` as soon as it AND every
+  /// lower-indexed shard finish (shard order == read order), then its arena
+  /// is freed — so a multi-chip fleet streams chunks out while later chips
+  /// are still aligning, instead of holding all shard results until join.
+  /// `chunk_size` is ignored: the shard ranges are the chunks.
+  EngineStats align_batch_chunked(const ReadBatch& batch,
+                                  std::size_t chunk_size, const ChunkSink& sink,
+                                  bool best_hit_only = false) const override;
+
   std::size_t num_shards() const { return shards_.size(); }
   const AlignmentEngine& shard(std::size_t i) const { return *shards_[i]; }
   const ShardedOptions& options() const { return options_; }
@@ -82,6 +103,19 @@ class ShardedEngine final : public AlignmentEngine {
   /// counters.
   const std::vector<ShardStats>& shard_stats() const { return shard_stats_; }
 
+  /// Relative shard weights steering the partition (uniform initially;
+  /// normalized to sum 1). With options().rebalance they update after every
+  /// run; set_shard_weights installs externally computed weights (e.g.
+  /// accel::rebalanced_shard_weights over a fleet's measured load). Throws
+  /// if the size mismatches or any weight is not positive.
+  const std::vector<double>& shard_weights() const { return weights_; }
+  void set_shard_weights(std::vector<double> weights);
+
+  /// Weighted contiguous partition of `reads` under the current weights:
+  /// num_shards()+1 monotone boundaries with front()==0, back()==reads.
+  /// Exposed for tests and front-ends that pre-route per-shard data.
+  std::vector<std::size_t> partition(std::size_t reads) const;
+
   /// Balanced contiguous partition: the half-open read range shard `s` of
   /// `num_shards` covers within [0, reads). Exposed for tests and for
   /// front-ends that pre-route per-shard auxiliary data.
@@ -90,10 +124,17 @@ class ShardedEngine final : public AlignmentEngine {
                                                          std::size_t s);
 
  private:
+  void run_shards(const ReadBatch& batch, std::size_t begin,
+                  std::vector<std::size_t> const& bounds,
+                  std::vector<BatchResult>& chunks,
+                  const ChunkSink* sink) const;
+  void update_weights() const;
+
   std::vector<std::unique_ptr<AlignmentEngine>> owned_;
   std::vector<const AlignmentEngine*> shards_;
   ShardedOptions options_;
   mutable std::vector<ShardStats> shard_stats_;
+  mutable std::vector<double> weights_;
 };
 
 }  // namespace pim::align

@@ -1,0 +1,155 @@
+#include "src/align/streaming_pipeline.h"
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "src/align/sam_writer.h"
+
+namespace pim::align {
+
+StreamingPipeline::StreamingPipeline(const AlignmentEngine& engine,
+                                     StreamingOptions options)
+    : engine_(&engine), options_(options) {}
+
+StreamingStats StreamingPipeline::run(genome::FastqStreamReader& reader,
+                                      const ChunkSink& sink) const {
+  using Clock = std::chrono::steady_clock;
+  const auto t0 = Clock::now();
+  StreamingStats stats;
+  const std::size_t batch_reads =
+      std::max<std::size_t>(1, options_.batch_reads);
+
+  std::mutex mu;
+  std::condition_variable cv;
+  // Double buffering: two arena tokens circulate producer -> ready ->
+  // consumer -> free list. The producer blocks for a token, so at most two
+  // batch generations exist at any instant, and (via
+  // ReadBatchBuilder::reset) their arenas are recycled, not reallocated.
+  std::vector<ReadBatch> free_arenas(2);
+  std::deque<ReadBatch> ready;
+  bool producer_done = false;
+  std::atomic<bool> abort{false};
+  std::exception_ptr producer_error;
+
+  std::thread producer([&]() {
+    try {
+      ReadBatchBuilder builder;
+      genome::FastqRecord record;
+      bool more = true;
+      while (more && !abort.load(std::memory_order_relaxed)) {
+        ReadBatch arena;
+        {
+          std::unique_lock<std::mutex> lk(mu);
+          cv.wait(lk, [&] {
+            return abort.load(std::memory_order_relaxed) ||
+                   !free_arenas.empty();
+          });
+          if (abort.load(std::memory_order_relaxed)) break;
+          arena = std::move(free_arenas.back());
+          free_arenas.pop_back();
+        }
+        builder.reset(std::move(arena));
+        std::size_t n = 0;
+        while (n < batch_reads && !abort.load(std::memory_order_relaxed) &&
+               (more = reader.next(record))) {
+          builder.add(record);
+          ++n;
+        }
+        if (n == 0) break;  // end of stream on a generation boundary
+        {
+          std::lock_guard<std::mutex> lk(mu);
+          ready.push_back(builder.build());
+        }
+        cv.notify_all();
+      }
+    } catch (...) {
+      std::lock_guard<std::mutex> lk(mu);
+      producer_error = std::current_exception();
+    }
+    {
+      std::lock_guard<std::mutex> lk(mu);
+      producer_done = true;
+    }
+    cv.notify_all();
+  });
+
+  std::exception_ptr consumer_error;
+  std::size_t global_base = 0;
+  std::size_t prev_batch_bytes = 0;
+  try {
+    while (true) {
+      ReadBatch batch;
+      {
+        const auto w0 = Clock::now();
+        std::unique_lock<std::mutex> lk(mu);
+        cv.wait(lk, [&] { return !ready.empty() || producer_done; });
+        stats.ingest_wait_ms +=
+            std::chrono::duration<double, std::milli>(Clock::now() - w0)
+                .count();
+        if (ready.empty()) break;  // producer finished and queue drained
+        batch = std::move(ready.front());
+        ready.pop_front();
+      }
+      const std::size_t batch_bytes = batch.memory_bytes();
+      stats.peak_batch_bytes =
+          std::max(stats.peak_batch_bytes, batch_bytes + prev_batch_bytes);
+      prev_batch_bytes = batch_bytes;
+
+      // Rebase chunk indices to the whole stream so sinks see one
+      // continuous read sequence across generations.
+      const ChunkSink rebased = [&](const BatchResultChunk& chunk) {
+        BatchResultChunk global = chunk;
+        global.base_index = global_base + chunk.begin;
+        ++stats.chunks;
+        sink(global);
+      };
+      EngineStats generation;
+      if (engine_->thread_safe()) {
+        generation = align_batch_parallel_chunked(
+            *engine_, batch, rebased, options_.parallel,
+            options_.best_hit_only);
+      } else {
+        generation = engine_->align_batch_chunked(
+            batch, options_.parallel.chunk_size, rebased,
+            options_.best_hit_only);
+      }
+      stats.engine.merge(generation);
+      ++stats.batches;
+      stats.reads += batch.size();
+      global_base += batch.size();
+
+      {
+        std::lock_guard<std::mutex> lk(mu);
+        free_arenas.push_back(std::move(batch));
+      }
+      cv.notify_all();
+    }
+  } catch (...) {
+    consumer_error = std::current_exception();
+    abort.store(true, std::memory_order_relaxed);
+    cv.notify_all();
+  }
+  producer.join();
+  if (consumer_error) std::rethrow_exception(consumer_error);
+  if (producer_error) std::rethrow_exception(producer_error);
+
+  stats.wall_ms =
+      std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+  return stats;
+}
+
+StreamingStats StreamingPipeline::run(genome::FastqStreamReader& reader,
+                                      SamWriter& writer) const {
+  return run(reader, [&writer](const BatchResultChunk& chunk) {
+    writer.write_chunk(chunk);
+  });
+}
+
+}  // namespace pim::align

@@ -1,0 +1,97 @@
+// Bounded-memory streaming end-to-end pipeline (S39): double-buffered FASTQ
+// ingest -> chunked alignment -> per-chunk emission.
+//
+// The paper's pipeline (Fig. 7) never holds the whole workload in flight:
+// reads stream through the 5-stage sub-array pipeline at parallelism Pd.
+// The host pipeline used to materialize everything three times — read_fastq
+// loaded every record, the engine held the full BatchResult, and
+// SamWriter::write_batch ran only after the last read finished.
+// StreamingPipeline replaces all three with one seam:
+//
+//   producer thread --(<=2 ReadBatch generations)--> consumer
+//   FastqStreamReader -> ReadBatchBuilder            align_batch_parallel_chunked
+//   (arena recycled per generation via                 / engine.align_batch_chunked
+//    ReadBatchBuilder::reset)                        -> ChunkSink (in read order)
+//
+// The producer packs generation g+1 while the engine aligns generation g
+// (double buffering: at most two batch arenas exist, recycled through a
+// free list, so steady state allocates nothing per generation). Completed
+// chunks are delivered to the sink in global read order — within a batch by
+// the in-order chunked scheduler (or ShardedEngine's per-shard completion
+// forwarding), across batches because generations are consumed
+// sequentially — so streaming SAM output is byte-identical to a
+// materialize-everything write_batch run. Peak memory is O(2 batches +
+// in-flight chunks) instead of O(dataset).
+//
+// Backpressure: the producer blocks when both batch slots are in use; the
+// chunked scheduler bounds completed-but-undelivered chunks to O(threads).
+// Errors on either side (malformed FASTQ, engine or sink failure) abort the
+// opposite side and rethrow from run(); output emitted before the error
+// remains written.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "src/align/engine.h"
+#include "src/align/parallel_aligner.h"
+#include "src/genome/fastq.h"
+
+namespace pim::align {
+
+class SamWriter;
+
+struct StreamingOptions {
+  /// Reads per generation batch. Bigger amortizes scheduling; smaller
+  /// bounds memory tighter and smooths the ingest/align overlap.
+  std::size_t batch_reads = 32768;
+  /// Scheduler knobs for thread-safe engines (threads, chunk size); the
+  /// chunk size also feeds serial engines' align_batch_chunked.
+  ParallelOptions parallel;
+  /// Keep only the best hit per read (see AlignerOptions::best_hit_only).
+  bool best_hit_only = false;
+};
+
+/// Aggregate accounting of one streaming run.
+struct StreamingStats {
+  EngineStats engine;          ///< Merged engine counters across generations.
+  std::uint64_t reads = 0;     ///< Reads streamed end to end.
+  std::uint64_t batches = 0;   ///< Generations consumed.
+  std::uint64_t chunks = 0;    ///< Chunks delivered to the sink.
+  double wall_ms = 0.0;        ///< End-to-end run() wall time.
+  /// Time the consumer spent stalled waiting for the producer — near zero
+  /// when ingest fully overlaps alignment.
+  double ingest_wait_ms = 0.0;
+  /// High-water mark of live batch-arena bytes (at most two generations).
+  std::size_t peak_batch_bytes = 0;
+};
+
+class StreamingPipeline {
+ public:
+  /// `engine` must outlive the pipeline. Thread-safe engines align each
+  /// generation through the in-order chunked parallel scheduler; serial
+  /// engines (PimEngine, ShardedEngine) stream through their virtual
+  /// align_batch_chunked.
+  explicit StreamingPipeline(const AlignmentEngine& engine,
+                             StreamingOptions options = {});
+
+  /// Drive reader -> double-buffered batches -> engine -> sink until end of
+  /// stream. Chunks arrive in global read order with base_index set to the
+  /// global index of the chunk's first read. Rethrows producer (FASTQ
+  /// parse), engine, and sink errors.
+  StreamingStats run(genome::FastqStreamReader& reader,
+                     const ChunkSink& sink) const;
+
+  /// Convenience: stream straight into a SamWriter (one write_chunk per
+  /// delivered chunk). The caller writes the header first.
+  StreamingStats run(genome::FastqStreamReader& reader,
+                     SamWriter& writer) const;
+
+  const StreamingOptions& options() const { return options_; }
+
+ private:
+  const AlignmentEngine* engine_;
+  StreamingOptions options_;
+};
+
+}  // namespace pim::align

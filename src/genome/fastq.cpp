@@ -36,28 +36,33 @@ bool FastqStreamReader::next(FastqRecord& record) {
   auto strip_cr = [](std::string& s) {
     if (!s.empty() && s.back() == '\r') s.pop_back();
   };
+  // Parse errors carry the 1-based record index: a streaming run over a
+  // 10M-read file needs to say *where* the file went bad, not just that it
+  // did.
+  const std::string at = " (record " + std::to_string(count_ + 1) + ")";
   // Skip blank lines between records.
   do {
     if (!std::getline(*in_, header)) return false;
     strip_cr(header);
   } while (header.empty());
   if (header.front() != '@') {
-    throw std::runtime_error("FASTQ: expected '@' header, got: " + header);
+    throw std::runtime_error("FASTQ: expected '@' header, got: " + header +
+                             at);
   }
   if (!std::getline(*in_, bases)) {
-    throw std::runtime_error("FASTQ: truncated record (no sequence)");
+    throw std::runtime_error("FASTQ: truncated record (no sequence)" + at);
   }
   strip_cr(bases);
   if (!std::getline(*in_, plus) || plus.empty() || plus.front() != '+') {
-    throw std::runtime_error("FASTQ: missing '+' separator");
+    throw std::runtime_error("FASTQ: missing '+' separator" + at);
   }
   if (!std::getline(*in_, quals)) {
-    throw std::runtime_error("FASTQ: truncated record (no qualities)");
+    throw std::runtime_error("FASTQ: truncated record (no qualities)" + at);
   }
   strip_cr(quals);
   if (quals.size() != bases.size()) {
     throw std::runtime_error("FASTQ: quality length mismatch in record " +
-                             header);
+                             header + at);
   }
   record.name = header.substr(1);
   record.qualities = quals;

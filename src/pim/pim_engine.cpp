@@ -4,6 +4,7 @@ namespace pim::hw {
 
 void PimEngine::align_range(const align::ReadBatch& batch, std::size_t begin,
                             std::size_t end, align::BatchResult& out) const {
+  if (driver_.options().best_hit_only) out.set_best_hit_only(true);
   std::vector<genome::Base> scratch;
   for (std::size_t i = begin; i < end; ++i) {
     batch.read(i).unpack_into(scratch);

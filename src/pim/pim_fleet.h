@@ -9,6 +9,14 @@
 // mutable state — and results stitch back bit-identical to a single-chip
 // (or pure software) run.
 //
+// The fleet streams (S39): engine().align_batch_chunked forwards each chip's
+// completed range to a ChunkSink as soon as it and all lower-indexed chips
+// finish, so a StreamingPipeline over the fleet emits SAM records while
+// later chips are still aligning. Passing ShardedOptions{.rebalance = true}
+// at construction reweights the per-chip boundaries between batches from
+// the measured wall-time skew (see accel::rebalanced_shard_weights for the
+// externally driven form).
+//
 // Per-chip hardware tallies survive the run: chip_stats(i) reports chip i's
 // LFM calls, sub-array ops, and energy for exactly the reads it was routed,
 // which accel/measured_load.h converts into measured (rather than assumed)

@@ -561,5 +561,199 @@ TEST(Engine, EmptyBatchIsHarmless) {
   EXPECT_EQ(result.stats().reads_total, 0u);
 }
 
+TEST(Engine, BestHitOnlyKeepsThePrimaryHit) {
+  Fixture f;
+  AlignerOptions best_options = f.options;
+  best_options.best_hit_only = true;
+  const SoftwareEngine full_engine(f.fm, f.options);
+  const SoftwareEngine best_engine(f.fm, best_options);
+
+  BatchResult full, best;
+  full_engine.align_batch(f.batch, full);
+  best_engine.align_batch(f.batch, best);
+
+  ASSERT_EQ(best.size(), full.size());
+  std::uint64_t aligned = 0;
+  bool truncated_any = false;
+  for (std::size_t i = 0; i < full.size(); ++i) {
+    EXPECT_EQ(best.stage(i), full.stage(i)) << "read " << i;
+    if (full.hits(i).empty()) {
+      EXPECT_TRUE(best.hits(i).empty()) << "read " << i;
+      continue;
+    }
+    ++aligned;
+    truncated_any = truncated_any || full.hits(i).size() > 1;
+    ASSERT_EQ(best.hits(i).size(), 1u) << "read " << i;
+    const auto want = full.result(i).best();
+    ASSERT_TRUE(want.has_value());
+    EXPECT_EQ(best.hits(i)[0].position, want->position) << "read " << i;
+    EXPECT_EQ(best.hits(i)[0].diffs, want->diffs) << "read " << i;
+    EXPECT_EQ(best.hits(i)[0].strand, want->strand) << "read " << i;
+  }
+  EXPECT_TRUE(truncated_any);  // the mix must exercise actual truncation
+  EXPECT_EQ(best.stats().hits_total, aligned);
+  // Stage accounting is unchanged — truncation happens after classification.
+  EXPECT_EQ(best.stats().reads_exact, full.stats().reads_exact);
+  EXPECT_EQ(best.stats().reads_inexact, full.stats().reads_inexact);
+  EXPECT_EQ(best.stats().reads_unaligned, full.stats().reads_unaligned);
+}
+
+TEST(Engine, BestHitOnlyOnPimEngineMatchesSoftware) {
+  Fixture f(40);
+  AlignerOptions best_options = f.options;
+  best_options.best_hit_only = true;
+  const SoftwareEngine software(f.fm, best_options);
+  hw::TimingEnergyModel timing;
+  hw::PimAlignerPlatform platform(f.fm, timing);
+  const hw::PimEngine pim_engine(platform, best_options);
+
+  BatchResult sw, hw_result;
+  software.align_batch(f.batch, sw);
+  pim_engine.align_batch(f.batch, hw_result);
+  ASSERT_EQ(hw_result.size(), sw.size());
+  for (std::size_t i = 0; i < sw.size(); ++i) {
+    expect_identical(sw.result(i), hw_result.stage(i), hw_result.hits(i), i,
+                     "pim best-hit");
+    EXPECT_LE(hw_result.hits(i).size(), 1u);
+  }
+}
+
+TEST(Engine, AlignBatchChunkedDeliversInOrderAndMatchesAlignBatch) {
+  Fixture f;
+  const SoftwareEngine engine(f.fm, f.options);
+  BatchResult whole;
+  engine.align_batch(f.batch, whole);
+
+  BatchResult stitched;
+  std::size_t next_begin = 0;
+  const auto stats = engine.align_batch_chunked(
+      f.batch, 13, [&](const BatchResultChunk& chunk) {
+        EXPECT_EQ(chunk.begin, next_begin);
+        EXPECT_EQ(chunk.base_index, chunk.begin);
+        EXPECT_EQ(chunk.result->size(), chunk.size());
+        stitched.append(*chunk.result);
+        next_begin = chunk.end;
+      });
+  EXPECT_EQ(next_begin, f.batch.size());
+  ASSERT_EQ(stitched.size(), whole.size());
+  for (std::size_t i = 0; i < whole.size(); ++i) {
+    expect_identical(whole.result(i), stitched.stage(i), stitched.hits(i), i,
+                     "chunked");
+  }
+  EXPECT_EQ(stats.reads_total, whole.stats().reads_total);
+  EXPECT_EQ(stats.hits_total, whole.stats().hits_total);
+  EXPECT_EQ(stats.batches, 1u);
+}
+
+TEST(Sharded, WeightedPartitionFollowsWeights) {
+  Fixture f(1);
+  const SoftwareEngine engine(f.fm, f.options);
+  const std::vector<const AlignmentEngine*> shards{&engine, &engine, &engine,
+                                                   &engine};
+  ShardedEngine sharded(shards);
+
+  // Uniform default: complete, contiguous, balanced.
+  auto bounds = sharded.partition(1000);
+  ASSERT_EQ(bounds.size(), 5u);
+  EXPECT_EQ(bounds.front(), 0u);
+  EXPECT_EQ(bounds.back(), 1000u);
+  for (std::size_t s = 0; s + 1 < bounds.size(); ++s) {
+    EXPECT_EQ(bounds[s + 1] - bounds[s], 250u);
+  }
+
+  // Skewed weights move the boundaries proportionally.
+  sharded.set_shard_weights({0.5, 0.25, 0.125, 0.125});
+  bounds = sharded.partition(1000);
+  EXPECT_EQ(bounds[1], 500u);
+  EXPECT_EQ(bounds[2], 750u);
+  EXPECT_EQ(bounds[3], 875u);
+  EXPECT_EQ(bounds[4], 1000u);
+
+  // Un-normalized input is accepted and normalized.
+  sharded.set_shard_weights({4.0, 2.0, 1.0, 1.0});
+  EXPECT_EQ(sharded.partition(1000), bounds);
+  const auto& weights = sharded.shard_weights();
+  double sum = 0.0;
+  for (const double w : weights) sum += w;
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+  EXPECT_NEAR(weights[0], 0.5, 1e-12);
+
+  // Degenerate cases stay monotone and complete.
+  const auto empty_bounds = sharded.partition(0);
+  EXPECT_EQ(empty_bounds, (std::vector<std::size_t>{0, 0, 0, 0, 0}));
+  const auto one = sharded.partition(1);
+  EXPECT_EQ(one.back(), 1u);
+  for (std::size_t s = 0; s + 1 < one.size(); ++s) {
+    EXPECT_LE(one[s], one[s + 1]);
+  }
+
+  // Invalid weights are rejected.
+  EXPECT_THROW(sharded.set_shard_weights({1.0, 1.0}), std::invalid_argument);
+  EXPECT_THROW(sharded.set_shard_weights({1.0, 1.0, 1.0, 0.0}),
+               std::invalid_argument);
+  EXPECT_THROW(sharded.set_shard_weights({1.0, 1.0, 1.0, -1.0}),
+               std::invalid_argument);
+}
+
+TEST(Sharded, RebalanceKeepsResultsIdenticalAcrossBatches) {
+  Fixture f(150);
+  const SoftwareEngine reference_engine(f.fm, f.options);
+  BatchResult want;
+  reference_engine.align_batch(f.batch, want);
+
+  std::vector<std::unique_ptr<AlignmentEngine>> shards;
+  for (int s = 0; s < 3; ++s) {
+    shards.push_back(std::make_unique<SoftwareEngine>(f.fm, f.options));
+  }
+  ShardedOptions options;
+  options.rebalance = true;
+  options.rebalance_smoothing = 1.0;  // jump straight to measured throughput
+  const ShardedEngine sharded(std::move(shards), options);
+
+  // Boundaries move between batches; results must not.
+  for (int round = 0; round < 3; ++round) {
+    BatchResult got;
+    sharded.align_batch(f.batch, got);
+    ASSERT_EQ(got.size(), want.size());
+    for (std::size_t i = 0; i < want.size(); ++i) {
+      expect_identical(want.result(i), got.stage(i), got.hits(i), i,
+                       "rebalanced");
+    }
+    double sum = 0.0;
+    for (const double w : sharded.shard_weights()) {
+      EXPECT_GT(w, 0.0);
+      sum += w;
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+  }
+}
+
+TEST(Sharded, RebalancedShardWeightsMath) {
+  using accel::MeasuredChipLoad;
+  // Twice the throughput -> twice the weight.
+  std::vector<MeasuredChipLoad> loads(2);
+  loads[0].reads = 200;
+  loads[0].wall_ms = 10.0;  // 20 reads/ms
+  loads[1].reads = 100;
+  loads[1].wall_ms = 10.0;  // 10 reads/ms
+  auto weights = accel::rebalanced_shard_weights(loads);
+  ASSERT_EQ(weights.size(), 2u);
+  EXPECT_NEAR(weights[0], 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(weights[1], 1.0 / 3.0, 1e-12);
+
+  // An unmeasured chip gets the mean measured throughput.
+  loads[1].reads = 0;
+  weights = accel::rebalanced_shard_weights(loads);
+  EXPECT_NEAR(weights[0], 0.5, 1e-12);
+  EXPECT_NEAR(weights[1], 0.5, 1e-12);
+
+  // Nothing measured -> uniform.
+  loads[0].reads = 0;
+  weights = accel::rebalanced_shard_weights(loads);
+  EXPECT_NEAR(weights[0], 0.5, 1e-12);
+  EXPECT_NEAR(weights[1], 0.5, 1e-12);
+  EXPECT_TRUE(accel::rebalanced_shard_weights({}).empty());
+}
+
 }  // namespace
 }  // namespace pim::align

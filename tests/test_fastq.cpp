@@ -134,6 +134,49 @@ TEST(FastqStream, MalformedMidStreamThrows) {
   EXPECT_THROW(reader.next(rec), std::runtime_error);
 }
 
+TEST(FastqStream, ErrorsNameTheRecordIndex) {
+  std::istringstream in("@a\nAC\n+\nII\n@b\nAC\n+\nII\nbroken\nAC\n+\nII\n");
+  FastqStreamReader reader(in);
+  FastqRecord rec;
+  ASSERT_TRUE(reader.next(rec));
+  ASSERT_TRUE(reader.next(rec));
+  try {
+    reader.next(rec);
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("(record 3)"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(FastqStream, TruncatedFinalRecordThrows) {
+  {
+    std::istringstream in("@a\nAC\n+\nII\n@b\nAC\n");  // ends after sequence
+    FastqStreamReader reader(in);
+    FastqRecord rec;
+    ASSERT_TRUE(reader.next(rec));
+    EXPECT_THROW(reader.next(rec), std::runtime_error);
+  }
+  {
+    std::istringstream in("@a\nAC\n+\n");  // ends after '+'
+    FastqStreamReader reader(in);
+    FastqRecord rec;
+    try {
+      reader.next(rec);
+      FAIL() << "expected std::runtime_error";
+    } catch (const std::runtime_error& e) {
+      EXPECT_NE(std::string(e.what()).find("(record 1)"), std::string::npos)
+          << e.what();
+    }
+  }
+  {
+    std::istringstream in("@a\n");  // header only
+    FastqStreamReader reader(in);
+    FastqRecord rec;
+    EXPECT_THROW(reader.next(rec), std::runtime_error);
+  }
+}
+
 TEST(Fastq, WriteRejectsLengthMismatch) {
   std::vector<FastqRecord> records;
   records.push_back({"bad", PackedSequence("ACGT"), "II"});
