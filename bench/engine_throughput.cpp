@@ -12,8 +12,17 @@
 // high-water mark, so the bounded-memory pass must finish before anything
 // materializes the whole workload.
 //
-// Usage: engine_throughput [max_reads]  (default 100000; CI's sanitizer job
-// passes a small count so the bench smoke-runs under ASan).
+// The S40 sections close the observability loop: a fleet-scaling sweep
+// (1/2/4/8 simulated chips over one batch, per-chip cycle/energy/LFM read
+// back through the metrics registry — the ROADMAP chips-vs-throughput
+// curve, one invocation) and a metrics-overhead pass (instrumented vs bare
+// chunked scheduler; the registry must cost < 2%).
+//
+// Usage: engine_throughput [max_reads] [metrics.jsonl]  (default 100000;
+// CI's sanitizer job passes a small count so the bench smoke-runs under
+// ASan). With a second argument, the registry snapshots behind the S40
+// sections are also dumped to that path as JSON lines — the CI artifact
+// tools/check_metrics_schema.py gates on.
 //
 // Both paths run the identical two-stage search (bit-identical results,
 // asserted below), so the measured delta is exactly the layer this refactor
@@ -30,15 +39,19 @@
 
 #include <sys/resource.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <fstream>
 #include <memory>
+#include <thread>
 #include <string>
 #include <vector>
 
 #include "src/accel/measured_load.h"
 #include "src/align/engine.h"
+#include "src/obs/metrics.h"
+#include "src/obs/reporter.h"
 #include "src/align/parallel_aligner.h"
 #include "src/align/sam_writer.h"
 #include "src/align/sharded_engine.h"
@@ -241,6 +254,7 @@ int main(int argc, char** argv) {
 
   const std::size_t kMax =
       argc > 1 ? static_cast<std::size_t>(std::stoul(argv[1])) : 100000;
+  const std::string metrics_path = argc > 2 ? argv[2] : "";
   std::vector<std::size_t> sizes;
   for (const std::size_t n : {std::size_t{1000}, std::size_t{10000},
                               std::size_t{100000}}) {
@@ -382,6 +396,44 @@ int main(int argc, char** argv) {
               "(%.2fx)\n",
               base_qps, qps1, qps1 / base_qps);
 
+  // --- Metrics overhead (S40): instrumented vs bare chunked scheduler ----
+  // The same parallel chunked pass with and without a registry installed;
+  // best-of-3 keeps scheduler noise out of a percent-level comparison. The
+  // registry's contract is near-zero cost: handles are a single branch when
+  // uninstalled, and lock-free single-writer shard slots when installed.
+  pim::obs::MetricsRegistry sched_registry;
+  const auto sched_pass = [&](pim::obs::MetricsRegistry* registry) {
+    pim::align::ParallelOptions popts;
+    popts.metrics = registry;
+    // At least two workers, even on a one-core host: the comparison must
+    // exercise the instrumented parallel scheduler, not the serial
+    // fallback (which bypasses the sched.* series entirely).
+    popts.num_threads = std::max<std::size_t>(
+        2, std::thread::hardware_concurrency());
+    const auto t0 = Clock::now();
+    const auto stats = pim::align::align_batch_parallel_chunked(
+        engine, batch, [](const pim::align::BatchResultChunk&) {}, popts);
+    (void)stats;
+    return std::chrono::duration<double>(Clock::now() - t0).count();
+  };
+  (void)sched_pass(nullptr);  // warm-up
+  double bare_s = 1e300;
+  double instrumented_s = 1e300;
+  for (int rep = 0; rep < 3; ++rep) {
+    bare_s = std::min(bare_s, sched_pass(nullptr));
+    instrumented_s = std::min(instrumented_s, sched_pass(&sched_registry));
+  }
+  const double overhead_pct = (instrumented_s - bare_s) / bare_s * 100.0;
+  std::printf("\n=== Metrics overhead: chunked scheduler, %zu reads "
+              "(JSON line) ===\n",
+              batch.size());
+  std::printf("{\"bench\":\"metrics_overhead\",\"reads\":%zu,"
+              "\"bare_reads_per_s\":%.0f,\"instrumented_reads_per_s\":%.0f,"
+              "\"overhead_pct\":%.2f}\n",
+              batch.size(), static_cast<double>(batch.size()) / bare_s,
+              static_cast<double>(batch.size()) / instrumented_s,
+              overhead_pct);
+
   // --- Measured per-chip load -> chip simulator ---------------------------
   // A small PIM fleet pass: each chip's hardware LFM tally (not the model's
   // assumed stage mix) becomes the service demand of the closed-loop chip
@@ -417,5 +469,83 @@ int main(int argc, char** argv) {
   }
   std::printf("fleet equivalence vs software: %s\n",
               fleet_ok ? "bit-identical hit counts" : "MISMATCH");
-  return (ok && fleet_ok && stream_ok) ? 0 : 1;
+
+  // --- Fleet scaling (S40): the chips-vs-throughput curve -----------------
+  // One invocation sweeps 1/2/4/8 simulated chips over the same batch. The
+  // per-chip cycle/energy/LFM tallies are published into the registry and
+  // read back from the scrape — the aggregation path front-ends consume —
+  // then emitted as one JSON line per point. host_reads_per_s is simulator
+  // wall time (host-CPU-bound, does not scale); model_reads_per_s is the
+  // paper-style device throughput — reads over the slowest chip's cycle
+  // count at the model clock — which should scale with chips while
+  // fleet.cycles (total chip work) and cycles/read stay flat.
+  std::printf("\n=== Fleet scaling: 1/2/4/8 chips over %zu reads "
+              "(JSON lines) ===\n",
+              pim_reads);
+  pim::obs::MetricsRegistry fleet_registry;
+  const std::uint64_t pim_want_hits = [&] {
+    pim::align::BatchResult sw;
+    engine.align_batch(pim_batch, sw);
+    return sw.stats().hits_total;
+  }();
+  bool scaling_ok = true;
+  for (const std::size_t chips : {1u, 2u, 4u, 8u}) {
+    pim::hw::PimChipFleet sweep_fleet(w.fm, timing, chips, options);
+    const auto t0 = Clock::now();
+    pim::align::BatchResult sweep_results;
+    sweep_fleet.engine().align_batch(pim_batch, sweep_results);
+    const double secs =
+        std::chrono::duration<double>(Clock::now() - t0).count();
+    scaling_ok =
+        scaling_ok && sweep_results.stats().hits_total == pim_want_hits;
+    sweep_fleet.publish_metrics(fleet_registry);
+    const auto snap = fleet_registry.scrape();
+
+    std::string per_chip;
+    double max_chip_cycles = 0.0;
+    for (std::size_t c = 0; c < chips; ++c) {
+      const std::string prefix = "chip." + std::to_string(c) + ".";
+      const double cycles = snap.gauge_value(prefix + "cycles");
+      max_chip_cycles = std::max(max_chip_cycles, cycles);
+      if (!per_chip.empty()) per_chip += ",";
+      per_chip += "{\"chip\":" + std::to_string(c) + ",\"cycles\":" +
+                  std::to_string(static_cast<std::uint64_t>(cycles)) +
+                  ",\"energy_pj\":" +
+                  std::to_string(static_cast<std::uint64_t>(
+                      snap.gauge_value(prefix + "energy_pj"))) +
+                  ",\"lfm_calls\":" +
+                  std::to_string(static_cast<std::uint64_t>(
+                      snap.gauge_value(prefix + "lfm_calls"))) +
+                  "}";
+    }
+    const double fleet_cycles = snap.gauge_value("fleet.cycles");
+    // Chips run concurrently: device time = slowest chip's cycles / clock.
+    const double model_reads_per_s =
+        max_chip_cycles > 0.0
+            ? static_cast<double>(pim_batch.size()) * timing.clock_ghz() *
+                  1e9 / max_chip_cycles
+            : 0.0;
+    std::printf(
+        "{\"bench\":\"fleet_scaling\",\"chips\":%zu,\"reads\":%zu,"
+        "\"model_reads_per_s\":%.0f,\"host_reads_per_s\":%.0f,"
+        "\"fleet_cycles\":%.0f,\"cycles_per_read\":%.0f,"
+        "\"fleet_energy_pj\":%.0f,\"fleet_lfm_calls\":%llu,"
+        "\"identical\":%s,\"per_chip\":[%s]}\n",
+        chips, pim_batch.size(), model_reads_per_s,
+        static_cast<double>(pim_batch.size()) / secs, fleet_cycles,
+        fleet_cycles / static_cast<double>(pim_batch.size()),
+        snap.gauge_value("fleet.energy_pj"),
+        static_cast<unsigned long long>(
+            snap.gauge_value("fleet.lfm_calls")),
+        sweep_results.stats().hits_total == pim_want_hits ? "true" : "false",
+        per_chip.c_str());
+  }
+
+  if (!metrics_path.empty()) {
+    std::ofstream metrics_out(metrics_path);
+    pim::obs::write_json_lines(sched_registry.scrape(), metrics_out);
+    pim::obs::write_json_lines(fleet_registry.scrape(), metrics_out);
+    std::printf("\nregistry snapshots -> %s\n", metrics_path.c_str());
+  }
+  return (ok && fleet_ok && stream_ok && scaling_ok) ? 0 : 1;
 }

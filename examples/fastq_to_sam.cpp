@@ -9,7 +9,15 @@
 // engine streams through the same chunk seam.
 //
 //   ./fastq_to_sam ref.fasta reads.fastq out.sam [threads] [max_diffs]
-//                  [shards]
+//                  [shards] [--metrics=PATH] [--pim-chips=N]
+//
+// --metrics=PATH  installs the S40 observability registry end to end and
+//                 writes the stage-resolved snapshot (stream.*, sched.*,
+//                 shard.*, plus chip.*/fleet.* with --pim-chips) and the
+//                 fill/align trace as JSON lines to PATH after the run.
+// --pim-chips=N   aligns on a simulated N-chip SOT-MRAM fleet (PimChipFleet)
+//                 instead of software shards. Cycle/energy-accurate and
+//                 correspondingly slow — use small read counts.
 //
 // With no arguments, runs a self-contained demo: generates a synthetic
 // reference and ART-like FASTQ reads (with quality ramp), writes them to
@@ -28,13 +36,19 @@
 #include "src/genome/fasta.h"
 #include "src/genome/fastq.h"
 #include "src/genome/synthetic_genome.h"
+#include "src/obs/metrics.h"
+#include "src/obs/reporter.h"
+#include "src/obs/trace.h"
+#include "src/pim/pim_fleet.h"
+#include "src/pim/timing_energy.h"
 #include "src/readsim/read_simulator.h"
 
 namespace {
 
 int run(const std::string& ref_path, const std::string& fastq_path,
         const std::string& sam_path, std::size_t threads,
-        std::uint32_t max_diffs, std::size_t shards) {
+        std::uint32_t max_diffs, std::size_t shards,
+        const std::string& metrics_path, std::size_t pim_chips) {
   using namespace pim;
 
   const auto refs = genome::read_fasta_file(ref_path);
@@ -76,8 +90,39 @@ int run(const std::string& ref_path, const std::string& fastq_path,
   align::StreamingOptions sopts;
   sopts.parallel.num_threads = threads;
 
+  // One registry/trace pair spans every stage: the streaming pipeline, the
+  // chunked scheduler, the sharded fan-out, and (with --pim-chips) the
+  // per-chip hardware tallies all publish into it.
+  obs::MetricsRegistry registry;
+  obs::TraceLog trace_log(4096);
+  const bool observed = !metrics_path.empty();
+  if (observed) {
+    sopts.metrics = &registry;
+    sopts.trace = &trace_log;
+  }
+  align::ShardedOptions shard_opts{.rebalance = true};
+  if (observed) shard_opts.metrics = &registry;
+
   align::StreamingStats stats;
-  if (shards >= 2) {
+  if (pim_chips >= 1) {
+    // Simulated SOT-MRAM fleet: each chip owns its platform (op/energy
+    // tallies), and the sharded seam streams per-chip completions into the
+    // SAM writer exactly like the software path.
+    const hw::TimingEnergyModel timing;
+    hw::PimChipFleet fleet(fm, timing, pim_chips, options, {},
+                           hw::AddPlacement::kMethodI, shard_opts);
+    stats = align::StreamingPipeline(fleet.engine(), sopts).run(reader,
+                                                                writer);
+    if (observed) fleet.publish_metrics(registry);
+    std::printf("PIM fleet of %zu chips:\n", pim_chips);
+    for (std::size_t c = 0; c < fleet.num_chips(); ++c) {
+      const auto cs = fleet.chip_stats(c);
+      std::printf("  chip %zu: %llu LFM calls, %.0f cycles, %.1f nJ\n", c,
+                  static_cast<unsigned long long>(cs.lfm_calls),
+                  cs.ops.busy_ns * timing.clock_ghz(),
+                  cs.ops.energy_pj * 1e-3);
+    }
+  } else if (shards >= 2) {
     // Multi-chip execution behind the same engine seam: one software engine
     // shard per simulated chip, each generation fanned across chip threads
     // with boundaries rebalanced from the measured wall-time skew.
@@ -85,8 +130,7 @@ int run(const std::string& ref_path, const std::string& fastq_path,
     for (std::size_t s = 0; s < shards; ++s) {
       chips.push_back(std::make_unique<align::SoftwareEngine>(fm, options));
     }
-    const align::ShardedEngine engine(std::move(chips),
-                                      align::ShardedOptions{.rebalance = true});
+    const align::ShardedEngine engine(std::move(chips), shard_opts);
     stats = align::StreamingPipeline(engine, sopts).run(reader, writer);
     std::printf("sharded across %zu chips (last generation):\n", shards);
     for (const auto& s : engine.shard_stats()) {
@@ -97,6 +141,17 @@ int run(const std::string& ref_path, const std::string& fastq_path,
   } else {
     const align::SoftwareEngine engine(fm, options);
     stats = align::StreamingPipeline(engine, sopts).run(reader, writer);
+  }
+
+  if (observed) {
+    std::ofstream metrics_out(metrics_path);
+    if (!metrics_out) {
+      std::fprintf(stderr, "cannot write %s\n", metrics_path.c_str());
+      return 1;
+    }
+    obs::write_json_lines(registry.scrape(), metrics_out);
+    obs::write_json_lines(trace_log.snapshot(), metrics_out);
+    std::printf("metrics -> %s\n", metrics_path.c_str());
   }
   const auto& es = stats.engine;
 
@@ -117,9 +172,9 @@ int run(const std::string& ref_path, const std::string& fastq_path,
   return 0;
 }
 
-int run_demo() {
+int run_demo(const std::string& metrics_path, std::size_t pim_chips) {
   using namespace pim;
-  std::printf("no arguments: running the self-contained demo\n\n");
+  std::printf("no input files: running the self-contained demo\n\n");
 
   // Generate reference + reads and write them as real files, so the demo
   // exercises the same I/O path as the CLI mode.
@@ -144,7 +199,11 @@ int run_demo() {
 
   const int rc = run("/tmp/pim_aligner_demo_ref.fasta",
                      "/tmp/pim_aligner_demo_reads.fastq",
-                     "/tmp/pim_aligner_demo.sam", 4, 2, /*shards=*/2);
+                     "/tmp/pim_aligner_demo.sam", 4, 2, /*shards=*/2,
+                     metrics_path.empty()
+                         ? "/tmp/pim_aligner_demo_metrics.jsonl"
+                         : metrics_path,
+                     pim_chips);
   if (rc != 0) return rc;
 
   std::printf("\nfirst SAM lines:\n");
@@ -159,19 +218,40 @@ int run_demo() {
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc == 1) return run_demo();
-  if (argc < 4) {
+  // Flags may appear anywhere; everything else is positional.
+  std::string metrics_path;
+  std::size_t pim_chips = 0;
+  std::vector<std::string> positional;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--metrics=", 0) == 0) {
+      metrics_path = arg.substr(10);
+    } else if (arg.rfind("--pim-chips=", 0) == 0) {
+      pim_chips = static_cast<std::size_t>(std::stoul(arg.substr(12)));
+    } else {
+      positional.push_back(arg);
+    }
+  }
+  if (positional.empty()) return run_demo(metrics_path, pim_chips);
+  if (positional.size() < 3) {
     std::fprintf(stderr,
                  "usage: %s ref.fasta reads.fastq out.sam [threads] "
-                 "[max_diffs] [shards]\n",
+                 "[max_diffs] [shards] [--metrics=PATH] [--pim-chips=N]\n",
                  argv[0]);
     return 2;
   }
   const std::size_t threads =
-      argc > 4 ? static_cast<std::size_t>(std::stoul(argv[4])) : 0;
+      positional.size() > 3
+          ? static_cast<std::size_t>(std::stoul(positional[3]))
+          : 0;
   const std::uint32_t max_diffs =
-      argc > 5 ? static_cast<std::uint32_t>(std::stoul(argv[5])) : 2;
+      positional.size() > 4
+          ? static_cast<std::uint32_t>(std::stoul(positional[4]))
+          : 2;
   const std::size_t shards =
-      argc > 6 ? static_cast<std::size_t>(std::stoul(argv[6])) : 1;
-  return run(argv[1], argv[2], argv[3], threads, max_diffs, shards);
+      positional.size() > 5
+          ? static_cast<std::size_t>(std::stoul(positional[5]))
+          : 1;
+  return run(positional[0], positional[1], positional[2], threads, max_diffs,
+             shards, metrics_path, pim_chips);
 }

@@ -20,6 +20,8 @@ void EngineStats::merge(const EngineStats& other) {
   batches += other.batches;
   wall_ms += other.wall_ms;
   result_bytes += other.result_bytes;
+  chunks += other.chunks;
+  stall_ms += other.stall_ms;
 }
 
 AlignerStats EngineStats::to_aligner_stats() const {
@@ -146,6 +148,7 @@ EngineStats AlignmentEngine::align_batch_chunked(const ReadBatch& batch,
     align_range(batch, begin, end, chunk);
     sink(BatchResultChunk{&batch, begin, end, &chunk, begin});
     total.merge(chunk.stats());
+    ++total.chunks;
   }
   const auto t1 = std::chrono::steady_clock::now();
   total.batches = 1;

@@ -29,6 +29,29 @@ std::size_t resolve_threads(std::size_t requested, std::size_t num_reads) {
   return std::min(num_threads, std::max<std::size_t>(1, num_reads));
 }
 
+/// Scheduler metric handles, registered once per run (inert when no
+/// registry is installed — every observe/add is then a single branch).
+struct SchedMetrics {
+  bool installed = false;
+  obs::Histogram chunk_align_ms;
+  obs::Histogram window_occupancy;
+  obs::Histogram worker_busy_ms;
+  obs::Histogram worker_idle_ms;
+  obs::Counter chunks;
+  obs::Counter window_wait_us;
+
+  explicit SchedMetrics(obs::MetricsRegistry* registry) {
+    if (registry == nullptr) return;
+    installed = true;
+    chunk_align_ms = registry->histogram("sched.chunk_align_ms");
+    window_occupancy = registry->histogram("sched.window_occupancy");
+    worker_busy_ms = registry->histogram("sched.worker_busy_ms");
+    worker_idle_ms = registry->histogram("sched.worker_idle_ms");
+    chunks = registry->counter("sched.chunks");
+    window_wait_us = registry->counter("sched.window_wait_us");
+  }
+};
+
 }  // namespace
 
 EngineStats align_batch_parallel_chunked(const AlignmentEngine& engine,
@@ -66,18 +89,39 @@ EngineStats align_batch_parallel_chunked(const AlignmentEngine& engine,
   bool aborted = false;
   std::exception_ptr error;
   EngineStats total;
+  SchedMetrics metrics(options.metrics);
 
   auto worker = [&]() {
+    using Clock = std::chrono::steady_clock;
+    const auto worker_start = metrics.installed ? Clock::now()
+                                                : Clock::time_point{};
+    double busy_ms = 0.0;
+    double wait_ms = 0.0;
     while (true) {
       const std::size_t c = cursor.fetch_add(1, std::memory_order_relaxed);
       if (c >= num_chunks) break;
       {
         std::unique_lock<std::mutex> lk(mu);
-        cv.wait(lk, [&] { return aborted || c < next_emit + window; });
+        // Occupancy of the bounded start window at grab time: how many
+        // chunks are running or undelivered ahead of this one.
+        if (metrics.installed) {
+          metrics.window_occupancy.observe(
+              static_cast<double>(c - next_emit));
+        }
+        if (aborted) break;
+        if (c >= next_emit + window) {
+          // Only time the blocking case: the fast path stays clock-free.
+          const auto w0 = Clock::now();
+          cv.wait(lk, [&] { return aborted || c < next_emit + window; });
+          wait_ms += std::chrono::duration<double, std::milli>(Clock::now() -
+                                                               w0)
+                         .count();
+        }
         if (aborted) break;
       }
       const std::size_t begin = c * chunk_size;
       const std::size_t end = std::min(begin + chunk_size, batch.size());
+      const auto a0 = metrics.installed ? Clock::now() : Clock::time_point{};
       try {
         chunks[c].set_best_hit_only(best_hit_only);
         chunks[c].reserve(end - begin, (end - begin) * 2);
@@ -88,6 +132,13 @@ EngineStats align_batch_parallel_chunked(const AlignmentEngine& engine,
         aborted = true;
         cv.notify_all();
         break;
+      }
+      if (metrics.installed) {
+        const double d =
+            std::chrono::duration<double, std::milli>(Clock::now() - a0)
+                .count();
+        metrics.chunk_align_ms.observe(d);
+        busy_ms += d;
       }
 
       std::unique_lock<std::mutex> lk(mu);
@@ -118,11 +169,25 @@ EngineStats align_batch_parallel_chunked(const AlignmentEngine& engine,
         }
         lk.lock();
         total.merge(delivered.stats());
+        ++total.chunks;
+        metrics.chunks.add();
         ++next_emit;
         cv.notify_all();
       }
       emitting = false;
       cv.notify_all();
+    }
+    if (wait_ms > 0.0) {
+      std::lock_guard<std::mutex> lk(mu);
+      total.stall_ms += wait_ms;
+    }
+    metrics.window_wait_us.add(static_cast<std::uint64_t>(wait_ms * 1e3));
+    if (metrics.installed) {
+      const double wall = std::chrono::duration<double, std::milli>(
+                              Clock::now() - worker_start)
+                              .count();
+      metrics.worker_busy_ms.observe(busy_ms);
+      metrics.worker_idle_ms.observe(std::max(0.0, wall - busy_ms));
     }
   };
 
@@ -162,6 +227,12 @@ void align_batch_parallel(const AlignmentEngine& engine,
   out.stats().batches = stats.batches;
   out.stats().wall_ms = stats.wall_ms;
   out.stats().result_bytes = out.memory_bytes();
+  // The scheduler-side counters added since S37 used to be dropped here:
+  // the per-chunk appends above carry zeros for them, so route the
+  // scheduler's own accounting through (see EngineStats field-coverage
+  // test in tests/test_engine.cpp).
+  out.stats().chunks = stats.chunks;
+  out.stats().stall_ms = stats.stall_ms;
 }
 
 std::vector<AlignmentResult> align_batch_parallel(

@@ -29,6 +29,7 @@
 #include "src/align/aligner.h"
 #include "src/align/engine.h"
 #include "src/align/read_batch.h"
+#include "src/obs/metrics.h"
 
 namespace pim::align {
 
@@ -38,6 +39,14 @@ struct ParallelOptions {
   /// chunks (load balance) without dropping below 16 reads (dispatch
   /// amortization).
   std::size_t chunk_size = 0;
+  /// Observability sink (S40). When set, the chunked scheduler publishes
+  /// per-chunk align latency ("sched.chunk_align_ms"), start-window
+  /// occupancy at chunk grab ("sched.window_occupancy"), per-worker
+  /// busy/idle split ("sched.worker_busy_ms"/"sched.worker_idle_ms"), and
+  /// delivery/wait counters ("sched.chunks", "sched.window_wait_us").
+  /// When null (the default) the scheduler takes no extra clock reads on
+  /// the non-blocking path.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 /// Align a batch across threads; results are positionally identical to

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <string>
 #include <condition_variable>
 #include <exception>
 #include <functional>
@@ -36,6 +37,7 @@ ShardedEngine::ShardedEngine(
   for (const auto& engine : owned_) shards_.push_back(engine.get());
   validate(shards_);
   weights_.assign(shards_.size(), 1.0 / static_cast<double>(shards_.size()));
+  init_metrics();
 }
 
 ShardedEngine::ShardedEngine(std::vector<const AlignmentEngine*> shards,
@@ -43,6 +45,31 @@ ShardedEngine::ShardedEngine(std::vector<const AlignmentEngine*> shards,
     : shards_(std::move(shards)), options_(options) {
   validate(shards_);
   weights_.assign(shards_.size(), 1.0 / static_cast<double>(shards_.size()));
+  init_metrics();
+}
+
+void ShardedEngine::init_metrics() {
+  if (options_.metrics == nullptr) return;
+  // Registration up front (construction is single-threaded); the per-run
+  // publishes are lock-free counter adds and atomic gauge stores.
+  series_.reserve(shards_.size());
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    const std::string prefix = "shard." + std::to_string(s) + ".";
+    ShardSeries series;
+    series.reads = options_.metrics->counter(prefix + "reads");
+    series.hits = options_.metrics->counter(prefix + "hits");
+    series.wall_ms = options_.metrics->gauge(prefix + "wall_ms");
+    series.reads_per_ms = options_.metrics->gauge(prefix + "reads_per_ms");
+    series.weight = options_.metrics->gauge(prefix + "weight");
+    series_.push_back(series);
+  }
+  publish_weights();
+}
+
+void ShardedEngine::publish_weights() const {
+  for (std::size_t s = 0; s < series_.size(); ++s) {
+    series_[s].weight.set(weights_[s]);
+  }
 }
 
 std::pair<std::size_t, std::size_t> ShardedEngine::shard_range(
@@ -69,6 +96,7 @@ void ShardedEngine::set_shard_weights(std::vector<double> weights) {
   }
   for (double& w : weights) w /= total;
   weights_ = std::move(weights);
+  publish_weights();
 }
 
 std::vector<std::size_t> ShardedEngine::partition(std::size_t reads) const {
@@ -95,11 +123,27 @@ void ShardedEngine::update_weights() const {
   std::vector<double> tput(num, 0.0);
   double sum = 0.0;
   std::size_t measured = 0;
-  for (const auto& s : shard_stats_) {
-    if (s.shard < num && s.reads > 0 && s.wall_ms > 1e-6) {
-      tput[s.shard] = static_cast<double>(s.reads) / s.wall_ms;
-      sum += tput[s.shard];
-      ++measured;
+  if (!series_.empty()) {
+    // S40: the rebalance math reads the published "shard.<i>.reads_per_ms"
+    // series back from the registry — the registry is the one data path
+    // for measured load, not a side channel next to it. run_shards wrote
+    // these gauges from exactly the tallies shard_stats_ carries, so the
+    // two sources are equal by construction.
+    for (std::size_t s = 0; s < num; ++s) {
+      const double t = series_[s].reads_per_ms.value();
+      if (t > 0.0) {
+        tput[s] = t;
+        sum += t;
+        ++measured;
+      }
+    }
+  } else {
+    for (const auto& s : shard_stats_) {
+      if (s.shard < num && s.reads > 0 && s.wall_ms > 1e-6) {
+        tput[s.shard] = static_cast<double>(s.reads) / s.wall_ms;
+        sum += tput[s.shard];
+        ++measured;
+      }
     }
   }
   if (measured == 0) return;
@@ -117,16 +161,16 @@ void ShardedEngine::update_weights() const {
     total += weights_[s];
   }
   for (double& w : weights_) w /= total;
+  publish_weights();
 }
 
-void ShardedEngine::run_shards(
+double ShardedEngine::run_shards(
     const ReadBatch& batch, std::size_t begin,
     std::vector<std::size_t> const& bounds, std::vector<BatchResult>& chunks,
     const ChunkSink* sink) const {
   using Clock = std::chrono::steady_clock;
   const std::size_t num = shards_.size();
   const std::size_t reads = bounds.back();
-  shard_stats_.assign(num, ShardStats{});
 
   auto run_shard = [&](std::size_t s) {
     const std::size_t lo = bounds[s];
@@ -144,6 +188,18 @@ void ShardedEngine::run_shards(
     stats.wall_ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
     stats.stats = chunks[s].stats();
     stats.stats.wall_ms = stats.wall_ms;
+    if (!series_.empty()) {
+      // Each shard is driven by exactly one thread, so these publishes are
+      // the single-writer fast path of the registry.
+      const ShardSeries& series = series_[s];
+      series.reads.add(stats.reads);
+      series.hits.add(stats.hits);
+      series.wall_ms.set(stats.wall_ms);
+      series.reads_per_ms.set(stats.reads > 0 && stats.wall_ms > 1e-6
+                                  ? static_cast<double>(stats.reads) /
+                                        stats.wall_ms
+                                  : 0.0);
+    }
   };
 
   // Forward shard s to the sink once it and all predecessors are done:
@@ -158,6 +214,7 @@ void ShardedEngine::run_shards(
     }
   };
 
+  double wait_ms = 0.0;
   if (options_.parallel && num > 1 && reads > 1) {
     std::mutex mu;
     std::condition_variable cv;
@@ -180,12 +237,19 @@ void ShardedEngine::run_shards(
       });
     }
     // The calling thread forwards completions in shard order while later
-    // shards are still aligning.
+    // shards are still aligning. Time spent blocked on an unfinished
+    // predecessor is the fan-out's stall: a straggler shard shows up here.
     std::exception_ptr forward_error;
     for (std::size_t s = 0; s < num; ++s) {
       {
         std::unique_lock<std::mutex> lk(mu);
-        cv.wait(lk, [&] { return done[s] != 0; });
+        if (done[s] == 0) {
+          const auto w0 = Clock::now();
+          cv.wait(lk, [&] { return done[s] != 0; });
+          wait_ms += std::chrono::duration<double, std::milli>(Clock::now() -
+                                                               w0)
+                         .count();
+        }
       }
       if (errors[s]) break;  // join everything, then rethrow in shard order
       try {
@@ -201,26 +265,33 @@ void ShardedEngine::run_shards(
     }
     if (forward_error) std::rethrow_exception(forward_error);
   } else {
+    // Serial fan-out never blocks on a predecessor.
     for (std::size_t s = 0; s < num; ++s) {
       run_shard(s);
       forward(s);
     }
   }
+  return wait_ms;
 }
 
 void ShardedEngine::align_range(const ReadBatch& batch, std::size_t begin,
                                 std::size_t end, BatchResult& out) const {
   const std::size_t num = shards_.size();
+  // Reset the per-shard breakdown at call entry, not mid-fan-out: a reused
+  // engine never reports a previous batch's load, even if partitioning or
+  // a shard throws before any stats land.
+  shard_stats_.assign(num, ShardStats{});
   const auto bounds = partition(end - begin);
 
   std::vector<BatchResult> chunks(num);
   for (auto& chunk : chunks) chunk.set_best_hit_only(out.best_hit_only());
-  run_shards(batch, begin, bounds, chunks, nullptr);
+  const double stall_ms = run_shards(batch, begin, bounds, chunks, nullptr);
 
   // Stitch in shard order == read order; BatchResult::append merges the
   // per-shard EngineStats associatively, so the combined counters equal an
   // unsharded run over the same range.
   for (const auto& chunk : chunks) out.append(chunk);
+  out.stats().stall_ms += stall_ms;
   if (options_.rebalance) update_weights();
 }
 
@@ -230,6 +301,7 @@ EngineStats ShardedEngine::align_batch_chunked(const ReadBatch& batch,
                                                bool best_hit_only) const {
   const auto t0 = std::chrono::steady_clock::now();
   const std::size_t num = shards_.size();
+  shard_stats_.assign(num, ShardStats{});
   const auto bounds = partition(batch.size());
 
   std::vector<BatchResult> chunks(num);
@@ -238,8 +310,9 @@ EngineStats ShardedEngine::align_batch_chunked(const ReadBatch& batch,
   const ChunkSink forward = [&](const BatchResultChunk& chunk) {
     sink(chunk);
     total.merge(chunk.result->stats());
+    ++total.chunks;
   };
-  run_shards(batch, 0, bounds, chunks, &forward);
+  total.stall_ms += run_shards(batch, 0, bounds, chunks, &forward);
   if (options_.rebalance) update_weights();
 
   const auto t1 = std::chrono::steady_clock::now();

@@ -33,6 +33,7 @@
 
 #include "src/align/engine.h"
 #include "src/align/read_batch.h"
+#include "src/obs/metrics.h"
 
 namespace pim::align {
 
@@ -63,6 +64,14 @@ struct ShardedOptions {
   /// Blend factor for rebalancing: 0 keeps the old weights, 1 jumps to the
   /// measured throughput. Intermediate values smooth out per-batch noise.
   double rebalance_smoothing = 0.5;
+  /// Observability sink (S40). When set, every run publishes per-shard
+  /// series — "shard.<i>.reads"/"shard.<i>.hits" counters (cumulative) and
+  /// "shard.<i>.wall_ms"/"shard.<i>.reads_per_ms"/"shard.<i>.weight"
+  /// gauges (last run) — and the rebalance math consumes the published
+  /// reads/ms series from the registry instead of the internal tallies
+  /// (identical values; the registry is the data path, shard_stats() the
+  /// programmatic view). Null = zero overhead.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 class ShardedEngine final : public AlignmentEngine {
@@ -124,17 +133,31 @@ class ShardedEngine final : public AlignmentEngine {
                                                          std::size_t s);
 
  private:
-  void run_shards(const ReadBatch& batch, std::size_t begin,
-                  std::vector<std::size_t> const& bounds,
-                  std::vector<BatchResult>& chunks,
-                  const ChunkSink* sink) const;
+  /// Per-shard metric handles (empty when no registry is installed).
+  struct ShardSeries {
+    obs::Counter reads;
+    obs::Counter hits;
+    obs::Gauge wall_ms;
+    obs::Gauge reads_per_ms;
+    obs::Gauge weight;
+  };
+
+  /// Returns the in-order forward/join wait in ms (time the stitching
+  /// thread spent blocked on unfinished predecessor shards).
+  double run_shards(const ReadBatch& batch, std::size_t begin,
+                    std::vector<std::size_t> const& bounds,
+                    std::vector<BatchResult>& chunks,
+                    const ChunkSink* sink) const;
+  void init_metrics();
   void update_weights() const;
+  void publish_weights() const;
 
   std::vector<std::unique_ptr<AlignmentEngine>> owned_;
   std::vector<const AlignmentEngine*> shards_;
   ShardedOptions options_;
   mutable std::vector<ShardStats> shard_stats_;
   mutable std::vector<double> weights_;
+  std::vector<ShardSeries> series_;
 };
 
 }  // namespace pim::align

@@ -36,6 +36,8 @@
 #include "src/align/engine.h"
 #include "src/align/parallel_aligner.h"
 #include "src/genome/fastq.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 
 namespace pim::align {
 
@@ -50,6 +52,20 @@ struct StreamingOptions {
   ParallelOptions parallel;
   /// Keep only the best hit per read (see AlignerOptions::best_hit_only).
   bool best_hit_only = false;
+  /// Observability sink (S40). When set, run() publishes the stage-resolved
+  /// series the paper's Fig. 8-10 accounting needs live instead of post
+  /// hoc: "stream.reads"/"stream.batches"/"stream.chunks" counters,
+  /// producer fill time ("stream.producer_fill_ms") and arena-wait stall
+  /// ("stream.producer_wait_us"), consumer align time
+  /// ("stream.consumer_align_ms") and ingest-wait stall
+  /// ("stream.consumer_wait_us"), and per-chunk delivery latency from
+  /// generation align start ("stream.chunk_latency_ms"). Propagated to
+  /// ParallelOptions::metrics when that is unset, so the scheduler's
+  /// worker-level series land in the same registry. Null = zero overhead.
+  obs::MetricsRegistry* metrics = nullptr;
+  /// Stage trace sink (S40): generation fill/align spans land here with
+  /// nesting intact. Null = no tracing.
+  obs::TraceLog* trace = nullptr;
 };
 
 /// Aggregate accounting of one streaming run.

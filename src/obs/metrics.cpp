@@ -1,0 +1,237 @@
+#include "src/obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace pim::obs {
+
+namespace {
+
+std::uint64_t next_registry_uid() {
+  static std::atomic<std::uint64_t> uid{0};
+  return uid.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+std::uint64_t MetricsSnapshot::counter_value(std::string_view name) const {
+  for (const auto& c : counters) {
+    if (c.name == name) return c.value;
+  }
+  return 0;
+}
+
+double MetricsSnapshot::gauge_value(std::string_view name) const {
+  for (const auto& g : gauges) {
+    if (g.name == name) return g.value;
+  }
+  return 0.0;
+}
+
+const HistogramSample* MetricsSnapshot::histogram(
+    std::string_view name) const {
+  for (const auto& h : histograms) {
+    if (h.name == name) return &h;
+  }
+  return nullptr;
+}
+
+MetricsRegistry::MetricsRegistry() : uid_(next_registry_uid()) {}
+
+std::uint32_t MetricsRegistry::register_name(std::vector<std::string>& names,
+                                             std::string_view name,
+                                             std::size_t cap,
+                                             const char* kind) {
+  std::lock_guard<std::mutex> lk(mu_);
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    if (names[i] == name) return static_cast<std::uint32_t>(i);
+  }
+  if (names.size() >= cap) {
+    throw std::length_error(std::string("MetricsRegistry: too many ") + kind +
+                            " metrics (cap " + std::to_string(cap) + ")");
+  }
+  names.emplace_back(name);
+  return static_cast<std::uint32_t>(names.size() - 1);
+}
+
+Counter MetricsRegistry::counter(std::string_view name) {
+  return Counter(this,
+                 register_name(counter_names_, name, kMaxCounters, "counter"));
+}
+
+Gauge MetricsRegistry::gauge(std::string_view name) {
+  return Gauge(this, register_name(gauge_names_, name, kMaxGauges, "gauge"));
+}
+
+Histogram MetricsRegistry::histogram(std::string_view name) {
+  return Histogram(
+      this, register_name(histogram_names_, name, kMaxHistograms,
+                          "histogram"));
+}
+
+MetricsRegistry::Shard& MetricsRegistry::local_shard() {
+  // Thread-local cache keyed by the registry's process-unique uid (never a
+  // raw pointer: a dead registry's address can be reused, its uid cannot).
+  // Shards are owned by the registry, so entries for destroyed registries
+  // are merely dead weight, never dangling dereferences — their uid can no
+  // longer match a live registry.
+  struct CacheEntry {
+    std::uint64_t uid;
+    Shard* shard;
+  };
+  thread_local std::vector<CacheEntry> cache;
+  for (const auto& entry : cache) {
+    if (entry.uid == uid_) return *entry.shard;
+  }
+  auto shard = std::make_unique<Shard>();
+  Shard* raw = shard.get();
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    shards_.push_back(std::move(shard));
+  }
+  cache.push_back(CacheEntry{uid_, raw});
+  return *raw;
+}
+
+void MetricsRegistry::counter_add(std::uint32_t id, std::uint64_t delta) {
+  // Single writer per shard: a plain relaxed fetch_add never contends.
+  local_shard().counters[id].fetch_add(delta, std::memory_order_relaxed);
+}
+
+void MetricsRegistry::gauge_set(std::uint32_t id, double value) {
+  gauges_[id].store(value, std::memory_order_relaxed);
+}
+
+double MetricsRegistry::gauge_load(std::uint32_t id) const {
+  return gauges_[id].load(std::memory_order_relaxed);
+}
+
+std::size_t MetricsRegistry::bucket_of(double value) {
+  // Log2 buckets spanning [2^-22, 2^21] ~ [2.4e-7, 2.1e6]: microseconds to
+  // half an hour when the unit is milliseconds. Bucket 0 also absorbs
+  // non-positive values; the top bucket absorbs overflow.
+  if (!(value > 0.0)) return 0;
+  const int e = static_cast<int>(std::ceil(std::log2(value)));
+  const int idx = e + 22;
+  return static_cast<std::size_t>(
+      std::clamp(idx, 0, static_cast<int>(kNumBuckets) - 1));
+}
+
+double MetricsRegistry::bucket_upper(std::size_t bucket) {
+  return std::ldexp(1.0, static_cast<int>(bucket) - 22);
+}
+
+void MetricsRegistry::histogram_observe(std::uint32_t id, double value) {
+  HistCell& cell = local_shard().histograms[id];
+  const std::uint64_t n = cell.count.load(std::memory_order_relaxed);
+  // Single-writer cells: read-modify-write via plain load/store is safe and
+  // cheaper than CAS; atomics keep concurrent scrapes race-free.
+  cell.sum.store(cell.sum.load(std::memory_order_relaxed) + value,
+                 std::memory_order_relaxed);
+  if (n == 0 || value < cell.min.load(std::memory_order_relaxed)) {
+    cell.min.store(value, std::memory_order_relaxed);
+  }
+  if (n == 0 || value > cell.max.load(std::memory_order_relaxed)) {
+    cell.max.store(value, std::memory_order_relaxed);
+  }
+  cell.buckets[bucket_of(value)].fetch_add(1, std::memory_order_relaxed);
+  // Count last: a scraper that sees count == n sums at least n bucket
+  // entries, keeping in-flight percentile reads sane.
+  cell.count.store(n + 1, std::memory_order_relaxed);
+}
+
+namespace {
+
+double percentile_from_buckets(
+    const std::array<std::uint64_t, MetricsRegistry::kNumBuckets>& buckets,
+    std::uint64_t count, double q, double lo, double hi,
+    double (*upper)(std::size_t)) {
+  if (count == 0) return 0.0;
+  const double rank = q * static_cast<double>(count - 1);
+  std::uint64_t seen = 0;
+  for (std::size_t b = 0; b < buckets.size(); ++b) {
+    seen += buckets[b];
+    if (static_cast<double>(seen) > rank) {
+      // Clamp the bucket midpoint into the observed range so tiny samples
+      // don't report values outside [min, max].
+      const double mid = upper(b) * 0.75;  // mid of [upper/2, upper]
+      return std::clamp(mid, lo, hi);
+    }
+  }
+  return hi;
+}
+
+}  // namespace
+
+MetricsSnapshot MetricsRegistry::scrape() const {
+  MetricsSnapshot snap;
+  // Copy names and the shard list under the lock, then read cells relaxed:
+  // shards are append-only and owned by the registry, so the raw pointers
+  // stay valid for the registry's lifetime.
+  std::vector<std::string> counter_names, gauge_names, histogram_names;
+  std::vector<const Shard*> shards;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    counter_names = counter_names_;
+    gauge_names = gauge_names_;
+    histogram_names = histogram_names_;
+    shards.reserve(shards_.size());
+    for (const auto& s : shards_) shards.push_back(s.get());
+  }
+
+  snap.counters.reserve(counter_names.size());
+  for (std::size_t i = 0; i < counter_names.size(); ++i) {
+    std::uint64_t total = 0;
+    for (const Shard* s : shards) {
+      total += s->counters[i].load(std::memory_order_relaxed);
+    }
+    snap.counters.push_back(CounterSample{counter_names[i], total});
+  }
+
+  snap.gauges.reserve(gauge_names.size());
+  for (std::size_t i = 0; i < gauge_names.size(); ++i) {
+    snap.gauges.push_back(
+        GaugeSample{gauge_names[i],
+                    gauges_[i].load(std::memory_order_relaxed)});
+  }
+
+  snap.histograms.reserve(histogram_names.size());
+  for (std::size_t i = 0; i < histogram_names.size(); ++i) {
+    HistogramSample h;
+    h.name = histogram_names[i];
+    std::array<std::uint64_t, kNumBuckets> buckets{};
+    bool first = true;
+    for (const Shard* s : shards) {
+      const HistCell& cell = s->histograms[i];
+      const std::uint64_t n = cell.count.load(std::memory_order_relaxed);
+      if (n == 0) continue;
+      h.count += n;
+      h.sum += cell.sum.load(std::memory_order_relaxed);
+      const double mn = cell.min.load(std::memory_order_relaxed);
+      const double mx = cell.max.load(std::memory_order_relaxed);
+      if (first || mn < h.min) h.min = mn;
+      if (first || mx > h.max) h.max = mx;
+      first = false;
+      for (std::size_t b = 0; b < kNumBuckets; ++b) {
+        buckets[b] += cell.buckets[b].load(std::memory_order_relaxed);
+      }
+    }
+    h.p50 = percentile_from_buckets(buckets, h.count, 0.50, h.min, h.max,
+                                    &MetricsRegistry::bucket_upper);
+    h.p90 = percentile_from_buckets(buckets, h.count, 0.90, h.min, h.max,
+                                    &MetricsRegistry::bucket_upper);
+    h.p99 = percentile_from_buckets(buckets, h.count, 0.99, h.min, h.max,
+                                    &MetricsRegistry::bucket_upper);
+    snap.histograms.push_back(std::move(h));
+  }
+  return snap;
+}
+
+std::size_t MetricsRegistry::num_metrics() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return counter_names_.size() + gauge_names_.size() +
+         histogram_names_.size();
+}
+
+}  // namespace pim::obs

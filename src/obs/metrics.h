@@ -1,0 +1,206 @@
+// Observability layer (S40): a process-wide metrics registry for the
+// runtime layers grown since S37 (streaming pipeline, chunked scheduler,
+// sharded fleet), which were black boxes at run time — EngineStats only
+// surfaces after a batch completes.
+//
+// Design constraints, in priority order:
+//   1. Near-zero cost when no sink is installed: every instrumentation
+//      point holds a Counter/Gauge/Histogram *handle*; a default-constructed
+//      handle is one branch per call, no atomics, no clock reads.
+//   2. Lock-free hot path when installed: counters and histograms write to
+//      per-thread shards (single writer per shard, relaxed atomics), so
+//      threads never contend on an increment. Scrape merges the shards.
+//      TSan-clean by construction: every shared cell is a std::atomic.
+//   3. Deterministic totals at quiescence: after the instrumented threads
+//      join, scrape() sums exactly the recorded increments (asserted
+//      against post-hoc EngineStats in tests/test_obs.cpp).
+//
+// Registration (name -> id) takes a mutex and is expected at setup time,
+// not per read. Metric names are flat strings; per-instance series use
+// dotted indices ("shard.3.reads", "chip.1.energy_pj") so downstream JSON
+// consumers need no label parsing.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pim::obs {
+
+class MetricsRegistry;
+
+/// Handle to a monotonically increasing counter. Default-constructed
+/// handles are inert (no registry): add() is one predictable branch.
+class Counter {
+ public:
+  Counter() = default;
+  inline void add(std::uint64_t delta = 1) const;
+  bool installed() const { return registry_ != nullptr; }
+
+ private:
+  friend class MetricsRegistry;
+  Counter(MetricsRegistry* registry, std::uint32_t id)
+      : registry_(registry), id_(id) {}
+  MetricsRegistry* registry_ = nullptr;
+  std::uint32_t id_ = 0;
+};
+
+/// Handle to a last-write-wins gauge (one atomic double in the registry;
+/// gauges are set rarely — per generation/run — so they are not sharded).
+class Gauge {
+ public:
+  Gauge() = default;
+  inline void set(double value) const;
+  inline double value() const;  ///< 0.0 when inert.
+  bool installed() const { return registry_ != nullptr; }
+
+ private:
+  friend class MetricsRegistry;
+  Gauge(MetricsRegistry* registry, std::uint32_t id)
+      : registry_(registry), id_(id) {}
+  MetricsRegistry* registry_ = nullptr;
+  std::uint32_t id_ = 0;
+};
+
+/// Handle to a log-bucketed histogram (count/sum/min/max + power-of-two
+/// buckets, merged across thread shards on scrape).
+class Histogram {
+ public:
+  Histogram() = default;
+  inline void observe(double value) const;
+  bool installed() const { return registry_ != nullptr; }
+
+ private:
+  friend class MetricsRegistry;
+  Histogram(MetricsRegistry* registry, std::uint32_t id)
+      : registry_(registry), id_(id) {}
+  MetricsRegistry* registry_ = nullptr;
+  std::uint32_t id_ = 0;
+};
+
+/// Merged view of one histogram at scrape time.
+struct HistogramSample {
+  std::string name;
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double p50 = 0.0;  ///< Bucket-interpolated percentiles (log buckets, so
+  double p90 = 0.0;  ///< accurate to ~2x within a bucket — plenty for
+  double p99 = 0.0;  ///< latency-shape questions).
+
+  double mean() const { return count ? sum / static_cast<double>(count) : 0.0; }
+};
+
+struct CounterSample {
+  std::string name;
+  std::uint64_t value = 0;
+};
+
+struct GaugeSample {
+  std::string name;
+  double value = 0.0;
+};
+
+/// One consistent-enough view of the registry: counters and histograms are
+/// merged over all thread shards with relaxed loads (exact once the writing
+/// threads have joined; monotone under concurrency).
+struct MetricsSnapshot {
+  std::vector<CounterSample> counters;
+  std::vector<GaugeSample> gauges;
+  std::vector<HistogramSample> histograms;
+
+  /// Value of a named counter/gauge; 0 when absent (test convenience).
+  std::uint64_t counter_value(std::string_view name) const;
+  double gauge_value(std::string_view name) const;
+  const HistogramSample* histogram(std::string_view name) const;
+};
+
+class MetricsRegistry {
+ public:
+  /// Shard-capacity ceilings. Fixed capacities keep the per-thread shards
+  /// plain arrays (no growth races, no locks on the hot path); registration
+  /// past the ceiling throws std::length_error.
+  static constexpr std::size_t kMaxCounters = 192;
+  static constexpr std::size_t kMaxGauges = 160;
+  static constexpr std::size_t kMaxHistograms = 64;
+  static constexpr std::size_t kNumBuckets = 44;
+
+  MetricsRegistry();
+  ~MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Idempotent registration: the same name always yields the same handle.
+  Counter counter(std::string_view name);
+  Gauge gauge(std::string_view name);
+  Histogram histogram(std::string_view name);
+
+  /// Merge every thread shard into one snapshot (registration order).
+  MetricsSnapshot scrape() const;
+
+  std::size_t num_metrics() const;
+
+ private:
+  friend class Counter;
+  friend class Gauge;
+  friend class Histogram;
+
+  struct HistCell {
+    std::atomic<std::uint64_t> count{0};
+    std::atomic<double> sum{0.0};
+    std::atomic<double> min{0.0};
+    std::atomic<double> max{0.0};
+    std::array<std::atomic<std::uint64_t>, kNumBuckets> buckets{};
+  };
+
+  /// One thread's private write surface: single writer (the owning thread),
+  /// concurrent relaxed readers (scrape). Owned by the registry so thread
+  /// exit never invalidates a scrape.
+  struct Shard {
+    std::array<std::atomic<std::uint64_t>, kMaxCounters> counters{};
+    std::array<HistCell, kMaxHistograms> histograms{};
+  };
+
+  void counter_add(std::uint32_t id, std::uint64_t delta);
+  void gauge_set(std::uint32_t id, double value);
+  double gauge_load(std::uint32_t id) const;
+  void histogram_observe(std::uint32_t id, double value);
+  Shard& local_shard();
+  std::uint32_t register_name(std::vector<std::string>& names,
+                              std::string_view name, std::size_t cap,
+                              const char* kind);
+  static std::size_t bucket_of(double value);
+  static double bucket_upper(std::size_t bucket);
+
+  const std::uint64_t uid_;  ///< Process-unique; keys the thread-local cache.
+  mutable std::mutex mu_;    ///< Guards names and the shard list.
+  std::vector<std::string> counter_names_;
+  std::vector<std::string> gauge_names_;
+  std::vector<std::string> histogram_names_;
+  std::array<std::atomic<double>, kMaxGauges> gauges_{};
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+inline void Counter::add(std::uint64_t delta) const {
+  if (registry_ != nullptr) registry_->counter_add(id_, delta);
+}
+
+inline void Gauge::set(double value) const {
+  if (registry_ != nullptr) registry_->gauge_set(id_, value);
+}
+
+inline double Gauge::value() const {
+  return registry_ != nullptr ? registry_->gauge_load(id_) : 0.0;
+}
+
+inline void Histogram::observe(double value) const {
+  if (registry_ != nullptr) registry_->histogram_observe(id_, value);
+}
+
+}  // namespace pim::obs

@@ -1,0 +1,132 @@
+#include "src/obs/reporter.h"
+
+#include <cstdio>
+#include <ostream>
+
+#include "src/util/table.h"
+
+namespace pim::obs {
+
+namespace {
+
+/// Minimal JSON string escaping; metric names are flat identifiers, so this
+/// is a guard rail rather than a codec.
+std::string escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    if (static_cast<unsigned char>(c) < 0x20) continue;
+    out.push_back(c);
+  }
+  return out;
+}
+
+std::string num(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+}  // namespace
+
+void write_json_lines(const MetricsSnapshot& snapshot, std::ostream& out) {
+  for (const auto& c : snapshot.counters) {
+    out << "{\"metric\":\"" << escape(c.name)
+        << "\",\"type\":\"counter\",\"value\":" << c.value << "}\n";
+  }
+  for (const auto& g : snapshot.gauges) {
+    out << "{\"metric\":\"" << escape(g.name)
+        << "\",\"type\":\"gauge\",\"value\":" << num(g.value) << "}\n";
+  }
+  for (const auto& h : snapshot.histograms) {
+    out << "{\"metric\":\"" << escape(h.name)
+        << "\",\"type\":\"histogram\",\"count\":" << h.count
+        << ",\"sum\":" << num(h.sum) << ",\"min\":" << num(h.min)
+        << ",\"max\":" << num(h.max) << ",\"mean\":" << num(h.mean())
+        << ",\"p50\":" << num(h.p50) << ",\"p90\":" << num(h.p90)
+        << ",\"p99\":" << num(h.p99) << "}\n";
+  }
+}
+
+void write_json_lines(const std::vector<TraceEvent>& events,
+                      std::ostream& out) {
+  for (const auto& e : events) {
+    out << "{\"trace\":\"" << escape(e.label_view()) << "\",\"seq\":" << e.seq
+        << ",\"thread\":" << e.thread << ",\"depth\":" << e.depth
+        << ",\"start_ms\":" << num(e.start_ms)
+        << ",\"duration_ms\":" << num(e.duration_ms) << "}\n";
+  }
+}
+
+std::string render_table(const MetricsSnapshot& snapshot) {
+  std::string out;
+  if (!snapshot.counters.empty() || !snapshot.gauges.empty()) {
+    util::TextTable scalars({"metric", "type", "value"});
+    for (const auto& c : snapshot.counters) {
+      scalars.add_row({c.name, "counter", std::to_string(c.value)});
+    }
+    for (const auto& g : snapshot.gauges) {
+      scalars.add_row({g.name, "gauge", num(g.value)});
+    }
+    out += scalars.render();
+  }
+  if (!snapshot.histograms.empty()) {
+    util::TextTable hists(
+        {"histogram", "count", "mean", "min", "p50", "p90", "p99", "max"});
+    for (const auto& h : snapshot.histograms) {
+      hists.add_row({h.name, std::to_string(h.count), num(h.mean()),
+                     num(h.min), num(h.p50), num(h.p90), num(h.p99),
+                     num(h.max)});
+    }
+    if (!out.empty()) out += "\n";
+    out += hists.render();
+  }
+  return out;
+}
+
+PeriodicReporter::PeriodicReporter(MetricsRegistry& registry,
+                                   std::ostream& out,
+                                   std::uint64_t interval_ms)
+    : registry_(&registry),
+      out_(&out),
+      tick_counter_(registry.counter("obs.ticks")) {
+  thread_ = std::thread([this, interval_ms]() { run(interval_ms); });
+}
+
+PeriodicReporter::~PeriodicReporter() { stop(); }
+
+void PeriodicReporter::stop() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (stopped_) return;
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  thread_.join();
+  std::lock_guard<std::mutex> lk(mu_);
+  stopped_ = true;
+}
+
+void PeriodicReporter::run(std::uint64_t interval_ms) {
+  std::unique_lock<std::mutex> lk(mu_);
+  while (!stopping_) {
+    cv_.wait_for(lk, std::chrono::milliseconds(interval_ms),
+                 [&] { return stopping_; });
+    if (stopping_) break;
+    lk.unlock();
+    emit();
+    lk.lock();
+  }
+  lk.unlock();
+  emit();  // final scrape so short runs still produce one snapshot
+}
+
+void PeriodicReporter::emit() {
+  tick_counter_.add();
+  write_json_lines(registry_->scrape(), *out_);
+  out_->flush();
+  ticks_emitted_.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace pim::obs

@@ -1,0 +1,73 @@
+// Snapshot serialization (S40): machine-readable JSON lines (one metric or
+// trace event per line, stable field names — tools/check_metrics_schema.py
+// and tests/test_obs.cpp assert the schema) and an aligned human table.
+// PeriodicReporter is the optional background emitter for long streaming
+// runs: it scrapes the registry every interval and appends JSON lines to a
+// stream, so progress is observable before the run completes.
+//
+// JSON-line schema (field renames MUST update the schema test + checker):
+//   counter:   {"metric":NAME,"type":"counter","value":N}
+//   gauge:     {"metric":NAME,"type":"gauge","value":X}
+//   histogram: {"metric":NAME,"type":"histogram","count":N,"sum":S,
+//               "min":m,"max":M,"mean":A,"p50":..,"p90":..,"p99":..}
+//   trace:     {"trace":LABEL,"seq":N,"thread":T,"depth":D,
+//               "start_ms":..,"duration_ms":..}
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <iosfwd>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+
+namespace pim::obs {
+
+/// One JSON line per counter/gauge/histogram, in registration order.
+void write_json_lines(const MetricsSnapshot& snapshot, std::ostream& out);
+
+/// One JSON line per retained trace event, oldest first.
+void write_json_lines(const std::vector<TraceEvent>& events,
+                      std::ostream& out);
+
+/// Aligned human-readable table (counters+gauges, then histograms).
+std::string render_table(const MetricsSnapshot& snapshot);
+
+/// Background emitter: scrapes `registry` every `interval_ms` and appends
+/// the snapshot as JSON lines to `out` (plus a final scrape at stop()).
+/// Emissions are serialized internally; the caller must not write `out`
+/// concurrently. Counts its own ticks as the "obs.ticks" counter.
+class PeriodicReporter {
+ public:
+  PeriodicReporter(MetricsRegistry& registry, std::ostream& out,
+                   std::uint64_t interval_ms);
+  ~PeriodicReporter();
+  PeriodicReporter(const PeriodicReporter&) = delete;
+  PeriodicReporter& operator=(const PeriodicReporter&) = delete;
+
+  /// Idempotent; joins the emitter thread after one final scrape.
+  void stop();
+
+  std::uint64_t ticks() const { return ticks_emitted_.load(); }
+
+ private:
+  void run(std::uint64_t interval_ms);
+  void emit();
+
+  MetricsRegistry* registry_;
+  std::ostream* out_;
+  Counter tick_counter_;
+  std::atomic<std::uint64_t> ticks_emitted_{0};
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+  bool stopped_ = false;
+  std::thread thread_;
+};
+
+}  // namespace pim::obs

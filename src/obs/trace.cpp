@@ -1,0 +1,96 @@
+#include "src/obs/trace.h"
+
+#include <algorithm>
+#include <atomic>
+
+namespace pim::obs {
+
+namespace {
+
+std::uint32_t thread_ordinal() {
+  static std::atomic<std::uint32_t> next{0};
+  thread_local const std::uint32_t ordinal =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return ordinal;
+}
+
+/// Per-thread open-span depth, shared across logs: nesting is a property
+/// of the call stack, not of the sink.
+thread_local std::uint32_t t_depth = 0;
+
+void copy_label(std::string_view label,
+                std::array<char, TraceEvent::kLabelCap + 1>& out) {
+  const std::size_t n = std::min(label.size(), TraceEvent::kLabelCap);
+  std::memcpy(out.data(), label.data(), n);
+  out[n] = '\0';
+}
+
+}  // namespace
+
+TraceLog::TraceLog(std::size_t capacity)
+    : epoch_(std::chrono::steady_clock::now()),
+      events_(std::max<std::size_t>(1, capacity)) {}
+
+double TraceLog::now_ms() const {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+void TraceLog::record(std::string_view label, double start_ms,
+                      double duration_ms, std::uint32_t depth) {
+  std::lock_guard<std::mutex> lk(mu_);
+  TraceEvent& slot = events_[next_seq_ % events_.size()];
+  slot.seq = next_seq_++;
+  slot.thread = thread_ordinal();
+  slot.depth = depth;
+  slot.start_ms = start_ms;
+  slot.duration_ms = duration_ms;
+  copy_label(label, slot.label);
+}
+
+std::vector<TraceEvent> TraceLog::snapshot() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::vector<TraceEvent> out;
+  const std::size_t cap = events_.size();
+  const std::uint64_t retained = std::min<std::uint64_t>(next_seq_, cap);
+  out.reserve(retained);
+  for (std::uint64_t i = next_seq_ - retained; i < next_seq_; ++i) {
+    out.push_back(events_[i % cap]);
+  }
+  return out;
+}
+
+std::uint64_t TraceLog::total_recorded() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return next_seq_;
+}
+
+TraceSpan::TraceSpan(TraceLog* log, std::string_view label,
+                     Histogram histogram)
+    : log_(log), histogram_(histogram) {
+  if (log_ == nullptr && !histogram_.installed()) return;  // fully inert
+  copy_label(label, label_);
+  depth_ = t_depth++;
+  start_ = std::chrono::steady_clock::now();
+  if (log_ != nullptr) start_ms_ = log_->now_ms();
+  active_ = true;
+}
+
+void TraceSpan::finish() {
+  if (!active_) return;
+  active_ = false;
+  --t_depth;
+  const double duration_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - start_)
+          .count();
+  if (log_ != nullptr) {
+    log_->record(label_.data(), start_ms_, duration_ms, depth_);
+  }
+  histogram_.observe(duration_ms);
+}
+
+TraceSpan::~TraceSpan() { finish(); }
+
+}  // namespace pim::obs

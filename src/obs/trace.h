@@ -1,0 +1,88 @@
+// Scoped stage tracing (S40): TraceSpan is an RAII timer with nestable
+// stage labels; completed spans land in a fixed-capacity ring-buffer
+// TraceLog (oldest events overwritten), and optionally feed a Histogram so
+// stage latency distributions accumulate in the MetricsRegistry.
+//
+// Cost model matches the metrics layer: a span with neither a log nor a
+// histogram attached never reads the clock; labels are fixed-size char
+// arrays so recording never allocates. The log takes a mutex per completed
+// span — spans mark *stages* (a generation fill, a shard run, a chunk
+// emission), not per-read work, so contention is negligible; per-read
+// accounting belongs in counters.
+#pragma once
+
+#include <array>
+#include <chrono>
+#include <cstdint>
+#include <cstring>
+#include <mutex>
+#include <string_view>
+#include <vector>
+
+#include "src/obs/metrics.h"
+
+namespace pim::obs {
+
+struct TraceEvent {
+  static constexpr std::size_t kLabelCap = 31;
+
+  std::uint64_t seq = 0;       ///< Global completion order.
+  std::uint32_t thread = 0;    ///< Small per-process thread ordinal.
+  std::uint32_t depth = 0;     ///< Nesting depth within the thread.
+  double start_ms = 0.0;       ///< Since the log's epoch.
+  double duration_ms = 0.0;
+  std::array<char, kLabelCap + 1> label{};
+
+  std::string_view label_view() const { return label.data(); }
+};
+
+/// Fixed-capacity ring buffer of completed spans. Thread-safe; snapshot()
+/// returns the retained events oldest-first.
+class TraceLog {
+ public:
+  explicit TraceLog(std::size_t capacity = 4096);
+
+  void record(std::string_view label, double start_ms, double duration_ms,
+              std::uint32_t depth);
+
+  /// Retained events, oldest first (at most capacity()).
+  std::vector<TraceEvent> snapshot() const;
+  std::size_t capacity() const { return events_.size(); }
+  /// Total events ever recorded (>= retained count; shows ring overflow).
+  std::uint64_t total_recorded() const;
+
+  /// Milliseconds since this log's construction (span start stamps).
+  double now_ms() const;
+
+ private:
+  const std::chrono::steady_clock::time_point epoch_;
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> events_;
+  std::uint64_t next_seq_ = 0;
+};
+
+/// RAII stage timer. Nesting is tracked per thread: spans opened inside an
+/// open span record depth+1, so a snapshot reconstructs the stage tree.
+class TraceSpan {
+ public:
+  /// Either sink may be null; with both null the span is fully inert.
+  explicit TraceSpan(TraceLog* log, std::string_view label,
+                     Histogram histogram = {});
+  ~TraceSpan();
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  /// Close early (records once; the destructor becomes a no-op).
+  void finish();
+
+ private:
+  TraceLog* log_ = nullptr;
+  Histogram histogram_;
+  std::array<char, TraceEvent::kLabelCap + 1> label_{};
+  std::chrono::steady_clock::time_point start_{};
+  double start_ms_ = 0.0;
+  std::uint32_t depth_ = 0;
+  bool active_ = false;
+};
+
+}  // namespace pim::obs

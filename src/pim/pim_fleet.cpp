@@ -1,6 +1,7 @@
 #include "src/pim/pim_fleet.h"
 
 #include <stdexcept>
+#include <string>
 
 namespace pim::hw {
 
@@ -9,7 +10,8 @@ PimChipFleet::PimChipFleet(const index::FmIndex& fm,
                            std::size_t num_chips,
                            align::AlignerOptions options, ZoneLayout layout,
                            AddPlacement placement,
-                           align::ShardedOptions sharding) {
+                           align::ShardedOptions sharding)
+    : timing_(&timing) {
   if (num_chips == 0) {
     throw std::invalid_argument("PimChipFleet: need at least one chip");
   }
@@ -29,6 +31,34 @@ PimChipFleet::PimChipFleet(const index::FmIndex& fm,
 
 void PimChipFleet::reset_stats() {
   for (auto& platform : platforms_) platform->reset_stats();
+}
+
+void PimChipFleet::publish_metrics(obs::MetricsRegistry& registry) const {
+  const double clock_ghz = timing_->clock_ghz();
+  double fleet_cycles = 0.0;
+  double fleet_energy_pj = 0.0;
+  std::uint64_t fleet_lfm_calls = 0;
+  for (std::size_t c = 0; c < platforms_.size(); ++c) {
+    const PimAlignerPlatform::AggregateStats stats =
+        platforms_[c]->aggregate_stats();
+    // busy_ns is serial sub-array occupancy; at the model clock that is the
+    // chip's cycle count for the routed reads.
+    const double cycles = stats.ops.busy_ns * clock_ghz;
+    const std::string prefix = "chip." + std::to_string(c) + ".";
+    registry.gauge(prefix + "cycles").set(cycles);
+    registry.gauge(prefix + "energy_pj").set(stats.ops.energy_pj);
+    registry.gauge(prefix + "lfm_calls")
+        .set(static_cast<double>(stats.lfm_calls));
+    registry.gauge(prefix + "sa_reads")
+        .set(static_cast<double>(stats.ops.reads));
+    fleet_cycles += cycles;
+    fleet_energy_pj += stats.ops.energy_pj;
+    fleet_lfm_calls += stats.lfm_calls;
+  }
+  registry.gauge("fleet.chips").set(static_cast<double>(platforms_.size()));
+  registry.gauge("fleet.cycles").set(fleet_cycles);
+  registry.gauge("fleet.energy_pj").set(fleet_energy_pj);
+  registry.gauge("fleet.lfm_calls").set(static_cast<double>(fleet_lfm_calls));
 }
 
 }  // namespace pim::hw

@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "src/align/sharded_engine.h"
+#include "src/obs/metrics.h"
 #include "src/pim/pim_engine.h"
 #include "src/pim/platform.h"
 
@@ -61,10 +62,22 @@ class PimChipFleet {
   /// Clears every chip's hardware tallies (call between measured batches).
   void reset_stats();
 
+  /// Publishes each chip's current hardware tallies into `registry` (S40):
+  /// per-chip "chip.<i>.cycles" (busy_ns x model clock), ".energy_pj",
+  /// ".lfm_calls", ".sa_reads" gauges plus fleet-level "fleet.chips",
+  /// "fleet.cycles", "fleet.energy_pj", "fleet.lfm_calls" roll-ups — the
+  /// per-chip feed for the chips-vs-throughput curve (Fig. 8-10 style
+  /// fleet-scale reporting). Gauges, not counters: they snapshot the
+  /// resettable tallies, so a reset_stats() between measured batches shows
+  /// through. Call after a run (tallies are read unsynchronized, and chips
+  /// write them while aligning).
+  void publish_metrics(obs::MetricsRegistry& registry) const;
+
  private:
   std::vector<std::unique_ptr<PimAlignerPlatform>> platforms_;
   std::vector<std::unique_ptr<PimEngine>> engines_;
   std::unique_ptr<align::ShardedEngine> sharded_;
+  const TimingEnergyModel* timing_ = nullptr;
 };
 
 }  // namespace pim::hw

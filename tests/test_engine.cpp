@@ -755,5 +755,117 @@ TEST(Sharded, RebalancedShardWeightsMath) {
   EXPECT_TRUE(accel::rebalanced_shard_weights({}).empty());
 }
 
+TEST(Engine, MergeCoversEveryStatsField) {
+  // Size gate (S40 satellite): EngineStats is 12 8-byte fields. Adding a
+  // field without teaching merge() — the historical failure mode: counters
+  // added after S37 were silently dropped on every merge path — changes the
+  // size and fails this assert, forcing merge(), this test, and the
+  // accounting paths to move together.
+  static_assert(sizeof(EngineStats) == 12 * sizeof(std::uint64_t),
+                "EngineStats changed shape: update EngineStats::merge() and "
+                "the per-field checks below in the same change");
+
+  EngineStats a;
+  a.reads_total = 1;
+  a.reads_exact = 2;
+  a.reads_inexact = 3;
+  a.reads_unaligned = 4;
+  a.hits_total = 5;
+  a.exact_searches = 6;
+  a.inexact_searches = 7;
+  a.batches = 8;
+  a.wall_ms = 9.5;
+  a.result_bytes = 10;
+  a.chunks = 11;
+  a.stall_ms = 12.5;
+
+  EngineStats b;
+  b.reads_total = 100;
+  b.reads_exact = 200;
+  b.reads_inexact = 300;
+  b.reads_unaligned = 400;
+  b.hits_total = 500;
+  b.exact_searches = 600;
+  b.inexact_searches = 700;
+  b.batches = 800;
+  b.wall_ms = 900.25;
+  b.result_bytes = 1000;
+  b.chunks = 1100;
+  b.stall_ms = 1200.25;
+
+  a.merge(b);
+  EXPECT_EQ(a.reads_total, 101u);
+  EXPECT_EQ(a.reads_exact, 202u);
+  EXPECT_EQ(a.reads_inexact, 303u);
+  EXPECT_EQ(a.reads_unaligned, 404u);
+  EXPECT_EQ(a.hits_total, 505u);
+  EXPECT_EQ(a.exact_searches, 606u);
+  EXPECT_EQ(a.inexact_searches, 707u);
+  EXPECT_EQ(a.batches, 808u);
+  EXPECT_DOUBLE_EQ(a.wall_ms, 909.75);
+  EXPECT_EQ(a.result_bytes, 1010u);
+  EXPECT_EQ(a.chunks, 1111u);
+  EXPECT_DOUBLE_EQ(a.stall_ms, 1212.75);
+}
+
+TEST(Engine, ChunkSeamCountsChunksAndStall) {
+  Fixture f(80);
+  const SoftwareEngine engine(f.fm, f.options);
+
+  // Default virtual chunked path: one chunk per chunk_size slice.
+  std::size_t delivered = 0;
+  const EngineStats serial = engine.align_batch_chunked(
+      f.batch, 16, [&](const BatchResultChunk&) { ++delivered; });
+  EXPECT_EQ(serial.chunks, delivered);
+  EXPECT_EQ(serial.chunks, (f.batch.size() + 15) / 16);
+
+  // Parallel scheduler: same chunk count through the in-order drain, and
+  // the materializing front-end must not drop the seam counters.
+  delivered = 0;
+  const EngineStats parallel = align_batch_parallel_chunked(
+      engine, f.batch, [&](const BatchResultChunk&) { ++delivered; },
+      ParallelOptions{.num_threads = 4, .chunk_size = 16});
+  EXPECT_EQ(parallel.chunks, delivered);
+  EXPECT_GE(parallel.stall_ms, 0.0);
+
+  BatchResult out;
+  align_batch_parallel(engine, f.batch, out,
+                       ParallelOptions{.num_threads = 4, .chunk_size = 16});
+  EXPECT_EQ(out.stats().chunks, (f.batch.size() + 15) / 16);
+}
+
+TEST(Sharded, ShardStatsDescribeOnlyTheLastCall) {
+  // Satellite (S40): the per-shard breakdown resets at the entry of every
+  // align_batch*/align_range call — a reused engine must never report a
+  // previous batch's load.
+  Fixture f(40);
+  const auto engine = make_software_sharded(f, 2);
+
+  BatchResult first;
+  engine->align_batch(f.batch, first);
+  std::uint64_t reads = 0;
+  for (const auto& s : engine->shard_stats()) reads += s.reads;
+  ASSERT_EQ(reads, f.batch.size());
+
+  // Smaller follow-up batch on the same engine: counts must not accumulate.
+  const std::vector<std::vector<genome::Base>> subset(f.reads.begin(),
+                                                      f.reads.begin() + 10);
+  const ReadBatch small = ReadBatch::from_reads(subset);
+  BatchResult second;
+  engine->align_batch(small, second);
+  reads = 0;
+  for (const auto& s : engine->shard_stats()) reads += s.reads;
+  EXPECT_EQ(reads, small.size());
+
+  // Same contract through the streaming chunk seam.
+  const EngineStats chunked = engine->align_batch_chunked(
+      f.batch, 0, [](const BatchResultChunk&) {});
+  reads = 0;
+  for (const auto& s : engine->shard_stats()) reads += s.reads;
+  EXPECT_EQ(reads, f.batch.size());
+  EXPECT_EQ(chunked.reads_total, f.batch.size());
+  EXPECT_GT(chunked.chunks, 0u);
+}
+
 }  // namespace
 }  // namespace pim::align

@@ -1,0 +1,341 @@
+// Observability layer tests (S40):
+//   * registry semantics — idempotent registration, multi-thread counter
+//     sums, gauge last-write, histogram count/sum/min/max and bucketed
+//     percentiles, capacity ceilings, inert default handles;
+//   * trace spans — nesting depth, ring-buffer retention, monotone seq;
+//   * the JSON-line schema — exact field names/order per metric type; this
+//     is the contract tools/check_metrics_schema.py enforces in CI, so a
+//     field rename must fail here first;
+//   * concurrency (run under TSan in CI) — a scraper thread hammers
+//     scrape() while the streaming pipeline runs with the registry
+//     installed end to end; at quiescence the registry totals must equal
+//     the post-hoc EngineStats/StreamingStats exactly.
+#include "src/obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/align/parallel_aligner.h"
+#include "src/align/sharded_engine.h"
+#include "src/align/streaming_pipeline.h"
+#include "src/genome/synthetic_genome.h"
+#include "src/obs/reporter.h"
+#include "src/obs/trace.h"
+#include "src/readsim/read_simulator.h"
+
+namespace pim::obs {
+namespace {
+
+TEST(Metrics, RegistrationIsIdempotentAndCounted) {
+  MetricsRegistry registry;
+  Counter a = registry.counter("x.count");
+  Counter b = registry.counter("x.count");  // same slot
+  registry.gauge("x.gauge");
+  registry.histogram("x.hist");
+  EXPECT_EQ(registry.num_metrics(), 3u);
+
+  a.add(2);
+  b.add(3);
+  const auto snap = registry.scrape();
+  EXPECT_EQ(snap.counter_value("x.count"), 5u);
+  EXPECT_EQ(snap.counters.size(), 1u);
+}
+
+TEST(Metrics, CountersSumAcrossThreads) {
+  MetricsRegistry registry;
+  Counter counter = registry.counter("t.count");
+  constexpr int kThreads = 4;
+  constexpr int kAdds = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kAdds; ++i) counter.add();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(registry.scrape().counter_value("t.count"),
+            static_cast<std::uint64_t>(kThreads) * kAdds);
+}
+
+TEST(Metrics, GaugeLastWriteWinsAndReadsBack) {
+  MetricsRegistry registry;
+  Gauge gauge = registry.gauge("g");
+  gauge.set(1.5);
+  gauge.set(-2.25);
+  EXPECT_DOUBLE_EQ(gauge.value(), -2.25);
+  EXPECT_DOUBLE_EQ(registry.scrape().gauge_value("g"), -2.25);
+}
+
+TEST(Metrics, HistogramTracksExactMomentsAndBoundedPercentiles) {
+  MetricsRegistry registry;
+  Histogram hist = registry.histogram("h");
+  const std::vector<double> values = {0.5, 1.0, 2.0, 4.0, 100.0};
+  double sum = 0.0;
+  for (const double v : values) {
+    hist.observe(v);
+    sum += v;
+  }
+  const auto snap = registry.scrape();
+  const HistogramSample* sample = snap.histogram("h");
+  ASSERT_NE(sample, nullptr);
+  EXPECT_EQ(sample->count, values.size());
+  EXPECT_DOUBLE_EQ(sample->sum, sum);
+  EXPECT_DOUBLE_EQ(sample->min, 0.5);
+  EXPECT_DOUBLE_EQ(sample->max, 100.0);
+  EXPECT_DOUBLE_EQ(sample->mean(), sum / values.size());
+  // Log-bucketed percentiles: monotone and clamped to the observed range.
+  EXPECT_GE(sample->p50, sample->min);
+  EXPECT_LE(sample->p50, sample->p90);
+  EXPECT_LE(sample->p90, sample->p99);
+  EXPECT_LE(sample->p99, sample->max);
+}
+
+TEST(Metrics, InertHandlesAreSafeNoOps) {
+  Counter counter;
+  Gauge gauge;
+  Histogram hist;
+  counter.add(7);
+  gauge.set(3.0);
+  hist.observe(1.0);
+  EXPECT_FALSE(counter.installed());
+  EXPECT_DOUBLE_EQ(gauge.value(), 0.0);
+}
+
+TEST(Metrics, CapacityCeilingThrows) {
+  MetricsRegistry registry;
+  for (std::size_t i = 0; i < MetricsRegistry::kMaxGauges; ++i) {
+    registry.gauge("g." + std::to_string(i));
+  }
+  EXPECT_THROW(registry.gauge("g.overflow"), std::length_error);
+  // Existing names still resolve after the ceiling is hit.
+  registry.gauge("g.0").set(1.0);
+  EXPECT_DOUBLE_EQ(registry.scrape().gauge_value("g.0"), 1.0);
+}
+
+TEST(Trace, SpansNestAndRetainNewestEvents) {
+  TraceLog log(4);
+  {
+    TraceSpan outer(&log, "outer");
+    TraceSpan inner(&log, "inner");
+  }
+  auto events = log.snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  // Inner finishes (and records) first, one level deeper.
+  EXPECT_EQ(events[0].label_view(), "inner");
+  EXPECT_EQ(events[0].depth, 1u);
+  EXPECT_EQ(events[1].label_view(), "outer");
+  EXPECT_EQ(events[1].depth, 0u);
+  EXPECT_LT(events[0].seq, events[1].seq);
+
+  // Ring retention: capacity 4 keeps the newest 4 of 6, oldest first.
+  for (int i = 0; i < 4; ++i) {
+    TraceSpan span(&log, "s" + std::to_string(i));
+  }
+  events = log.snapshot();
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_EQ(events[0].label_view(), "s0");
+  EXPECT_EQ(events[3].label_view(), "s3");
+  EXPECT_EQ(log.total_recorded(), 6u);
+}
+
+// The serialized schema IS the interface downstream tooling scripts parse.
+// Renaming a field must break this test (and tools/check_metrics_schema.py)
+// in the same PR that updates the consumers.
+TEST(Reporter, JsonLineSchemaIsStable) {
+  MetricsRegistry registry;
+  registry.counter("c").add(42);
+  registry.gauge("g").set(1.5);
+  registry.histogram("h").observe(2.0);
+
+  std::ostringstream out;
+  write_json_lines(registry.scrape(), out);
+  std::istringstream lines(out.str());
+  std::string counter_line, gauge_line, hist_line;
+  ASSERT_TRUE(std::getline(lines, counter_line));
+  ASSERT_TRUE(std::getline(lines, gauge_line));
+  ASSERT_TRUE(std::getline(lines, hist_line));
+
+  EXPECT_EQ(counter_line, R"({"metric":"c","type":"counter","value":42})");
+  EXPECT_EQ(gauge_line, R"({"metric":"g","type":"gauge","value":1.5})");
+  EXPECT_EQ(hist_line,
+            R"({"metric":"h","type":"histogram","count":1,"sum":2,"min":2,)"
+            R"("max":2,"mean":2,"p50":2,"p90":2,"p99":2})");
+
+  TraceLog log(4);
+  log.record("stage", 10.0, 2.5, 1);
+  std::ostringstream trace_out;
+  write_json_lines(log.snapshot(), trace_out);
+  const std::string trace_line = trace_out.str();
+  EXPECT_NE(trace_line.find(R"("trace":"stage")"), std::string::npos);
+  EXPECT_NE(trace_line.find(R"("seq":0)"), std::string::npos);
+  EXPECT_NE(trace_line.find(R"("depth":1)"), std::string::npos);
+  EXPECT_NE(trace_line.find(R"("start_ms":10)"), std::string::npos);
+  EXPECT_NE(trace_line.find(R"("duration_ms":2.5)"), std::string::npos);
+}
+
+TEST(Reporter, TableRendersEveryMetric) {
+  MetricsRegistry registry;
+  registry.counter("my.counter").add(1);
+  registry.gauge("my.gauge").set(2.0);
+  registry.histogram("my.hist").observe(3.0);
+  const std::string table = render_table(registry.scrape());
+  EXPECT_NE(table.find("my.counter"), std::string::npos);
+  EXPECT_NE(table.find("my.gauge"), std::string::npos);
+  EXPECT_NE(table.find("my.hist"), std::string::npos);
+}
+
+TEST(Reporter, PeriodicReporterEmitsAndStops) {
+  MetricsRegistry registry;
+  Counter counter = registry.counter("p.count");
+  std::ostringstream out;
+  {
+    PeriodicReporter reporter(registry, out, /*interval_ms=*/5);
+    counter.add(3);
+    reporter.stop();
+    EXPECT_GE(reporter.ticks(), 1u);  // at least the final scrape
+  }
+  EXPECT_NE(out.str().find(R"("metric":"p.count")"), std::string::npos);
+  EXPECT_NE(out.str().find(R"("metric":"obs.ticks")"), std::string::npos);
+}
+
+// --- Concurrency: live scrape vs post-hoc EngineStats ----------------------
+
+struct StreamFixture {
+  genome::PackedSequence reference;
+  index::FmIndex fm;
+  std::string fastq_text;
+  align::AlignerOptions options;
+
+  StreamFixture() {
+    genome::SyntheticGenomeSpec gspec;
+    gspec.length = 50000;
+    gspec.seed = 11;
+    reference = genome::generate_reference(gspec);
+    fm = index::FmIndex::build(reference, {.bucket_width = 64});
+
+    readsim::ReadSimSpec rspec;
+    rspec.read_length = 64;
+    rspec.num_reads = 400;
+    rspec.sequencing_error_rate = 0.01;
+    rspec.seed = 31;
+    const auto records =
+        readsim::to_fastq(readsim::ReadSimulator(rspec).generate(reference));
+    std::ostringstream fq;
+    genome::write_fastq(fq, records);
+    fastq_text = fq.str();
+    options.inexact.max_diffs = 2;
+  }
+};
+
+TEST(ObsConcurrency, ScrapeDuringStreamingMatchesPostHocStats) {
+  StreamFixture f;
+  const align::SoftwareEngine engine(f.fm, f.options);
+
+  MetricsRegistry registry;
+  TraceLog trace(512);
+  align::StreamingOptions sopts;
+  sopts.batch_reads = 64;  // several generations
+  sopts.parallel.num_threads = 2;
+  sopts.parallel.chunk_size = 16;
+  sopts.metrics = &registry;
+  sopts.trace = &trace;
+
+  // Scraper thread: concurrent scrape() must be safe against every
+  // instrumented writer (producer, consumer, scheduler workers) and only
+  // ever observe monotone counter values.
+  std::atomic<bool> stop{false};
+  std::uint64_t last_reads = 0;
+  std::atomic<std::uint64_t> scrapes{0};
+  std::thread scraper([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      const auto snap = registry.scrape();
+      const std::uint64_t reads = snap.counter_value("stream.reads");
+      EXPECT_GE(reads, last_reads);  // counters are monotone mid-run
+      last_reads = reads;
+      scrapes.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+
+  std::istringstream in(f.fastq_text);
+  genome::FastqStreamReader reader(in);
+  std::size_t sink_reads = 0;
+  const align::StreamingStats stats =
+      align::StreamingPipeline(engine, sopts)
+          .run(reader, [&](const align::BatchResultChunk& chunk) {
+            sink_reads += chunk.end - chunk.begin;
+          });
+  stop.store(true, std::memory_order_relaxed);
+  scraper.join();
+  EXPECT_GT(scrapes.load(), 0u);
+
+  // Quiescent totals are exact: the registry and the post-hoc stats are two
+  // views of the same execution.
+  const auto snap = registry.scrape();
+  EXPECT_EQ(snap.counter_value("stream.reads"), stats.reads);
+  EXPECT_EQ(snap.counter_value("stream.batches"), stats.batches);
+  EXPECT_EQ(snap.counter_value("stream.chunks"), stats.chunks);
+  EXPECT_EQ(stats.engine.reads_total, stats.reads);
+  EXPECT_EQ(sink_reads, stats.reads);
+  EXPECT_EQ(snap.counter_value("sched.chunks"), stats.engine.chunks);
+
+  const HistogramSample* align_ms = snap.histogram("stream.consumer_align_ms");
+  ASSERT_NE(align_ms, nullptr);
+  EXPECT_EQ(align_ms->count, stats.batches);
+  const HistogramSample* fill_ms = snap.histogram("stream.producer_fill_ms");
+  ASSERT_NE(fill_ms, nullptr);
+  EXPECT_EQ(fill_ms->count, stats.batches);
+  const HistogramSample* latency = snap.histogram("stream.chunk_latency_ms");
+  ASSERT_NE(latency, nullptr);
+  EXPECT_EQ(latency->count, stats.chunks);
+
+  // Both stage spans landed for every generation.
+  std::uint64_t fills = 0, aligns = 0;
+  for (const auto& event : trace.snapshot()) {
+    if (event.label_view() == "stream.fill") ++fills;
+    if (event.label_view() == "stream.align") ++aligns;
+  }
+  EXPECT_EQ(fills, stats.batches);
+  EXPECT_EQ(aligns, stats.batches);
+}
+
+TEST(ObsConcurrency, ShardedSeriesMatchShardStats) {
+  StreamFixture f;
+  MetricsRegistry registry;
+  std::vector<std::unique_ptr<align::AlignmentEngine>> shards;
+  for (int s = 0; s < 3; ++s) {
+    shards.push_back(
+        std::make_unique<align::SoftwareEngine>(f.fm, f.options));
+  }
+  align::ShardedOptions sharded_opts;
+  sharded_opts.rebalance = true;
+  sharded_opts.metrics = &registry;
+  const align::ShardedEngine engine(std::move(shards), sharded_opts);
+
+  std::istringstream in(f.fastq_text);
+  const auto records = genome::read_fastq(in);
+  const align::ReadBatch batch = align::ReadBatch::from_fastq(records);
+  align::BatchResult out;
+  engine.align_batch(batch, out);
+
+  // The published series and the programmatic shard_stats() are the same
+  // measurement; the rebalanced weights consumed the registry values.
+  const auto snap = registry.scrape();
+  for (const auto& s : engine.shard_stats()) {
+    const std::string prefix = "shard." + std::to_string(s.shard) + ".";
+    EXPECT_EQ(snap.counter_value(prefix + "reads"), s.reads);
+    EXPECT_EQ(snap.counter_value(prefix + "hits"), s.hits);
+    EXPECT_DOUBLE_EQ(snap.gauge_value(prefix + "wall_ms"), s.wall_ms);
+    EXPECT_DOUBLE_EQ(snap.gauge_value(prefix + "weight"),
+                     engine.shard_weights()[s.shard]);
+  }
+}
+
+}  // namespace
+}  // namespace pim::obs

@@ -1,0 +1,125 @@
+#!/usr/bin/env python3
+"""Gate the S40 JSON-line metrics schema (see src/obs/reporter.h).
+
+Usage: check_metrics_schema.py FILE [FILE...]
+
+Each FILE holds JSON lines as emitted by obs::write_json_lines (metric and
+trace lines; non-JSON lines are rejected). The schema is the interface CI
+artifacts and downstream plots parse, so a field rename or type change must
+fail here (and in tests/test_obs.cpp) in the PR that makes it.
+
+Checks, per line:
+  * the line parses as a JSON object;
+  * metric lines carry exactly the fields for their "type":
+      counter:   metric, type, value (int)
+      gauge:     metric, type, value (number)
+      histogram: metric, type, count, sum, min, max, mean, p50, p90, p99
+  * trace lines carry exactly: trace, seq, thread, depth, start_ms,
+    duration_ms;
+  * histogram percentiles are ordered (p50 <= p90 <= p99) and clamped to
+    [min, max]; counters are non-negative integers.
+Exits non-zero on the first violating file, printing every violation.
+"""
+
+import json
+import numbers
+import sys
+
+METRIC_FIELDS = {
+    "counter": ["metric", "type", "value"],
+    "gauge": ["metric", "type", "value"],
+    "histogram": [
+        "metric", "type", "count", "sum", "min", "max", "mean",
+        "p50", "p90", "p99",
+    ],
+}
+TRACE_FIELDS = ["trace", "seq", "thread", "depth", "start_ms", "duration_ms"]
+
+
+def check_line(line, lineno, errors):
+    try:
+        obj = json.loads(line)
+    except json.JSONDecodeError as e:
+        errors.append(f"line {lineno}: not JSON ({e})")
+        return
+    if not isinstance(obj, dict):
+        errors.append(f"line {lineno}: not a JSON object")
+        return
+
+    if "metric" in obj:
+        mtype = obj.get("type")
+        want = METRIC_FIELDS.get(mtype)
+        if want is None:
+            errors.append(f"line {lineno}: unknown metric type {mtype!r}")
+            return
+        if sorted(obj) != sorted(want):
+            errors.append(
+                f"line {lineno}: {obj['metric']}: fields {sorted(obj)} != "
+                f"schema {sorted(want)}")
+            return
+        if mtype == "counter":
+            if not isinstance(obj["value"], int) or obj["value"] < 0:
+                errors.append(
+                    f"line {lineno}: {obj['metric']}: counter value "
+                    f"{obj['value']!r} is not a non-negative integer")
+        elif mtype == "gauge":
+            if not isinstance(obj["value"], numbers.Real):
+                errors.append(
+                    f"line {lineno}: {obj['metric']}: gauge value "
+                    f"{obj['value']!r} is not a number")
+        else:  # histogram
+            for key in want[2:]:
+                if not isinstance(obj[key], numbers.Real):
+                    errors.append(
+                        f"line {lineno}: {obj['metric']}: {key} "
+                        f"{obj[key]!r} is not a number")
+                    return
+            if obj["count"] > 0:
+                if not (obj["min"] <= obj["p50"] <= obj["p90"]
+                        <= obj["p99"] <= obj["max"]):
+                    errors.append(
+                        f"line {lineno}: {obj['metric']}: percentiles not "
+                        f"ordered within [min, max]")
+    elif "trace" in obj:
+        if sorted(obj) != sorted(TRACE_FIELDS):
+            errors.append(
+                f"line {lineno}: trace fields {sorted(obj)} != "
+                f"schema {sorted(TRACE_FIELDS)}")
+    else:
+        errors.append(f"line {lineno}: neither a metric nor a trace line")
+
+
+def check_file(path):
+    errors = []
+    lines = 0
+    with open(path, encoding="utf-8") as f:
+        for lineno, line in enumerate(f, 1):
+            line = line.strip()
+            if not line:
+                continue
+            lines += 1
+            check_line(line, lineno, errors)
+    if lines == 0:
+        errors.append("file is empty (expected at least one metric line)")
+    return lines, errors
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    failed = False
+    for path in argv[1:]:
+        lines, errors = check_file(path)
+        if errors:
+            failed = True
+            print(f"{path}: SCHEMA VIOLATIONS")
+            for error in errors:
+                print(f"  {error}")
+        else:
+            print(f"{path}: {lines} lines OK")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
