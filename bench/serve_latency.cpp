@@ -1,0 +1,279 @@
+// Serving-layer latency under offered load (S41).
+//
+// Calibrates the engine's raw per-read service time in-environment (so the
+// numbers — and the smoke bound below — scale with sanitizer slowdown and
+// machine speed), then sweeps an open-loop client against AlignmentService
+// at increasing offered load: a paced fraction of capacity, near-saturation,
+// and finally an unpaced burst that offers several times more reads than the
+// admission queue can hold. Per point it emits one JSON line (grep '^{'):
+//
+//   {"bench":"serve_latency","point":"burst","offered_x":...,
+//    "requests":N,"admitted":...,"rejected":...,"expired":...,
+//    "completed":...,"reads_per_s":...,"p50_ms":..,"p95_ms":..,
+//    "p99_ms":..,"bound_ms":..}
+//
+// Smoke assertions (nonzero exit on violation; run in CI's Release and TSan
+// jobs):
+//   1. the burst point sheds load (rejected > 0): the admission queue is
+//      offered ~4x its read capacity, so a service that never rejects has
+//      broken admission control;
+//   2. p99 latency of ADMITTED requests stays under a bound derived from
+//      the calibrated service rate and the queue depth — the invariant
+//      bounded admission exists to provide. The bound is deliberately loose
+//      (generous constant factor) so it only trips on unbounded queueing,
+//      not scheduling noise.
+//
+// Usage: serve_latency [requests_per_point] [metrics.jsonl]
+// (default 240; CI passes a smaller count for the sanitizer smoke. With a
+// second argument the burst point's registry snapshot is appended to that
+// path as JSON lines for tools/check_metrics_schema.py.)
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/align/engine.h"
+#include "src/genome/synthetic_genome.h"
+#include "src/index/fm_index.h"
+#include "src/obs/metrics.h"
+#include "src/obs/reporter.h"
+#include "src/serve/service.h"
+#include "src/util/rng.h"
+
+namespace {
+
+using namespace std::chrono_literals;
+using pim::genome::Base;
+using Clock = std::chrono::steady_clock;
+
+constexpr std::size_t kReadLen = 80;
+constexpr std::size_t kReadsPerRequest = 4;
+constexpr std::size_t kMaxBatchReads = 128;
+constexpr std::size_t kMaxQueuedReads = 512;
+
+std::vector<std::vector<Base>> make_reads(
+    const pim::genome::PackedSequence& reference, std::size_t count) {
+  pim::util::Xoshiro256 rng(17);
+  std::vector<std::vector<Base>> reads;
+  reads.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::size_t start = rng.bounded(reference.size() - kReadLen);
+    std::vector<Base> read = reference.slice(start, start + kReadLen);
+    if (i % 3 == 1) {
+      const std::size_t pos = rng.bounded(read.size());
+      read[pos] = pim::genome::complement(read[pos]);
+    }
+    if (i % 2 == 1) read = pim::genome::reverse_complement(read);
+    reads.push_back(std::move(read));
+  }
+  return reads;
+}
+
+double quantile_sorted(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const auto rank = static_cast<std::size_t>(
+      q * static_cast<double>(sorted.size() - 1) + 0.5);
+  return sorted[std::min(rank, sorted.size() - 1)];
+}
+
+struct PointResult {
+  std::string name;
+  double offered_x = 0.0;  ///< Offered load relative to calibrated capacity.
+  std::size_t requests = 0;
+  pim::serve::ServiceCounters::Snapshot counters;
+  double wall_s = 0.0;
+  double p50_ms = 0.0, p95_ms = 0.0, p99_ms = 0.0;
+  double reads_per_s = 0.0;
+};
+
+/// One sweep point: an open-loop client submits `requests`
+/// kReadsPerRequest-read requests, paced at `interval` (zero = burst), then
+/// collects every future. Latency percentiles cover admitted+completed
+/// requests only — shed requests fail in microseconds by design and would
+/// make the percentiles look better, not worse.
+PointResult run_point(const pim::align::AlignmentEngine& engine,
+                      const std::vector<std::vector<Base>>& pool,
+                      std::string name, double offered_x,
+                      std::size_t requests, Clock::duration interval,
+                      pim::obs::MetricsRegistry* registry) {
+  pim::serve::ServiceOptions options;
+  options.admission.max_queued_requests = 0;  // reads are the binding bound
+  options.admission.max_queued_reads = kMaxQueuedReads;
+  options.batching.max_batch_reads = kMaxBatchReads;
+  options.batching.max_linger = 500us;
+  options.metrics = registry;
+  pim::serve::AlignmentService service(engine, options);
+
+  pim::util::Xoshiro256 rng(23);
+  std::vector<pim::serve::ResponseFuture> futures;
+  futures.reserve(requests);
+  const auto t0 = Clock::now();
+  auto next = t0;
+  for (std::size_t i = 0; i < requests; ++i) {
+    if (interval > Clock::duration::zero()) {
+      std::this_thread::sleep_until(next);
+      next += interval;
+    }
+    const std::size_t begin = rng.bounded(pool.size() - kReadsPerRequest);
+    pim::serve::AlignRequest request;
+    request.reads.assign(
+        pool.begin() + static_cast<std::ptrdiff_t>(begin),
+        pool.begin() + static_cast<std::ptrdiff_t>(begin + kReadsPerRequest));
+    futures.push_back(service.submit(std::move(request)));
+  }
+
+  std::vector<double> latencies;
+  latencies.reserve(requests);
+  for (auto& future : futures) {
+    auto response = future.get();
+    if (response.ok()) latencies.push_back(response.latency_ms);
+  }
+  const double wall_s =
+      std::chrono::duration<double>(Clock::now() - t0).count();
+  service.shutdown();
+
+  PointResult r;
+  r.name = std::move(name);
+  r.offered_x = offered_x;
+  r.requests = requests;
+  r.counters = service.counters();
+  r.wall_s = wall_s;
+  std::sort(latencies.begin(), latencies.end());
+  r.p50_ms = quantile_sorted(latencies, 0.50);
+  r.p95_ms = quantile_sorted(latencies, 0.95);
+  r.p99_ms = quantile_sorted(latencies, 0.99);
+  r.reads_per_s =
+      wall_s > 0.0
+          ? static_cast<double>(r.counters.batched_reads) / wall_s
+          : 0.0;
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::size_t requests_per_point =
+      argc > 1 ? static_cast<std::size_t>(std::stoul(argv[1])) : 240;
+  const std::string metrics_path = argc > 2 ? argv[2] : "";
+
+  pim::genome::SyntheticGenomeSpec spec;
+  spec.length = 150000;
+  spec.seed = 29;
+  const auto reference = pim::genome::generate_reference(spec);
+  const auto fm = pim::index::FmIndex::build(reference, {.bucket_width = 128});
+  pim::align::AlignerOptions aligner_options;
+  aligner_options.inexact.max_diffs = 2;
+  pim::align::SoftwareEngine engine(fm, aligner_options);
+  const auto pool = make_reads(reference, 4096);
+
+  // --- Calibration: raw serial per-read service time, in-environment -----
+  // (so the smoke bound scales with TSan/ASan slowdown automatically).
+  const std::size_t calib_reads = std::min<std::size_t>(1024, pool.size());
+  pim::align::ReadBatch calib_batch = pim::align::ReadBatch::from_reads(
+      {pool.begin(), pool.begin() + static_cast<std::ptrdiff_t>(calib_reads)});
+  pim::align::BatchResult calib_result;
+  engine.align_batch(calib_batch, calib_result);
+  const double per_read_ms =
+      calib_result.stats().wall_ms / static_cast<double>(calib_reads);
+  const double capacity_rps = per_read_ms > 0.0 ? 1000.0 / per_read_ms : 1e9;
+  std::printf("{\"bench\":\"serve_latency\",\"point\":\"calibrate\","
+              "\"per_read_ms\":%s,\"capacity_reads_per_s\":%s}\n",
+              pim::obs::json_number(per_read_ms).c_str(),
+              pim::obs::json_number(capacity_rps).c_str());
+
+  // p99 bound for admitted requests: worst case, a request is admitted
+  // behind a full queue (kMaxQueuedReads) plus an in-flight batch, waits
+  // out the linger, and then needs its own batch served. The x20 factor
+  // absorbs batching/demux overhead and scheduler noise; the bound still
+  // trips if queueing is unbounded (which is what it guards).
+  const double bound_ms =
+      20.0 * (static_cast<double>(kMaxQueuedReads + kMaxBatchReads) *
+              per_read_ms) +
+      20.0 * 0.5 /* linger */ + 250.0;
+
+  // --- Offered-load sweep -------------------------------------------------
+  auto paced_interval = [&](double multiplier) {
+    const double seconds_per_request =
+        static_cast<double>(kReadsPerRequest) / (capacity_rps * multiplier);
+    return std::chrono::duration_cast<Clock::duration>(
+        std::chrono::duration<double>(seconds_per_request));
+  };
+
+  std::vector<PointResult> points;
+  points.push_back(run_point(engine, pool, "light", 0.25, requests_per_point,
+                             paced_interval(0.25), nullptr));
+  points.push_back(run_point(engine, pool, "saturation", 1.0,
+                             requests_per_point, paced_interval(1.0),
+                             nullptr));
+  // Burst: everything at once. Offered reads >> queue capacity, so
+  // admission MUST shed; sized so that holds even for small CI counts.
+  const std::size_t burst_requests = std::max(
+      requests_per_point, (4 * kMaxQueuedReads) / kReadsPerRequest + 8);
+  pim::obs::MetricsRegistry registry;
+  points.push_back(run_point(engine, pool, "burst",
+                             static_cast<double>(burst_requests), burst_requests,
+                             Clock::duration::zero(), &registry));
+
+  for (const auto& p : points) {
+    std::printf(
+        "{\"bench\":\"serve_latency\",\"point\":\"%s\",\"offered_x\":%s,"
+        "\"requests\":%zu,\"admitted\":%llu,\"rejected\":%llu,"
+        "\"expired\":%llu,\"completed\":%llu,\"batches\":%llu,"
+        "\"reads_per_s\":%s,\"p50_ms\":%s,\"p95_ms\":%s,\"p99_ms\":%s,"
+        "\"bound_ms\":%s}\n",
+        pim::obs::json_escape(p.name).c_str(),
+        pim::obs::json_number(p.offered_x).c_str(), p.requests,
+        static_cast<unsigned long long>(p.counters.admitted),
+        static_cast<unsigned long long>(p.counters.rejected),
+        static_cast<unsigned long long>(p.counters.expired),
+        static_cast<unsigned long long>(p.counters.completed),
+        static_cast<unsigned long long>(p.counters.batches),
+        pim::obs::json_number(p.reads_per_s).c_str(),
+        pim::obs::json_number(p.p50_ms).c_str(),
+        pim::obs::json_number(p.p95_ms).c_str(),
+        pim::obs::json_number(p.p99_ms).c_str(),
+        pim::obs::json_number(bound_ms).c_str());
+  }
+
+  if (!metrics_path.empty()) {
+    std::ofstream out(metrics_path);
+    pim::obs::write_json_lines(registry.scrape(), out);
+    std::printf("wrote serve.* snapshot to %s\n", metrics_path.c_str());
+  }
+
+  // --- Smoke assertions ---------------------------------------------------
+  const PointResult& burst = points.back();
+  int rc = 0;
+  if (burst.counters.rejected == 0) {
+    std::fprintf(stderr,
+                 "SMOKE FAIL: burst offered %zu requests (%zu reads) against "
+                 "a %zu-read queue but nothing was shed\n",
+                 burst.requests, burst.requests * kReadsPerRequest,
+                 kMaxQueuedReads);
+    rc = 1;
+  }
+  if (burst.counters.completed == 0) {
+    std::fprintf(stderr, "SMOKE FAIL: burst completed nothing\n");
+    rc = 1;
+  }
+  for (const auto& p : points) {
+    if (p.p99_ms > bound_ms) {
+      std::fprintf(stderr,
+                   "SMOKE FAIL: point %s p99 %.2fms exceeds bound %.2fms "
+                   "(admitted-latency must stay bounded by queue depth)\n",
+                   p.name.c_str(), p.p99_ms, bound_ms);
+      rc = 1;
+    }
+  }
+  if (rc == 0) {
+    std::printf("serve_latency smoke: shed %llu at burst, all p99 within "
+                "%.1fms bound\n",
+                static_cast<unsigned long long>(burst.counters.rejected),
+                bound_ms);
+  }
+  return rc;
+}

@@ -217,8 +217,17 @@ int run_demo(const std::string& metrics_path, std::size_t pim_chips) {
 
 }  // namespace
 
+void print_usage(const char* prog) {
+  std::fprintf(stderr,
+               "usage: %s ref.fasta reads.fastq out.sam [threads] "
+               "[max_diffs] [shards] [--metrics=PATH] [--pim-chips=N]\n",
+               prog);
+}
+
 int main(int argc, char** argv) {
-  // Flags may appear anywhere; everything else is positional.
+  // Flags may appear anywhere; everything else is positional. An
+  // unrecognized --flag is an error, not a silently ignored positional —
+  // a typo like --metrcs=x must not run the demo with metrics off.
   std::string metrics_path;
   std::size_t pim_chips = 0;
   std::vector<std::string> positional;
@@ -228,16 +237,17 @@ int main(int argc, char** argv) {
       metrics_path = arg.substr(10);
     } else if (arg.rfind("--pim-chips=", 0) == 0) {
       pim_chips = static_cast<std::size_t>(std::stoul(arg.substr(12)));
+    } else if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "%s: unknown flag '%s'\n", argv[0], arg.c_str());
+      print_usage(argv[0]);
+      return 2;
     } else {
       positional.push_back(arg);
     }
   }
   if (positional.empty()) return run_demo(metrics_path, pim_chips);
   if (positional.size() < 3) {
-    std::fprintf(stderr,
-                 "usage: %s ref.fasta reads.fastq out.sam [threads] "
-                 "[max_diffs] [shards] [--metrics=PATH] [--pim-chips=N]\n",
-                 argv[0]);
+    print_usage(argv[0]);
     return 2;
   }
   const std::size_t threads =

@@ -1,0 +1,58 @@
+#include "src/align/chunk_demux.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+namespace pim::align {
+
+ChunkDemux::ChunkDemux(std::vector<std::size_t> bounds, SliceFn on_slice,
+                       CompleteFn on_complete)
+    : bounds_(std::move(bounds)),
+      on_slice_(std::move(on_slice)),
+      on_complete_(std::move(on_complete)) {
+  if (bounds_.empty() || bounds_.front() != 0 ||
+      !std::is_sorted(bounds_.begin(), bounds_.end())) {
+    throw std::invalid_argument(
+        "ChunkDemux: bounds must be monotone and start at 0");
+  }
+  // A zero-read partition (or leading empty intervals) completes without
+  // ever seeing a chunk.
+  while (next_ < num_intervals() && bounds_[next_ + 1] <= cursor_) {
+    ++completed_;
+    if (on_complete_) on_complete_(next_);
+    ++next_;
+  }
+}
+
+void ChunkDemux::consume(const BatchResultChunk& chunk) {
+  if (chunk.begin != cursor_) {
+    throw std::logic_error("ChunkDemux: chunk at " +
+                           std::to_string(chunk.begin) + " but cursor at " +
+                           std::to_string(cursor_) +
+                           " (chunks must arrive in order, gap-free)");
+  }
+  if (chunk.end > bounds_.back()) {
+    throw std::logic_error("ChunkDemux: chunk past the partition end");
+  }
+  cursor_ = chunk.end;
+  // Slice the chunk across every interval it overlaps, completing intervals
+  // whose tail the cursor has passed (including empty ones in between).
+  while (next_ < num_intervals() && bounds_[next_] < cursor_) {
+    const std::size_t begin = std::max(bounds_[next_], chunk.begin);
+    const std::size_t end = std::min(bounds_[next_ + 1], cursor_);
+    if (end > begin && on_slice_) on_slice_(next_, chunk, begin, end);
+    if (bounds_[next_ + 1] > cursor_) break;  // interval continues next chunk
+    ++completed_;
+    if (on_complete_) on_complete_(next_);
+    ++next_;
+  }
+  // Empty intervals sitting exactly at the cursor complete too.
+  while (next_ < num_intervals() && bounds_[next_ + 1] <= cursor_) {
+    ++completed_;
+    if (on_complete_) on_complete_(next_);
+    ++next_;
+  }
+}
+
+}  // namespace pim::align

@@ -1,0 +1,79 @@
+// In-order interval demultiplexer over the chunk seam (S41).
+//
+// The chunk seam (BatchResultChunk / ChunkSink, S39) delivers completed
+// slices of a batch in read-index order, but the slice boundaries are the
+// *scheduler's* (fixed-size chunks, or one range per shard) — they carry no
+// notion of which caller each read belongs to. ChunkDemux restores that
+// mapping: it is constructed with a contiguous partition of the batch into
+// logical intervals (one per service request, per mate-pair stream, per
+// stolen shard range, ...) and, fed chunks through its sink, invokes
+//
+//   on_slice(interval, chunk, begin, end)   for every chunk/interval overlap
+//                                           ([begin, end) in batch indices)
+//   on_complete(interval)                   the moment the interval's last
+//                                           read has been delivered
+//
+// so an interval's consumer is signalled as soon as ITS reads are done —
+// it never waits for later strangers in the same batch. The serve layer's
+// DynamicBatcher demultiplexes coalesced requests back to per-request
+// futures through exactly this hook; slice data must be consumed inside
+// on_slice because the producer recycles chunk arenas after the sink call.
+//
+// Single-threaded by design: the chunk seam serializes sink invocations, so
+// ChunkDemux keeps a plain cursor and asserts chunks arrive in order and
+// contiguously (a violated contract is a logic error, not a data race).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "src/align/engine.h"
+
+namespace pim::align {
+
+class ChunkDemux {
+ public:
+  /// Slice callback: reads [begin, end) of `chunk.batch` — a non-empty
+  /// subrange of `chunk` — belong to `interval`. Read i of the batch is
+  /// chunk.result->result(i - chunk.begin).
+  using SliceFn = std::function<void(std::size_t interval,
+                                     const BatchResultChunk& chunk,
+                                     std::size_t begin, std::size_t end)>;
+  /// Completion callback: every read of `interval` has been delivered.
+  using CompleteFn = std::function<void(std::size_t interval)>;
+
+  /// `bounds` partitions [0, bounds.back()) into bounds.size()-1 contiguous
+  /// intervals: interval k covers [bounds[k], bounds[k+1]). Bounds must be
+  /// monotone non-decreasing and start at 0 (empty intervals are legal and
+  /// complete as soon as the cursor passes them — immediately for a leading
+  /// empty interval). Throws std::invalid_argument on malformed bounds.
+  ChunkDemux(std::vector<std::size_t> bounds, SliceFn on_slice,
+             CompleteFn on_complete);
+
+  /// Feed the next chunk. Chunks must arrive in index order with no gaps
+  /// (chunk.begin == reads delivered so far) — the chunk-seam contract;
+  /// throws std::logic_error otherwise.
+  void consume(const BatchResultChunk& chunk);
+
+  /// Adapter so a demux can be handed anywhere a ChunkSink is expected.
+  /// The demux must outlive the returned sink.
+  ChunkSink sink() {
+    return [this](const BatchResultChunk& chunk) { consume(chunk); };
+  }
+
+  std::size_t num_intervals() const { return bounds_.size() - 1; }
+  std::size_t completed() const { return completed_; }
+  /// True once every interval (i.e. every read of the partition) completed.
+  bool done() const { return completed_ == num_intervals(); }
+
+ private:
+  std::vector<std::size_t> bounds_;
+  SliceFn on_slice_;
+  CompleteFn on_complete_;
+  std::size_t cursor_ = 0;     ///< Reads delivered so far.
+  std::size_t next_ = 0;       ///< First interval not yet completed.
+  std::size_t completed_ = 0;
+};
+
+}  // namespace pim::align

@@ -141,13 +141,9 @@ void MetricsRegistry::histogram_observe(std::uint32_t id, double value) {
   cell.count.store(n + 1, std::memory_order_relaxed);
 }
 
-namespace {
-
-double percentile_from_buckets(
-    const std::array<std::uint64_t, MetricsRegistry::kNumBuckets>& buckets,
-    std::uint64_t count, double q, double lo, double hi,
-    double (*upper)(std::size_t)) {
-  if (count == 0) return 0.0;
+double HistogramSample::percentile(double q) const {
+  if (count == 0 || buckets.empty()) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
   const double rank = q * static_cast<double>(count - 1);
   std::uint64_t seen = 0;
   for (std::size_t b = 0; b < buckets.size(); ++b) {
@@ -155,14 +151,13 @@ double percentile_from_buckets(
     if (static_cast<double>(seen) > rank) {
       // Clamp the bucket midpoint into the observed range so tiny samples
       // don't report values outside [min, max].
-      const double mid = upper(b) * 0.75;  // mid of [upper/2, upper]
-      return std::clamp(mid, lo, hi);
+      const double mid =
+          MetricsRegistry::bucket_upper(b) * 0.75;  // mid of [upper/2, upper]
+      return std::clamp(mid, min, max);
     }
   }
-  return hi;
+  return max;
 }
-
-}  // namespace
 
 MetricsSnapshot MetricsRegistry::scrape() const {
   MetricsSnapshot snap;
@@ -200,7 +195,7 @@ MetricsSnapshot MetricsRegistry::scrape() const {
   for (std::size_t i = 0; i < histogram_names.size(); ++i) {
     HistogramSample h;
     h.name = histogram_names[i];
-    std::array<std::uint64_t, kNumBuckets> buckets{};
+    h.buckets.assign(kNumBuckets, 0);
     bool first = true;
     for (const Shard* s : shards) {
       const HistCell& cell = s->histograms[i];
@@ -214,15 +209,13 @@ MetricsSnapshot MetricsRegistry::scrape() const {
       if (first || mx > h.max) h.max = mx;
       first = false;
       for (std::size_t b = 0; b < kNumBuckets; ++b) {
-        buckets[b] += cell.buckets[b].load(std::memory_order_relaxed);
+        h.buckets[b] += cell.buckets[b].load(std::memory_order_relaxed);
       }
     }
-    h.p50 = percentile_from_buckets(buckets, h.count, 0.50, h.min, h.max,
-                                    &MetricsRegistry::bucket_upper);
-    h.p90 = percentile_from_buckets(buckets, h.count, 0.90, h.min, h.max,
-                                    &MetricsRegistry::bucket_upper);
-    h.p99 = percentile_from_buckets(buckets, h.count, 0.99, h.min, h.max,
-                                    &MetricsRegistry::bucket_upper);
+    h.p50 = h.percentile(0.50);
+    h.p90 = h.percentile(0.90);
+    h.p95 = h.percentile(0.95);
+    h.p99 = h.percentile(0.99);
     snap.histograms.push_back(std::move(h));
   }
   return snap;

@@ -83,7 +83,10 @@ class Histogram {
   std::uint32_t id_ = 0;
 };
 
-/// Merged view of one histogram at scrape time.
+/// Merged view of one histogram at scrape time. Carries the merged bucket
+/// counts, so arbitrary quantiles are computable post hoc via percentile()
+/// — the canonical p50/p90/p95/p99 are precomputed for the JSON-line
+/// schema and the human table.
 struct HistogramSample {
   std::string name;
   std::uint64_t count = 0;
@@ -92,9 +95,16 @@ struct HistogramSample {
   double max = 0.0;
   double p50 = 0.0;  ///< Bucket-interpolated percentiles (log buckets, so
   double p90 = 0.0;  ///< accurate to ~2x within a bucket — plenty for
-  double p99 = 0.0;  ///< latency-shape questions).
+  double p95 = 0.0;  ///< latency-shape questions). Always ordered:
+  double p99 = 0.0;  ///< min <= p50 <= p90 <= p95 <= p99 <= max.
+  /// Merged log2 bucket counts (MetricsRegistry::kNumBuckets entries; empty
+  /// only for a default-constructed sample).
+  std::vector<std::uint64_t> buckets;
 
   double mean() const { return count ? sum / static_cast<double>(count) : 0.0; }
+  /// Bucket-interpolated quantile for q in [0, 1], clamped to [min, max];
+  /// 0.0 when the histogram is empty. percentile(0.5) == p50 etc.
+  double percentile(double q) const;
 };
 
 struct CounterSample {
@@ -146,6 +156,11 @@ class MetricsRegistry {
 
   std::size_t num_metrics() const;
 
+  /// Bucket geometry, public so HistogramSample::percentile (and tests) can
+  /// reason about the merged bucket counts a snapshot carries.
+  static std::size_t bucket_of(double value);
+  static double bucket_upper(std::size_t bucket);
+
  private:
   friend class Counter;
   friend class Gauge;
@@ -175,8 +190,6 @@ class MetricsRegistry {
   std::uint32_t register_name(std::vector<std::string>& names,
                               std::string_view name, std::size_t cap,
                               const char* kind);
-  static std::size_t bucket_of(double value);
-  static double bucket_upper(std::size_t bucket);
 
   const std::uint64_t uid_;  ///< Process-unique; keys the thread-local cache.
   mutable std::mutex mu_;    ///< Guards names and the shard list.

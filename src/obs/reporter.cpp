@@ -1,5 +1,6 @@
 #include "src/obs/reporter.h"
 
+#include <cmath>
 #include <cstdio>
 #include <ostream>
 
@@ -7,26 +8,54 @@
 
 namespace pim::obs {
 
-namespace {
-
-/// Minimal JSON string escaping; metric names are flat identifiers, so this
-/// is a guard rail rather than a codec.
-std::string escape(std::string_view s) {
+std::string json_escape(std::string_view s) {
   std::string out;
   out.reserve(s.size());
   for (const char c : s) {
-    if (c == '"' || c == '\\') out.push_back('\\');
-    if (static_cast<unsigned char>(c) < 0x20) continue;
-    out.push_back(c);
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          // Remaining control characters: \u00XX. Dropping them (the old
+          // behaviour) silently merged distinct names into one series.
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
   }
   return out;
 }
 
-std::string num(double v) {
+std::string json_number(double v) {
+  if (!std::isfinite(v)) return "0";  // JSON has no inf/nan literal
   char buf[32];
   std::snprintf(buf, sizeof(buf), "%.6g", v);
   return buf;
 }
+
+namespace {
+
+std::string escape(std::string_view s) { return json_escape(s); }
+
+std::string num(double v) { return json_number(v); }
 
 }  // namespace
 
@@ -45,7 +74,7 @@ void write_json_lines(const MetricsSnapshot& snapshot, std::ostream& out) {
         << ",\"sum\":" << num(h.sum) << ",\"min\":" << num(h.min)
         << ",\"max\":" << num(h.max) << ",\"mean\":" << num(h.mean())
         << ",\"p50\":" << num(h.p50) << ",\"p90\":" << num(h.p90)
-        << ",\"p99\":" << num(h.p99) << "}\n";
+        << ",\"p95\":" << num(h.p95) << ",\"p99\":" << num(h.p99) << "}\n";
   }
 }
 
@@ -72,12 +101,12 @@ std::string render_table(const MetricsSnapshot& snapshot) {
     out += scalars.render();
   }
   if (!snapshot.histograms.empty()) {
-    util::TextTable hists(
-        {"histogram", "count", "mean", "min", "p50", "p90", "p99", "max"});
+    util::TextTable hists({"histogram", "count", "mean", "min", "p50", "p90",
+                           "p95", "p99", "max"});
     for (const auto& h : snapshot.histograms) {
       hists.add_row({h.name, std::to_string(h.count), num(h.mean()),
-                     num(h.min), num(h.p50), num(h.p90), num(h.p99),
-                     num(h.max)});
+                     num(h.min), num(h.p50), num(h.p90), num(h.p95),
+                     num(h.p99), num(h.max)});
     }
     if (!out.empty()) out += "\n";
     out += hists.render();

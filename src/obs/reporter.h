@@ -9,9 +9,15 @@
 //   counter:   {"metric":NAME,"type":"counter","value":N}
 //   gauge:     {"metric":NAME,"type":"gauge","value":X}
 //   histogram: {"metric":NAME,"type":"histogram","count":N,"sum":S,
-//               "min":m,"max":M,"mean":A,"p50":..,"p90":..,"p99":..}
+//               "min":m,"max":M,"mean":A,"p50":..,"p90":..,"p95":..,
+//               "p99":..}
 //   trace:     {"trace":LABEL,"seq":N,"thread":T,"depth":D,
 //               "start_ms":..,"duration_ms":..}
+//
+// Every NAME/LABEL goes through json_escape and every number through
+// json_number, so user-supplied strings (shard names, trace labels with
+// quotes/backslashes/control bytes) and non-finite doubles (a gauge set to
+// inf/nan) can never corrupt the line stream.
 #pragma once
 
 #include <atomic>
@@ -20,6 +26,7 @@
 #include <iosfwd>
 #include <mutex>
 #include <string>
+#include <string_view>
 #include <thread>
 #include <vector>
 
@@ -27,6 +34,19 @@
 #include "src/obs/trace.h"
 
 namespace pim::obs {
+
+/// JSON string-escape `s` (RFC 8259): quotes, backslashes, and control
+/// characters come out as \" \\ \n \r \t or \u00XX, so the result can be
+/// embedded between double quotes verbatim. Public because benches and
+/// examples emit their own JSON lines around the metric stream and must
+/// escape user-supplied values the same way.
+std::string json_escape(std::string_view s);
+
+/// Render a double as a JSON number. Non-finite values have no JSON
+/// representation and would corrupt a line stream ("inf" / "nan" are not
+/// JSON); they are mapped to 0 — metric emitters should guard the division
+/// instead of relying on this backstop.
+std::string json_number(double v);
 
 /// One JSON line per counter/gauge/histogram, in registration order.
 void write_json_lines(const MetricsSnapshot& snapshot, std::ostream& out);

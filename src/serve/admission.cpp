@@ -1,0 +1,29 @@
+#include "src/serve/admission.h"
+
+namespace pim::serve {
+
+std::optional<std::string> AdmissionControl::vet(
+    std::size_t queued_requests, std::size_t queued_reads,
+    const AlignRequest& request) const {
+  const std::size_t reads = request.num_reads();
+  if (options_.reject_oversized && options_.max_queued_reads > 0 &&
+      reads > options_.max_queued_reads) {
+    return "request too large: " + std::to_string(reads) + " reads > " +
+           std::to_string(options_.max_queued_reads) + " (max_queued_reads)";
+  }
+  if (options_.max_queued_requests > 0 &&
+      queued_requests >= options_.max_queued_requests) {
+    return "queue full: " + std::to_string(queued_requests) +
+           " requests queued (max_queued_requests " +
+           std::to_string(options_.max_queued_requests) + ")";
+  }
+  if (options_.max_queued_reads > 0 &&
+      queued_reads + reads > options_.max_queued_reads) {
+    return "queue full: " + std::to_string(queued_reads) + " reads queued + " +
+           std::to_string(reads) + " > max_queued_reads " +
+           std::to_string(options_.max_queued_reads);
+  }
+  return std::nullopt;
+}
+
+}  // namespace pim::serve

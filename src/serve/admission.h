@@ -1,0 +1,53 @@
+// Admission control (S41): bounded queue depth with reject-with-reason
+// load shedding.
+//
+// A serving queue without a bound converts overload into unbounded latency
+// for everyone; with one, excess offered load is shed at the door with an
+// actionable reason and admitted requests keep a bounded worst-case wait
+// (the queue can hold at most max_queued_reads of work in front of any
+// admitted request). The policy is deliberately a pure function of queue
+// occupancy + the candidate request — it holds no lock and mutates no
+// state, so RequestQueue can consult it under its own mutex and the
+// decision is exact, not racy.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+
+#include "src/serve/request.h"
+
+namespace pim::serve {
+
+struct AdmissionOptions {
+  /// Maximum queued (admitted, not yet dispatched) requests. 0 = unlimited.
+  std::size_t max_queued_requests = 1024;
+  /// Maximum queued reads across all queued requests — the bound that
+  /// actually caps queueing delay, since service time scales with reads.
+  /// 0 = unlimited.
+  std::size_t max_queued_reads = 65536;
+  /// Reject a single request larger than max_queued_reads outright (it
+  /// could never be admitted, even against an empty queue).
+  bool reject_oversized = true;
+};
+
+class AdmissionControl {
+ public:
+  explicit AdmissionControl(AdmissionOptions options = {})
+      : options_(options) {}
+
+  /// Admission verdict for `request` against the current queue occupancy:
+  /// std::nullopt admits; otherwise the returned string is the rejection
+  /// reason surfaced in AlignResponse::reason. Called by RequestQueue under
+  /// its lock.
+  std::optional<std::string> vet(std::size_t queued_requests,
+                                 std::size_t queued_reads,
+                                 const AlignRequest& request) const;
+
+  const AdmissionOptions& options() const { return options_; }
+
+ private:
+  AdmissionOptions options_;
+};
+
+}  // namespace pim::serve

@@ -1,0 +1,193 @@
+#include "src/serve/request_queue.h"
+
+#include <utility>
+
+namespace pim::serve {
+
+namespace {
+
+/// Fulfill a promise with a terminal non-result response.
+void finish(std::promise<AlignResponse>& promise, RequestStatus status,
+            std::string reason) {
+  AlignResponse response;
+  response.status = status;
+  response.reason = std::move(reason);
+  promise.set_value(std::move(response));
+}
+
+}  // namespace
+
+const char* to_string(RequestStatus status) {
+  switch (status) {
+    case RequestStatus::kOk:
+      return "ok";
+    case RequestStatus::kRejected:
+      return "rejected";
+    case RequestStatus::kExpired:
+      return "expired";
+    case RequestStatus::kShutdown:
+      return "shutdown";
+  }
+  return "unknown";
+}
+
+RequestQueue::RequestQueue(AdmissionControl admission,
+                           ServiceCounters* counters, ServeMetrics metrics)
+    : admission_(std::move(admission)),
+      counters_(counters),
+      metrics_(metrics) {}
+
+void RequestQueue::publish_depth_locked() {
+  metrics_.queue_depth.set(static_cast<double>(queues_[0].size() +
+                                               queues_[1].size()));
+  metrics_.queue_reads.set(static_cast<double>(queued_reads_));
+}
+
+ResponseFuture RequestQueue::submit(AlignRequest request) {
+  counters_->submitted.fetch_add(1, std::memory_order_relaxed);
+  metrics_.submitted.add();
+
+  std::promise<AlignResponse> promise;
+  ResponseFuture future = promise.get_future();
+
+  // Decide under the lock; fulfill rejected promises outside it so no
+  // client continuation ever runs while the queue mutex is held.
+  std::optional<std::string> reject_reason;
+  bool shutdown = false;
+  bool empty = false;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (closed_) {
+      shutdown = true;
+    } else if (request.reads.empty()) {
+      // Nothing to align, nothing to queue: completes below.
+      empty = true;
+    } else {
+      reject_reason = admission_.vet(queues_[0].size() + queues_[1].size(),
+                                     queued_reads_, request);
+      if (!reject_reason) {
+        counters_->admitted.fetch_add(1, std::memory_order_relaxed);
+        metrics_.admitted.add();
+        queued_reads_ += request.num_reads();
+        const auto pri = static_cast<std::size_t>(request.priority);
+        queues_[pri].push_back(PendingRequest{
+            std::move(request), std::move(promise), ServiceClock::now()});
+        publish_depth_locked();
+      }
+    }
+  }
+  if (shutdown) {
+    counters_->rejected_shutdown.fetch_add(1, std::memory_order_relaxed);
+    metrics_.rejected.add();
+    finish(promise, RequestStatus::kShutdown, "service is shutting down");
+    return future;
+  }
+  if (empty) {
+    counters_->admitted.fetch_add(1, std::memory_order_relaxed);
+    counters_->completed.fetch_add(1, std::memory_order_relaxed);
+    metrics_.admitted.add();
+    metrics_.completed.add();
+    promise.set_value(AlignResponse{});
+    return future;
+  }
+  if (reject_reason) {
+    counters_->rejected.fetch_add(1, std::memory_order_relaxed);
+    metrics_.rejected.add();
+    finish(promise, RequestStatus::kRejected, *std::move(reject_reason));
+    return future;
+  }
+  cv_.notify_all();
+  return future;
+}
+
+std::vector<PendingRequest> RequestQueue::gather(const GatherPolicy& policy) {
+  std::unique_lock<std::mutex> lk(mu_);
+  cv_.wait(lk, [&] {
+    return closed_ || !queues_[0].empty() || !queues_[1].empty();
+  });
+  if (queues_[0].empty() && queues_[1].empty()) return {};  // closed + drained
+
+  if (!closed_) {
+    // Linger: give concurrent submitters a chance to fill the batch, but
+    // never hold the oldest request beyond max_linger. Producers notify on
+    // every submit, so the fill condition is re-checked as load arrives.
+    const auto oldest =
+        [&] {
+          ServiceClock::time_point t = ServiceClock::time_point::max();
+          for (const auto& q : queues_) {
+            if (!q.empty() && q.front().admitted_at < t) {
+              t = q.front().admitted_at;
+            }
+          }
+          return t;
+        }();
+    const auto linger_deadline = oldest + policy.max_linger;
+    while (!closed_ && queued_reads_ < policy.max_reads) {
+      if (cv_.wait_until(lk, linger_deadline) == std::cv_status::timeout) {
+        break;
+      }
+    }
+  }
+
+  // Pop interactive first, then batch, FIFO within each class; stop when
+  // the next request would overflow max_reads (but always take one).
+  std::vector<PendingRequest> out;
+  std::size_t reads = 0;
+  bool full = false;
+  for (auto& q : queues_) {
+    while (!q.empty() && !full) {
+      const std::size_t r = q.front().request.num_reads();
+      if (!out.empty() && reads + r > policy.max_reads) {
+        full = true;
+        break;
+      }
+      reads += r;
+      out.push_back(std::move(q.front()));
+      q.pop_front();
+      if (reads >= policy.max_reads) full = true;
+    }
+    if (full) break;
+  }
+  queued_reads_ -= reads;
+  publish_depth_locked();
+  return out;
+}
+
+std::vector<PendingRequest> RequestQueue::drain_now() {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::vector<PendingRequest> out;
+  for (auto& q : queues_) {
+    while (!q.empty()) {
+      out.push_back(std::move(q.front()));
+      q.pop_front();
+    }
+  }
+  queued_reads_ = 0;
+  publish_depth_locked();
+  return out;
+}
+
+void RequestQueue::close() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    closed_ = true;
+  }
+  cv_.notify_all();
+}
+
+bool RequestQueue::closed() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return closed_;
+}
+
+std::size_t RequestQueue::depth() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return queues_[0].size() + queues_[1].size();
+}
+
+std::size_t RequestQueue::queued_reads() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return queued_reads_;
+}
+
+}  // namespace pim::serve

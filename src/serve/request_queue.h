@@ -1,0 +1,92 @@
+// Multi-producer request queue with admission control (S41).
+//
+// The submission side of the service: arbitrary client threads call
+// submit() and immediately get a future. Admission (AdmissionControl) is
+// decided under the queue lock, so occupancy bounds are exact; rejected
+// requests get a ready future carrying the reason and never touch the
+// engine. The single consumer — DynamicBatcher — calls gather(), which
+// blocks for work and then *lingers* briefly so concurrent submitters can
+// coalesce into one hardware-sized batch:
+//
+//   gather returns when   (a) queued reads reach policy.max_reads, or
+//                         (b) the oldest queued request has waited
+//                             policy.max_linger, or
+//                         (c) the queue is closed (drain: whatever is left).
+//
+// Priority classes: interactive requests dequeue before batch requests,
+// FIFO within a class. close() is the shutdown valve — subsequent submits
+// are rejected with kShutdown, gatherers drain what is queued and then get
+// an empty gather as the stop signal; drain_now() instead rips everything
+// out for the abort path.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+#include "src/serve/admission.h"
+#include "src/serve/request.h"
+
+namespace pim::serve {
+
+/// An admitted request in flight: the client's request plus the promise the
+/// batcher fulfills and the admission timestamp latencies are measured
+/// from.
+struct PendingRequest {
+  AlignRequest request;
+  std::promise<AlignResponse> promise;
+  ServiceClock::time_point admitted_at;
+};
+
+class RequestQueue {
+ public:
+  /// `counters` must outlive the queue (AlignmentService owns both).
+  RequestQueue(AdmissionControl admission, ServiceCounters* counters,
+               ServeMetrics metrics);
+
+  /// Thread-safe. Returns a future that resolves when the request is
+  /// served, shed, expired, or aborted. Requests with zero reads complete
+  /// immediately with kOk (nothing to align, nothing to queue).
+  ResponseFuture submit(AlignRequest request);
+
+  struct GatherPolicy {
+    std::size_t max_reads = 4096;
+    std::chrono::microseconds max_linger{2000};
+  };
+
+  /// Consumer side (one batcher thread). Blocks until at least one request
+  /// is queued or the queue is closed; lingers per the policy; then pops up
+  /// to max_reads worth of requests (always at least one when any are
+  /// queued, even if that request alone exceeds max_reads). An empty return
+  /// means closed-and-drained: the consumer should exit.
+  std::vector<PendingRequest> gather(const GatherPolicy& policy);
+
+  /// Pop everything queued right now (the abort-shutdown path). Does not
+  /// fail the promises — the caller decides the terminal status.
+  std::vector<PendingRequest> drain_now();
+
+  /// Reject all future submits (kShutdown) and wake gatherers. Idempotent.
+  void close();
+  bool closed() const;
+
+  std::size_t depth() const;         ///< Queued requests.
+  std::size_t queued_reads() const;  ///< Queued reads.
+
+ private:
+  void publish_depth_locked();
+
+  AdmissionControl admission_;
+  ServiceCounters* counters_;
+  ServeMetrics metrics_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  /// One FIFO per priority class, drained interactive-first.
+  std::deque<PendingRequest> queues_[kNumPriorities];
+  std::size_t queued_reads_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace pim::serve

@@ -1,0 +1,55 @@
+#include "src/serve/service.h"
+
+#include <utility>
+
+namespace pim::serve {
+
+AlignmentService::AlignmentService(const align::AlignmentEngine& engine,
+                                   ServiceOptions options)
+    : engine_(&engine), options_(options) {
+  // Route the scheduler's sched.* series into the same registry unless the
+  // caller wired a different one explicitly (mirrors StreamingPipeline).
+  if (options_.metrics != nullptr &&
+      options_.batching.parallel.metrics == nullptr) {
+    options_.batching.parallel.metrics = options_.metrics;
+  }
+  metrics_ = ServeMetrics::install(options_.metrics);
+  queue_ = std::make_unique<RequestQueue>(
+      AdmissionControl(options_.admission), &counters_, metrics_);
+  batcher_ = std::make_unique<DynamicBatcher>(*engine_, *queue_, &counters_,
+                                              metrics_, options_.batching);
+}
+
+AlignmentService::~AlignmentService() { shutdown(ShutdownMode::kDrain); }
+
+ResponseFuture AlignmentService::submit(AlignRequest request) {
+  return queue_->submit(std::move(request));
+}
+
+AlignResponse AlignmentService::align(AlignRequest request) {
+  return submit(std::move(request)).get();
+}
+
+void AlignmentService::shutdown(ShutdownMode mode) {
+  queue_->close();
+  if (mode == ShutdownMode::kAbort) {
+    // Rip out whatever is still queued and fail it; the batcher may have
+    // already gathered some of these into its current batch — those are
+    // served normally (both outcomes are valid terminal states).
+    auto leftovers = queue_->drain_now();
+    for (auto& p : leftovers) {
+      counters_.aborted.fetch_add(1, std::memory_order_relaxed);
+      AlignResponse response;
+      response.status = RequestStatus::kShutdown;
+      response.reason = "service shut down before dispatch";
+      response.queue_ms = std::chrono::duration<double, std::milli>(
+                              ServiceClock::now() - p.admitted_at)
+                              .count();
+      response.latency_ms = response.queue_ms;
+      p.promise.set_value(std::move(response));
+    }
+  }
+  batcher_->join();
+}
+
+}  // namespace pim::serve

@@ -1,0 +1,96 @@
+// AlignmentService (S41): the in-process, multi-client front door over any
+// AlignmentEngine.
+//
+// Composition: RequestQueue (admission-controlled, priority-classed MPSC
+// submission surface) + DynamicBatcher (coalesce -> one ReadBatch -> chunk
+// seam -> per-request future demux). The service owns both plus the shared
+// tallies and the serve.* metric handles, and adds lifecycle: graceful
+// drain (serve everything admitted, then stop) or abort (fail what is
+// still queued, finish only the in-flight batch).
+//
+//   obs::MetricsRegistry registry;                     // optional
+//   serve::AlignmentService service(engine, {.metrics = &registry});
+//   auto future = service.submit({.reads = reads,
+//                                 .priority = RequestPriority::kInteractive,
+//                                 .deadline = serve::deadline_in(5ms)});
+//   AlignResponse r = future.get();                    // r.results per read
+//
+// Results are bit-identical to a direct engine.align_batch over the same
+// reads — batching is a scheduling decision, never a semantic one
+// (asserted in tests/test_serve.cpp).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+
+#include "src/align/engine.h"
+#include "src/obs/metrics.h"
+#include "src/serve/batcher.h"
+#include "src/serve/request_queue.h"
+
+namespace pim::serve {
+
+struct ServiceOptions {
+  AdmissionOptions admission;  ///< Queue bounds (load shedding).
+  BatchPolicy batching;        ///< Coalescing size/age/scheduler policy.
+  /// Observability sink (S40). When set, the service publishes the serve.*
+  /// series: submitted/admitted/rejected/expired/completed counters, batch
+  /// and read counters, queue_depth/queue_reads gauges, and
+  /// queue_wait_ms / latency_ms / batch_fill / batch_reads / linger_us
+  /// histograms (p50/p95/p99 scrapeable via HistogramSample::percentile).
+  /// Also propagated to the chunked scheduler (sched.* series) when
+  /// batching.parallel.metrics is unset. Null = near-zero overhead.
+  obs::MetricsRegistry* metrics = nullptr;
+};
+
+class AlignmentService {
+ public:
+  /// `engine` must outlive the service. The engine is driven from the
+  /// service's batcher thread only, so non-thread-safe backends (PimEngine,
+  /// ShardedEngine, a whole PimChipFleet) serve safely; thread-safe engines
+  /// additionally fan each batch across the chunked parallel scheduler per
+  /// batching.parallel.
+  explicit AlignmentService(const align::AlignmentEngine& engine,
+                            ServiceOptions options = {});
+  /// Graceful: drains admitted requests before stopping.
+  ~AlignmentService();
+
+  AlignmentService(const AlignmentService&) = delete;
+  AlignmentService& operator=(const AlignmentService&) = delete;
+
+  /// Thread-safe, non-blocking (admission is O(1) under one lock). The
+  /// future resolves with kOk results, or kRejected / kExpired / kShutdown
+  /// and a reason.
+  ResponseFuture submit(AlignRequest request);
+
+  /// Blocking convenience: submit and wait.
+  AlignResponse align(AlignRequest request);
+
+  enum class ShutdownMode {
+    kDrain,  ///< Serve everything already admitted, then stop.
+    kAbort,  ///< Fail queued requests with kShutdown; only the batch
+             ///< already on the engine completes.
+  };
+  /// Stop accepting work and stop the batcher. Idempotent; both modes
+  /// block until the batcher thread has exited.
+  void shutdown(ShutdownMode mode = ShutdownMode::kDrain);
+
+  ServiceCounters::Snapshot counters() const { return counters_.snapshot(); }
+  std::size_t queue_depth() const { return queue_->depth(); }
+  std::size_t queued_reads() const { return queue_->queued_reads(); }
+  /// Merged engine counters across every batch served so far.
+  align::EngineStats engine_stats() const { return batcher_->engine_stats(); }
+
+  const align::AlignmentEngine& engine() const { return *engine_; }
+  const ServiceOptions& options() const { return options_; }
+
+ private:
+  const align::AlignmentEngine* engine_;
+  ServiceOptions options_;
+  ServiceCounters counters_;
+  ServeMetrics metrics_;
+  std::unique_ptr<RequestQueue> queue_;
+  std::unique_ptr<DynamicBatcher> batcher_;
+};
+
+}  // namespace pim::serve

@@ -15,6 +15,8 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cmath>
+#include <limits>
 #include <memory>
 #include <sstream>
 #include <stdexcept>
@@ -93,8 +95,45 @@ TEST(Metrics, HistogramTracksExactMomentsAndBoundedPercentiles) {
   // Log-bucketed percentiles: monotone and clamped to the observed range.
   EXPECT_GE(sample->p50, sample->min);
   EXPECT_LE(sample->p50, sample->p90);
-  EXPECT_LE(sample->p90, sample->p99);
+  EXPECT_LE(sample->p90, sample->p95);
+  EXPECT_LE(sample->p95, sample->p99);
   EXPECT_LE(sample->p99, sample->max);
+}
+
+TEST(Metrics, SnapshotPercentileIsQueryableAtAnyQuantile) {
+  MetricsRegistry registry;
+  Histogram hist = registry.histogram("h");
+  // 100 observations in [1, 100]: log-bucketed quantiles are accurate to
+  // ~2x within a bucket, so assert shape, bounds, and consistency with the
+  // precomputed fields rather than exact values.
+  for (int i = 1; i <= 100; ++i) hist.observe(static_cast<double>(i));
+  const MetricsSnapshot snap = registry.scrape();
+  const HistogramSample* s = snap.histogram("h");
+  ASSERT_NE(s, nullptr);
+  ASSERT_EQ(s->buckets.size(), MetricsRegistry::kNumBuckets);
+  EXPECT_DOUBLE_EQ(s->percentile(0.50), s->p50);
+  EXPECT_DOUBLE_EQ(s->percentile(0.90), s->p90);
+  EXPECT_DOUBLE_EQ(s->percentile(0.95), s->p95);
+  EXPECT_DOUBLE_EQ(s->percentile(0.99), s->p99);
+  // Monotone in q, clamped to [min, max] at the extremes (and beyond).
+  double prev = s->min;
+  for (const double q : {0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1.0}) {
+    const double v = s->percentile(q);
+    EXPECT_GE(v, prev);
+    EXPECT_LE(v, s->max);
+    prev = v;
+  }
+  EXPECT_DOUBLE_EQ(s->percentile(-1.0), s->percentile(0.0));
+  EXPECT_DOUBLE_EQ(s->percentile(2.0), s->percentile(1.0));
+  // p95 lands in the right log bucket: between the true p90 and max here.
+  EXPECT_GE(s->p95, 50.0);
+
+  // Empty histogram: percentile is 0 at every quantile.
+  registry.histogram("empty");
+  const MetricsSnapshot snap2 = registry.scrape();
+  const HistogramSample* e = snap2.histogram("empty");
+  ASSERT_NE(e, nullptr);
+  EXPECT_DOUBLE_EQ(e->percentile(0.5), 0.0);
 }
 
 TEST(Metrics, InertHandlesAreSafeNoOps) {
@@ -166,7 +205,7 @@ TEST(Reporter, JsonLineSchemaIsStable) {
   EXPECT_EQ(gauge_line, R"({"metric":"g","type":"gauge","value":1.5})");
   EXPECT_EQ(hist_line,
             R"({"metric":"h","type":"histogram","count":1,"sum":2,"min":2,)"
-            R"("max":2,"mean":2,"p50":2,"p90":2,"p99":2})");
+            R"("max":2,"mean":2,"p50":2,"p90":2,"p95":2,"p99":2})");
 
   TraceLog log(4);
   log.record("stage", 10.0, 2.5, 1);
@@ -178,6 +217,38 @@ TEST(Reporter, JsonLineSchemaIsStable) {
   EXPECT_NE(trace_line.find(R"("depth":1)"), std::string::npos);
   EXPECT_NE(trace_line.find(R"("start_ms":10)"), std::string::npos);
   EXPECT_NE(trace_line.find(R"("duration_ms":2.5)"), std::string::npos);
+}
+
+// User-supplied strings (shard names, trace labels) must not be able to
+// corrupt the JSON-line stream: quotes and backslashes are escaped, control
+// characters become \u00XX (the old code dropped them, silently merging
+// distinct names), and non-finite numbers — which have no JSON literal —
+// are mapped to 0 instead of emitting "inf"/"nan".
+TEST(Reporter, JsonLinesEscapeNamesAndValues) {
+  EXPECT_EQ(json_escape(R"(shard "A"\1)"), R"(shard \"A\"\\1)");
+  EXPECT_EQ(json_escape("a\nb\tc\x01"), "a\\nb\\tc\\u0001");
+  EXPECT_EQ(json_number(1.5), "1.5");
+  EXPECT_EQ(json_number(std::numeric_limits<double>::infinity()), "0");
+  EXPECT_EQ(json_number(std::nan("")), "0");
+
+  MetricsRegistry registry;
+  registry.counter("sh\"ard\\1.reads").add(1);
+  registry.gauge("g").set(std::numeric_limits<double>::infinity());
+  std::ostringstream out;
+  write_json_lines(registry.scrape(), out);
+  std::istringstream lines(out.str());
+  std::string counter_line, gauge_line;
+  ASSERT_TRUE(std::getline(lines, counter_line));
+  ASSERT_TRUE(std::getline(lines, gauge_line));
+  EXPECT_EQ(counter_line,
+            R"({"metric":"sh\"ard\\1.reads","type":"counter","value":1})");
+  EXPECT_EQ(gauge_line, R"({"metric":"g","type":"gauge","value":0})");
+
+  TraceLog log(2);
+  log.record("la\"bel", 1.0, 2.0, 0);
+  std::ostringstream trace_out;
+  write_json_lines(log.snapshot(), trace_out);
+  EXPECT_NE(trace_out.str().find(R"("trace":"la\"bel")"), std::string::npos);
 }
 
 TEST(Reporter, TableRendersEveryMetric) {

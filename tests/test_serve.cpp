@@ -1,0 +1,757 @@
+// Serving-layer suite (S41): the AlignmentService front door must be a
+// scheduling layer, never a semantic one.
+//   * Results through the service are bit-identical to a direct
+//     engine.align_batch over the same reads (software and sharded
+//     backends, arbitrary request sizes);
+//   * admission control sheds overload with kRejected + reason while
+//     everything admitted still completes;
+//   * deadlines are enforced at dequeue (kExpired, zero engine cycles);
+//   * interactive requests dispatch before queued batch-class requests;
+//   * drain shutdown serves every admitted request, abort shutdown fails
+//     the still-queued ones with kShutdown;
+//   * concurrent submitters from many threads each get exactly their own
+//     results back (run under TSan in CI);
+//   * ChunkDemux maps scheduler chunks onto request extents in order.
+#include "src/serve/service.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "src/align/chunk_demux.h"
+#include "src/align/sharded_engine.h"
+#include "src/genome/synthetic_genome.h"
+#include "src/obs/metrics.h"
+#include "src/util/rng.h"
+
+namespace pim::serve {
+namespace {
+
+using namespace std::chrono_literals;
+
+// Randomized read mix covering every outcome class (mirrors
+// tests/test_engine.cpp): exact copies, mutated reads, reverse-complement
+// strands, and random garbage.
+std::vector<std::vector<genome::Base>> make_read_mix(
+    const genome::PackedSequence& reference, std::size_t count,
+    std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  std::vector<std::vector<genome::Base>> reads;
+  reads.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::size_t len = 60 + rng.bounded(41);  // 60-100 bp
+    std::vector<genome::Base> read;
+    if (i % 5 == 4) {
+      for (std::size_t k = 0; k < len; ++k) {
+        read.push_back(static_cast<genome::Base>(rng.bounded(4)));
+      }
+    } else {
+      const std::size_t start = rng.bounded(reference.size() - len);
+      read = reference.slice(start, start + len);
+      if (i % 5 == 1 || i % 5 == 3) {
+        const std::size_t subs = 1 + rng.bounded(2);
+        for (std::size_t s = 0; s < subs; ++s) {
+          const std::size_t pos = rng.bounded(read.size());
+          read[pos] = genome::complement(read[pos]);
+        }
+      }
+      if (i % 5 >= 2) read = genome::reverse_complement(read);
+    }
+    reads.push_back(std::move(read));
+  }
+  return reads;
+}
+
+struct Fixture {
+  genome::PackedSequence reference;
+  index::FmIndex fm;
+  std::vector<std::vector<genome::Base>> reads;
+  align::AlignerOptions options;
+
+  explicit Fixture(std::size_t num_reads = 160, std::uint64_t seed = 33) {
+    genome::SyntheticGenomeSpec spec;
+    spec.length = 50000;
+    spec.seed = 11;
+    reference = genome::generate_reference(spec);
+    fm = index::FmIndex::build(reference, {.bucket_width = 128});
+    reads = make_read_mix(reference, num_reads, seed);
+    options.inexact.max_diffs = 2;
+  }
+
+  /// Ground truth: direct align_batch over exactly `some_reads`.
+  std::vector<align::AlignmentResult> direct(
+      const std::vector<std::vector<genome::Base>>& some_reads) const {
+    align::SoftwareEngine engine(fm, options);
+    align::ReadBatch batch = align::ReadBatch::from_reads(some_reads);
+    align::BatchResult result;
+    engine.align_batch(batch, result);
+    return result.to_results();
+  }
+};
+
+void expect_identical(const align::AlignmentResult& want,
+                      const align::AlignmentResult& got, std::size_t index,
+                      const char* label) {
+  EXPECT_EQ(got.stage, want.stage) << label << " read " << index;
+  ASSERT_EQ(got.hits.size(), want.hits.size()) << label << " read " << index;
+  for (std::size_t h = 0; h < want.hits.size(); ++h) {
+    EXPECT_EQ(got.hits[h].position, want.hits[h].position)
+        << label << " read " << index << " hit " << h;
+    EXPECT_EQ(got.hits[h].diffs, want.hits[h].diffs)
+        << label << " read " << index << " hit " << h;
+    EXPECT_EQ(got.hits[h].strand, want.hits[h].strand)
+        << label << " read " << index << " hit " << h;
+  }
+}
+
+/// Slice a [begin, end) range out of the fixture read pool.
+std::vector<std::vector<genome::Base>> slice_reads(
+    const std::vector<std::vector<genome::Base>>& pool, std::size_t begin,
+    std::size_t end) {
+  return {pool.begin() + static_cast<std::ptrdiff_t>(begin),
+          pool.begin() + static_cast<std::ptrdiff_t>(end)};
+}
+
+/// Engine wrapper that blocks inside align_range until opened. Lets tests
+/// pin a batch on the "hardware" while they arrange queue contents, making
+/// shedding / priority / shutdown orderings deterministic. Deliberately not
+/// thread-safe so the service drives it through the serial chunked path.
+class GateEngine final : public align::AlignmentEngine {
+ public:
+  explicit GateEngine(const align::AlignmentEngine& inner) : inner_(&inner) {}
+
+  std::string_view name() const override { return "gate"; }
+  bool thread_safe() const override { return false; }
+
+  void align_range(const align::ReadBatch& batch, std::size_t begin,
+                   std::size_t end, align::BatchResult& out) const override {
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      ++entered_;
+      cv_.notify_all();
+      cv_.wait(lk, [&] { return open_; });
+    }
+    inner_->align_range(batch, begin, end, out);
+  }
+
+  /// Block until the batcher has entered align_range at least `n` times.
+  void wait_entered(std::size_t n) const {
+    std::unique_lock<std::mutex> lk(mu_);
+    cv_.wait(lk, [&] { return entered_ >= n; });
+  }
+
+  /// Latch open: every blocked and future align_range proceeds.
+  void open() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    open_ = true;
+    cv_.notify_all();
+  }
+
+ private:
+  const align::AlignmentEngine* inner_;
+  mutable std::mutex mu_;
+  mutable std::condition_variable cv_;
+  mutable std::size_t entered_ = 0;
+  mutable bool open_ = false;
+};
+
+/// Engine that throws on a chosen batch dispatch (by align_range call
+/// index), for error-routing tests.
+class FaultyEngine final : public align::AlignmentEngine {
+ public:
+  FaultyEngine(const align::AlignmentEngine& inner, std::size_t fail_on_call)
+      : inner_(&inner), fail_on_call_(fail_on_call) {}
+
+  std::string_view name() const override { return "faulty"; }
+  bool thread_safe() const override { return false; }
+
+  void align_range(const align::ReadBatch& batch, std::size_t begin,
+                   std::size_t end, align::BatchResult& out) const override {
+    if (calls_.fetch_add(1) == fail_on_call_) {
+      throw std::runtime_error("injected engine fault");
+    }
+    inner_->align_range(batch, begin, end, out);
+  }
+
+ private:
+  const align::AlignmentEngine* inner_;
+  std::size_t fail_on_call_;
+  mutable std::atomic<std::size_t> calls_{0};
+};
+
+// ---------------------------------------------------------------------------
+// ChunkDemux
+
+align::BatchResultChunk make_chunk(std::size_t begin, std::size_t end) {
+  align::BatchResultChunk chunk;
+  chunk.begin = begin;
+  chunk.end = end;
+  return chunk;
+}
+
+TEST(ChunkDemux, SlicesChunksOntoIntervalsInOrder) {
+  // Intervals: [0,3) [3,3) [3,8) [8,9). Chunks: [0,2) [2,5) [5,9).
+  std::vector<std::tuple<std::size_t, std::size_t, std::size_t>> slices;
+  std::vector<std::size_t> completions;
+  align::ChunkDemux demux(
+      {0, 3, 3, 8, 9},
+      [&](std::size_t interval, const align::BatchResultChunk&,
+          std::size_t begin, std::size_t end) {
+        slices.emplace_back(interval, begin, end);
+      },
+      [&](std::size_t interval) { completions.push_back(interval); });
+  ASSERT_EQ(demux.num_intervals(), 4u);
+  EXPECT_FALSE(demux.done());
+
+  auto c0 = make_chunk(0, 2);
+  demux.consume(c0);
+  EXPECT_EQ(demux.completed(), 0u);
+
+  auto c1 = make_chunk(2, 5);
+  demux.consume(c1);
+  // Interval 0 completed at read 3; empty interval 1 completes as the
+  // cursor passes it; interval 2 got [3,5).
+  EXPECT_EQ(demux.completed(), 2u);
+
+  auto c2 = make_chunk(5, 9);
+  demux.consume(c2);
+  EXPECT_TRUE(demux.done());
+
+  const std::vector<std::tuple<std::size_t, std::size_t, std::size_t>> want =
+      {{0, 0, 2}, {0, 2, 3}, {2, 3, 5}, {2, 5, 8}, {3, 8, 9}};
+  EXPECT_EQ(slices, want);
+  EXPECT_EQ(completions, (std::vector<std::size_t>{0, 1, 2, 3}));
+}
+
+TEST(ChunkDemux, LeadingEmptyIntervalsCompleteImmediately) {
+  std::vector<std::size_t> completions;
+  align::ChunkDemux demux(
+      {0, 0, 0, 2},
+      [](std::size_t, const align::BatchResultChunk&, std::size_t,
+         std::size_t) {},
+      [&](std::size_t interval) { completions.push_back(interval); });
+  EXPECT_EQ(completions, (std::vector<std::size_t>{0, 1}));
+  auto chunk = make_chunk(0, 2);
+  demux.consume(chunk);
+  EXPECT_TRUE(demux.done());
+  EXPECT_EQ(completions, (std::vector<std::size_t>{0, 1, 2}));
+}
+
+TEST(ChunkDemux, RejectsMalformedBoundsAndOutOfOrderChunks) {
+  auto noop_slice = [](std::size_t, const align::BatchResultChunk&,
+                       std::size_t, std::size_t) {};
+  auto noop_complete = [](std::size_t) {};
+  EXPECT_THROW(align::ChunkDemux({1, 2}, noop_slice, noop_complete),
+               std::invalid_argument);
+  EXPECT_THROW(align::ChunkDemux({0, 4, 2}, noop_slice, noop_complete),
+               std::invalid_argument);
+  EXPECT_THROW(align::ChunkDemux({}, noop_slice, noop_complete),
+               std::invalid_argument);
+
+  align::ChunkDemux demux({0, 4}, noop_slice, noop_complete);
+  auto gap = make_chunk(1, 2);  // cursor is 0: a gap
+  EXPECT_THROW(demux.consume(gap), std::logic_error);
+  auto overrun = make_chunk(0, 5);  // past the partition
+  EXPECT_THROW(demux.consume(overrun), std::logic_error);
+}
+
+// ---------------------------------------------------------------------------
+// Equivalence: service results == direct align_batch results.
+
+TEST(AlignmentService, MatchesDirectAlignBatch) {
+  Fixture f;
+  align::SoftwareEngine engine(f.fm, f.options);
+  const auto want = f.direct(f.reads);
+
+  ServiceOptions options;
+  options.batching.max_batch_reads = 48;  // force multi-request coalescing
+  options.batching.max_linger = 500us;
+  options.batching.parallel.num_threads = 2;
+  options.batching.parallel.chunk_size = 16;
+  AlignmentService service(engine, options);
+
+  // Carve the pool into requests of varying sizes (1..13 reads).
+  std::vector<std::pair<std::size_t, ResponseFuture>> pending;
+  std::size_t begin = 0, step = 1;
+  while (begin < f.reads.size()) {
+    const std::size_t end = std::min(begin + step, f.reads.size());
+    AlignRequest request;
+    request.reads = slice_reads(f.reads, begin, end);
+    pending.emplace_back(begin, service.submit(std::move(request)));
+    begin = end;
+    step = step % 13 + 1;
+  }
+
+  for (auto& [offset, future] : pending) {
+    AlignResponse response = future.get();
+    ASSERT_TRUE(response.ok()) << response.reason;
+    for (std::size_t i = 0; i < response.results.size(); ++i) {
+      expect_identical(want[offset + i], response.results[i], offset + i,
+                       "service");
+    }
+    EXPECT_GT(response.batch_seq, 0u);
+    EXPECT_GE(response.latency_ms, response.queue_ms);
+  }
+  service.shutdown();
+
+  const auto counters = service.counters();
+  EXPECT_EQ(counters.submitted, pending.size());
+  EXPECT_EQ(counters.admitted, pending.size());
+  EXPECT_EQ(counters.completed, pending.size());
+  EXPECT_EQ(counters.rejected, 0u);
+  EXPECT_EQ(counters.expired, 0u);
+  EXPECT_EQ(counters.batched_reads, f.reads.size());
+  EXPECT_GT(counters.batches, 1u);  // coalesced, but more than one batch
+  EXPECT_EQ(service.engine_stats().reads_total, f.reads.size());
+}
+
+TEST(AlignmentService, ShardedEngineBehindServiceMatchesDirect) {
+  Fixture f(120, 77);
+  const auto want = f.direct(f.reads);
+
+  // Three software shards behind the sharded (non-thread-safe) engine: the
+  // batcher must route it through the serial chunked path.
+  std::vector<std::unique_ptr<align::AlignmentEngine>> shards;
+  std::vector<const align::AlignmentEngine*> shard_ptrs;
+  for (int s = 0; s < 3; ++s) {
+    shards.push_back(
+        std::make_unique<align::SoftwareEngine>(f.fm, f.options));
+    shard_ptrs.push_back(shards.back().get());
+  }
+  align::ShardedEngine engine(shard_ptrs);
+
+  ServiceOptions options;
+  options.batching.max_batch_reads = 64;
+  options.batching.max_linger = 300us;
+  AlignmentService service(engine, options);
+
+  std::vector<ResponseFuture> futures;
+  const std::size_t kRequestReads = 8;
+  for (std::size_t begin = 0; begin < f.reads.size();
+       begin += kRequestReads) {
+    AlignRequest request;
+    request.reads = slice_reads(
+        f.reads, begin, std::min(begin + kRequestReads, f.reads.size()));
+    futures.push_back(service.submit(std::move(request)));
+  }
+  std::size_t index = 0;
+  for (auto& future : futures) {
+    AlignResponse response = future.get();
+    ASSERT_TRUE(response.ok()) << response.reason;
+    for (const auto& result : response.results) {
+      expect_identical(want[index], result, index, "sharded-service");
+      ++index;
+    }
+  }
+  EXPECT_EQ(index, f.reads.size());
+}
+
+TEST(AlignmentService, BlockingAlignAndEmptyRequest) {
+  Fixture f(10);
+  align::SoftwareEngine engine(f.fm, f.options);
+  AlignmentService service(engine);
+
+  AlignResponse empty = service.align(AlignRequest{});
+  EXPECT_TRUE(empty.ok());
+  EXPECT_TRUE(empty.results.empty());
+
+  AlignRequest request;
+  request.reads = slice_reads(f.reads, 0, 3);
+  AlignResponse response = service.align(std::move(request));
+  ASSERT_TRUE(response.ok());
+  const auto want = f.direct(slice_reads(f.reads, 0, 3));
+  ASSERT_EQ(response.results.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    expect_identical(want[i], response.results[i], i, "blocking");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Admission control / overload shedding.
+
+TEST(AdmissionControl, VetIsPureAndReasoned) {
+  AdmissionControl admission({.max_queued_requests = 2,
+                              .max_queued_reads = 10,
+                              .reject_oversized = true});
+  AlignRequest small;
+  small.reads.resize(3);
+  EXPECT_FALSE(admission.vet(0, 0, small).has_value());
+  // Request-count bound.
+  auto reason = admission.vet(2, 6, small);
+  ASSERT_TRUE(reason.has_value());
+  EXPECT_NE(reason->find("queue full"), std::string::npos);
+  // Read-count bound.
+  reason = admission.vet(1, 9, small);
+  ASSERT_TRUE(reason.has_value());
+  EXPECT_NE(reason->find("reads"), std::string::npos);
+  // Oversized: could never fit, even against an empty queue.
+  AlignRequest huge;
+  huge.reads.resize(11);
+  reason = admission.vet(0, 0, huge);
+  ASSERT_TRUE(reason.has_value());
+  EXPECT_NE(reason->find("too large"), std::string::npos);
+  // Unlimited when bounds are 0.
+  AdmissionControl unlimited({.max_queued_requests = 0,
+                              .max_queued_reads = 0});
+  EXPECT_FALSE(unlimited.vet(1u << 20, 1u << 30, huge).has_value());
+}
+
+TEST(AlignmentService, ShedsOverloadWithReasonAndServesAdmitted) {
+  Fixture f(30);
+  align::SoftwareEngine inner(f.fm, f.options);
+  GateEngine engine(inner);
+
+  ServiceOptions options;
+  options.admission.max_queued_requests = 2;
+  options.admission.max_queued_reads = 100;
+  options.batching.max_batch_reads = 4;  // one request per batch
+  options.batching.max_linger = 0us;
+  AlignmentService service(engine, options);
+
+  auto request_at = [&](std::size_t begin) {
+    AlignRequest request;
+    request.reads = slice_reads(f.reads, begin, begin + 4);
+    return request;
+  };
+
+  // First request goes in flight (pinned on the gate), leaving the queue
+  // empty; two more fill the queue; the rest must be shed.
+  ResponseFuture in_flight = service.submit(request_at(0));
+  engine.wait_entered(1);
+  ResponseFuture queued1 = service.submit(request_at(4));
+  ResponseFuture queued2 = service.submit(request_at(8));
+  ResponseFuture shed1 = service.submit(request_at(12));
+  ResponseFuture shed2 = service.submit(request_at(16));
+
+  AlignResponse r_shed1 = shed1.get();
+  AlignResponse r_shed2 = shed2.get();
+  EXPECT_EQ(r_shed1.status, RequestStatus::kRejected);
+  EXPECT_EQ(r_shed2.status, RequestStatus::kRejected);
+  EXPECT_NE(r_shed1.reason.find("queue full"), std::string::npos)
+      << r_shed1.reason;
+  EXPECT_TRUE(r_shed1.results.empty());
+
+  engine.open();
+  EXPECT_TRUE(in_flight.get().ok());
+  EXPECT_TRUE(queued1.get().ok());
+  EXPECT_TRUE(queued2.get().ok());
+  service.shutdown();
+
+  const auto counters = service.counters();
+  EXPECT_EQ(counters.submitted, 5u);
+  EXPECT_EQ(counters.admitted, 3u);
+  EXPECT_EQ(counters.rejected, 2u);
+  EXPECT_EQ(counters.completed, 3u);
+}
+
+TEST(AlignmentService, OversizedRequestIsRejectedOutright) {
+  Fixture f(20);
+  align::SoftwareEngine engine(f.fm, f.options);
+  ServiceOptions options;
+  options.admission.max_queued_reads = 8;
+  AlignmentService service(engine, options);
+
+  AlignRequest request;
+  request.reads = slice_reads(f.reads, 0, 12);
+  AlignResponse response = service.align(std::move(request));
+  EXPECT_EQ(response.status, RequestStatus::kRejected);
+  EXPECT_NE(response.reason.find("too large"), std::string::npos)
+      << response.reason;
+}
+
+// ---------------------------------------------------------------------------
+// Deadlines.
+
+TEST(AlignmentService, ExpiredDeadlineFailsFastAtDequeue) {
+  Fixture f(20);
+  align::SoftwareEngine inner(f.fm, f.options);
+  GateEngine engine(inner);
+
+  ServiceOptions options;
+  options.batching.max_batch_reads = 4;
+  options.batching.max_linger = 0us;
+  AlignmentService service(engine, options);
+
+  AlignRequest occupant;
+  occupant.reads = slice_reads(f.reads, 0, 4);
+  ResponseFuture in_flight = service.submit(std::move(occupant));
+  engine.wait_entered(1);
+
+  // Deadline already in the past: whatever batch picks it up must expire
+  // it at dequeue without touching the engine.
+  AlignRequest late;
+  late.reads = slice_reads(f.reads, 4, 8);
+  late.deadline = ServiceClock::now() - 1ms;
+  ResponseFuture expired = service.submit(std::move(late));
+
+  // Generous deadline: must still be served.
+  AlignRequest fine;
+  fine.reads = slice_reads(f.reads, 8, 12);
+  fine.deadline = ServiceClock::now() + 60s;
+  ResponseFuture served = service.submit(std::move(fine));
+
+  engine.open();
+  AlignResponse r_expired = expired.get();
+  EXPECT_EQ(r_expired.status, RequestStatus::kExpired);
+  EXPECT_NE(r_expired.reason.find("deadline"), std::string::npos)
+      << r_expired.reason;
+  EXPECT_TRUE(r_expired.results.empty());
+  EXPECT_TRUE(in_flight.get().ok());
+  EXPECT_TRUE(served.get().ok());
+  service.shutdown();
+
+  const auto counters = service.counters();
+  EXPECT_EQ(counters.expired, 1u);
+  EXPECT_EQ(counters.completed, 2u);
+  // The expired request's reads never reached the engine.
+  EXPECT_EQ(service.engine_stats().reads_total, 8u);
+}
+
+// ---------------------------------------------------------------------------
+// Priority classes.
+
+TEST(AlignmentService, InteractiveDispatchesBeforeQueuedBatch) {
+  Fixture f(20);
+  align::SoftwareEngine inner(f.fm, f.options);
+  GateEngine engine(inner);
+
+  ServiceOptions options;
+  options.batching.max_batch_reads = 2;  // one 2-read request per batch
+  options.batching.max_linger = 0us;
+  AlignmentService service(engine, options);
+
+  auto request_at = [&](std::size_t begin, RequestPriority priority) {
+    AlignRequest request;
+    request.reads = slice_reads(f.reads, begin, begin + 2);
+    request.priority = priority;
+    return request;
+  };
+
+  ResponseFuture occupant =
+      service.submit(request_at(0, RequestPriority::kBatch));
+  engine.wait_entered(1);
+  ResponseFuture batch1 =
+      service.submit(request_at(2, RequestPriority::kBatch));
+  ResponseFuture batch2 =
+      service.submit(request_at(4, RequestPriority::kBatch));
+  ResponseFuture interactive =
+      service.submit(request_at(6, RequestPriority::kInteractive));
+
+  engine.open();
+  AlignResponse r_interactive = interactive.get();
+  AlignResponse r_batch1 = batch1.get();
+  AlignResponse r_batch2 = batch2.get();
+  service.shutdown();
+
+  ASSERT_TRUE(r_interactive.ok());
+  ASSERT_TRUE(r_batch1.ok());
+  ASSERT_TRUE(r_batch2.ok());
+  // The interactive request jumped the queued batch-class requests.
+  EXPECT_LT(r_interactive.batch_seq, r_batch1.batch_seq);
+  EXPECT_LT(r_interactive.batch_seq, r_batch2.batch_seq);
+  EXPECT_LT(r_batch1.batch_seq, r_batch2.batch_seq);  // FIFO within class
+}
+
+// ---------------------------------------------------------------------------
+// Shutdown semantics.
+
+TEST(AlignmentService, DrainShutdownServesEverythingAdmitted) {
+  Fixture f(120, 5);
+  align::SoftwareEngine engine(f.fm, f.options);
+  const auto want = f.direct(f.reads);
+
+  ServiceOptions options;
+  options.batching.max_batch_reads = 16;
+  options.batching.max_linger = 5000us;
+  AlignmentService service(engine, options);
+
+  std::vector<ResponseFuture> futures;
+  for (std::size_t begin = 0; begin < f.reads.size(); begin += 6) {
+    AlignRequest request;
+    request.reads =
+        slice_reads(f.reads, begin, std::min(begin + 6, f.reads.size()));
+    futures.push_back(service.submit(std::move(request)));
+  }
+  // Close immediately: drain must still serve every admitted request.
+  service.shutdown(AlignmentService::ShutdownMode::kDrain);
+
+  std::size_t index = 0;
+  for (auto& future : futures) {
+    AlignResponse response = future.get();
+    ASSERT_TRUE(response.ok()) << response.reason;
+    for (const auto& result : response.results) {
+      expect_identical(want[index], result, index, "drain");
+      ++index;
+    }
+  }
+  EXPECT_EQ(index, f.reads.size());
+  EXPECT_EQ(service.counters().completed, futures.size());
+
+  // Submissions after shutdown are turned away, not queued.
+  AlignRequest late;
+  late.reads = slice_reads(f.reads, 0, 1);
+  AlignResponse r_late = service.submit(std::move(late)).get();
+  EXPECT_EQ(r_late.status, RequestStatus::kShutdown);
+  EXPECT_EQ(service.counters().rejected_shutdown, 1u);
+}
+
+TEST(AlignmentService, AbortShutdownFailsQueuedButFinishesInFlight) {
+  Fixture f(20);
+  align::SoftwareEngine inner(f.fm, f.options);
+  GateEngine engine(inner);
+
+  ServiceOptions options;
+  options.batching.max_batch_reads = 4;
+  options.batching.max_linger = 0us;
+  AlignmentService service(engine, options);
+
+  AlignRequest occupant;
+  occupant.reads = slice_reads(f.reads, 0, 4);
+  ResponseFuture in_flight = service.submit(std::move(occupant));
+  engine.wait_entered(1);
+  AlignRequest queued;
+  queued.reads = slice_reads(f.reads, 4, 8);
+  ResponseFuture abandoned = service.submit(std::move(queued));
+
+  // shutdown(kAbort) blocks on the batcher join, which is pinned on the
+  // gate — run it from a helper thread and release the gate after.
+  std::thread stopper(
+      [&] { service.shutdown(AlignmentService::ShutdownMode::kAbort); });
+  AlignResponse r_abandoned = abandoned.get();  // failed by the abort
+  EXPECT_EQ(r_abandoned.status, RequestStatus::kShutdown);
+  EXPECT_NE(r_abandoned.reason.find("shut down"), std::string::npos)
+      << r_abandoned.reason;
+  engine.open();
+  stopper.join();
+
+  EXPECT_TRUE(in_flight.get().ok());  // in-flight batch still completed
+  const auto counters = service.counters();
+  EXPECT_EQ(counters.aborted, 1u);
+  EXPECT_EQ(counters.completed, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Error routing.
+
+TEST(AlignmentService, EngineFaultReachesFuturesAndServiceSurvives) {
+  Fixture f(20);
+  align::SoftwareEngine inner(f.fm, f.options);
+  // Large chunk so the whole batch is one align_range call; fail call 0.
+  FaultyEngine engine(inner, 0);
+
+  ServiceOptions options;
+  options.batching.max_batch_reads = 4;
+  options.batching.max_linger = 0us;
+  options.batching.parallel.chunk_size = 64;
+  AlignmentService service(engine, options);
+
+  AlignRequest doomed;
+  doomed.reads = slice_reads(f.reads, 0, 4);
+  ResponseFuture first = service.submit(std::move(doomed));
+  EXPECT_THROW(first.get(), std::runtime_error);
+
+  // The loop keeps serving: the next batch goes through the inner engine.
+  AlignRequest fine;
+  fine.reads = slice_reads(f.reads, 4, 8);
+  AlignResponse response = service.align(std::move(fine));
+  ASSERT_TRUE(response.ok()) << response.reason;
+  const auto want = f.direct(slice_reads(f.reads, 4, 8));
+  for (std::size_t i = 0; i < response.results.size(); ++i) {
+    expect_identical(want[i], response.results[i], i, "post-fault");
+  }
+  service.shutdown();
+}
+
+// ---------------------------------------------------------------------------
+// Concurrency (run under TSan in CI).
+
+TEST(AlignmentService, ConcurrentSubmittersEachGetTheirOwnResults) {
+  Fixture f(200, 9);
+  align::SoftwareEngine engine(f.fm, f.options);
+  const auto want = f.direct(f.reads);
+
+  obs::MetricsRegistry registry;
+  ServiceOptions options;
+  options.batching.max_batch_reads = 32;
+  options.batching.max_linger = 200us;
+  options.batching.parallel.num_threads = 2;
+  options.batching.parallel.chunk_size = 8;
+  options.metrics = &registry;
+  AlignmentService service(engine, options);
+
+  constexpr std::size_t kThreads = 6;
+  constexpr std::size_t kPerThread = 24;
+  std::atomic<std::size_t> mismatches{0};
+  std::vector<std::thread> submitters;
+  submitters.reserve(kThreads);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    submitters.emplace_back([&, t] {
+      util::Xoshiro256 rng(1000 + t);
+      for (std::size_t i = 0; i < kPerThread; ++i) {
+        const std::size_t size = 1 + rng.bounded(5);
+        const std::size_t begin = rng.bounded(f.reads.size() - size);
+        AlignRequest request;
+        request.reads = slice_reads(f.reads, begin, begin + size);
+        request.priority = (i % 3 == 0) ? RequestPriority::kInteractive
+                                        : RequestPriority::kBatch;
+        AlignResponse response = service.submit(std::move(request)).get();
+        if (!response.ok() || response.results.size() != size) {
+          mismatches.fetch_add(1);
+          continue;
+        }
+        for (std::size_t r = 0; r < size; ++r) {
+          const auto& got = response.results[r];
+          const auto& ref = want[begin + r];
+          if (got.stage != ref.stage || got.hits.size() != ref.hits.size()) {
+            mismatches.fetch_add(1);
+            break;
+          }
+          bool hit_mismatch = false;
+          for (std::size_t h = 0; h < ref.hits.size(); ++h) {
+            if (got.hits[h].position != ref.hits[h].position ||
+                got.hits[h].diffs != ref.hits[h].diffs ||
+                got.hits[h].strand != ref.hits[h].strand) {
+              hit_mismatch = true;
+              break;
+            }
+          }
+          if (hit_mismatch) {
+            mismatches.fetch_add(1);
+            break;
+          }
+        }
+      }
+    });
+  }
+  for (auto& thread : submitters) thread.join();
+  EXPECT_EQ(mismatches.load(), 0u);
+  service.shutdown();
+
+  const auto counters = service.counters();
+  EXPECT_EQ(counters.submitted, kThreads * kPerThread);
+  EXPECT_EQ(counters.completed, kThreads * kPerThread);
+  EXPECT_EQ(counters.rejected, 0u);
+
+  // The serve.* series mirror the shared tallies.
+  const auto snapshot = registry.scrape();
+  EXPECT_EQ(snapshot.counter_value("serve.submitted"), counters.submitted);
+  EXPECT_EQ(snapshot.counter_value("serve.completed"), counters.completed);
+  EXPECT_EQ(snapshot.counter_value("serve.batches"), counters.batches);
+  EXPECT_EQ(snapshot.counter_value("serve.reads"), counters.batched_reads);
+  const obs::HistogramSample* latency =
+      snapshot.histogram("serve.latency_ms");
+  ASSERT_NE(latency, nullptr);
+  EXPECT_EQ(latency->count, counters.completed);
+  EXPECT_LE(latency->p50, latency->p99);
+  EXPECT_DOUBLE_EQ(latency->percentile(0.5), latency->p50);
+}
+
+}  // namespace
+}  // namespace pim::serve

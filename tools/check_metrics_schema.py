@@ -13,11 +13,12 @@ Checks, per line:
   * metric lines carry exactly the fields for their "type":
       counter:   metric, type, value (int)
       gauge:     metric, type, value (number)
-      histogram: metric, type, count, sum, min, max, mean, p50, p90, p99
+      histogram: metric, type, count, sum, min, max, mean, p50, p90, p95,
+                 p99
   * trace lines carry exactly: trace, seq, thread, depth, start_ms,
     duration_ms;
-  * histogram percentiles are ordered (p50 <= p90 <= p99) and clamped to
-    [min, max]; counters are non-negative integers.
+  * histogram percentiles are ordered (p50 <= p90 <= p95 <= p99) and
+    clamped to [min, max]; counters are non-negative integers.
 Exits non-zero on the first violating file, printing every violation.
 """
 
@@ -30,7 +31,7 @@ METRIC_FIELDS = {
     "gauge": ["metric", "type", "value"],
     "histogram": [
         "metric", "type", "count", "sum", "min", "max", "mean",
-        "p50", "p90", "p99",
+        "p50", "p90", "p95", "p99",
     ],
 }
 TRACE_FIELDS = ["trace", "seq", "thread", "depth", "start_ms", "duration_ms"]
@@ -76,7 +77,7 @@ def check_line(line, lineno, errors):
                     return
             if obj["count"] > 0:
                 if not (obj["min"] <= obj["p50"] <= obj["p90"]
-                        <= obj["p99"] <= obj["max"]):
+                        <= obj["p95"] <= obj["p99"] <= obj["max"]):
                     errors.append(
                         f"line {lineno}: {obj['metric']}: percentiles not "
                         f"ordered within [min, max]")
