@@ -3,16 +3,21 @@
 // classes and deadlines. Self-contained — synthesizes a reference and reads,
 // no input files.
 //
-//   ./align_server_demo [clients] [requests_per_client]
+//   ./align_server_demo [clients] [requests_per_client] [--metrics=PATH]
 //
 // Prints the per-class outcome tally, the serve.* latency percentiles
 // (p50/p95/p99 via HistogramSample::percentile), and the dynamic batcher's
-// coalescing statistics.
+// coalescing statistics. A second phase (S42) demonstrates multi-reference
+// serving: three persisted index artifacts behind an IndexCache capped at
+// two resident, requests routed by reference_id, LRU eviction observable in
+// the service.index_cache.* series. --metrics=PATH writes the full registry
+// snapshot as JSON lines afterwards.
 #include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -20,7 +25,10 @@
 #include "src/align/engine.h"
 #include "src/genome/synthetic_genome.h"
 #include "src/index/fm_index.h"
+#include "src/index/index_io.h"
 #include "src/obs/metrics.h"
+#include "src/obs/reporter.h"
+#include "src/serve/index_cache.h"
 #include "src/serve/service.h"
 #include "src/util/rng.h"
 
@@ -48,13 +56,123 @@ std::vector<std::vector<Base>> make_reads(
   return reads;
 }
 
+// Phase 2 (S42): persisted artifacts + IndexCache + reference_id routing.
+// Three references, two resident slots — serving the third evicts the
+// least-recently-used lane, which the next round trip then reloads (misses
+// and evictions both land in service.index_cache.*).
+int run_multi_reference_phase(pim::obs::MetricsRegistry& registry,
+                              std::size_t clients, std::size_t per_client) {
+  using namespace pim;
+  std::printf("\n--- multi-reference serving (IndexCache, max_resident=2) "
+              "---\n");
+  const std::vector<std::string> ids = {"chrA", "chrB", "chrC"};
+  std::vector<genome::PackedSequence> references;
+  serve::IndexCacheOptions cache_options;
+  cache_options.max_resident = 2;
+  cache_options.metrics = &registry;
+  serve::IndexCache cache(cache_options);
+  for (std::size_t r = 0; r < ids.size(); ++r) {
+    genome::SyntheticGenomeSpec spec;
+    spec.length = 60000;
+    spec.seed = 40 + static_cast<std::uint64_t>(r);
+    references.push_back(genome::generate_reference(spec));
+    const auto fm =
+        index::FmIndex::build(references[r], {.bucket_width = 128});
+    const std::string path = "/tmp/pim_serve_" + ids[r] + ".index";
+    index::save_index_file(path, fm, references[r],
+                           {{ids[r], 0, references[r].size()}});
+    cache.add_reference(ids[r], path);
+  }
+
+  serve::MultiReferenceOptions options;
+  options.aligner.inexact.max_diffs = 2;
+  options.service.batching.max_linger = 500us;
+  options.service.metrics = &registry;
+  serve::AlignmentService service(cache, options);
+
+  std::vector<std::vector<std::vector<Base>>> pools;
+  pools.reserve(ids.size());
+  for (const auto& reference : references) {
+    pools.push_back(make_reads(reference, 512));
+  }
+
+  std::vector<std::thread> threads;
+  std::atomic<std::uint64_t> ok{0}, failed{0};
+  for (std::size_t c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      pim::util::Xoshiro256 rng(300 + c);
+      for (std::size_t i = 0; i < per_client; ++i) {
+        // Stride across references so lanes interleave and the LRU order
+        // keeps changing; each client checks placements land in range.
+        const std::size_t r = (c + i) % ids.size();
+        serve::AlignRequest request;
+        request.reference_id = ids[r];
+        const std::size_t size = 1 + rng.bounded(4);
+        const std::size_t begin = rng.bounded(pools[r].size() - size);
+        request.reads.assign(
+            pools[r].begin() + static_cast<std::ptrdiff_t>(begin),
+            pools[r].begin() + static_cast<std::ptrdiff_t>(begin + size));
+        auto response = service.submit(std::move(request)).get();
+        if (response.ok()) {
+          ok.fetch_add(1);
+        } else {
+          failed.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  // One misrouted request to show the fail-fast path.
+  serve::AlignRequest bogus;
+  bogus.reference_id = "chrZ";
+  bogus.reads.push_back(pools[0][0]);
+  const auto rejected = service.align(std::move(bogus));
+  std::printf("routing chrZ: %s (\"%s\")\n",
+              rejected.status == serve::RequestStatus::kRejected ? "rejected"
+                                                                 : "UNEXPECTED",
+              rejected.reason.c_str());
+
+  service.shutdown();
+  const auto stats = cache.stats();
+  std::printf("outcomes: ok=%llu failed=%llu across %zu references\n",
+              static_cast<unsigned long long>(ok.load()),
+              static_cast<unsigned long long>(failed.load()), ids.size());
+  std::printf("index cache: hits=%llu misses=%llu evictions=%llu "
+              "resident=%zu (%llu bytes)\n",
+              static_cast<unsigned long long>(stats.hits),
+              static_cast<unsigned long long>(stats.misses),
+              static_cast<unsigned long long>(stats.evictions),
+              stats.resident,
+              static_cast<unsigned long long>(stats.resident_bytes));
+  const bool cache_ok = stats.misses >= ids.size() && stats.evictions > 0;
+  if (!cache_ok) std::printf("UNEXPECTED: cache never cycled residents\n");
+  return ok.load() > 0 && failed.load() == 0 &&
+                 rejected.status == serve::RequestStatus::kRejected && cache_ok
+             ? 0
+             : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  std::string metrics_path;
+  std::vector<std::string> positional;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--metrics=", 0) == 0) {
+      metrics_path = arg.substr(10);
+    } else {
+      positional.push_back(arg);
+    }
+  }
   const std::size_t clients =
-      argc > 1 ? static_cast<std::size_t>(std::stoul(argv[1])) : 4;
+      !positional.empty() ? static_cast<std::size_t>(std::stoul(positional[0]))
+                          : 4;
   const std::size_t per_client =
-      argc > 2 ? static_cast<std::size_t>(std::stoul(argv[2])) : 64;
+      positional.size() > 1
+          ? static_cast<std::size_t>(std::stoul(positional[1]))
+          : 64;
 
   // Reference + index + engine: the same stack every other front-end uses.
   pim::genome::SyntheticGenomeSpec spec;
@@ -151,5 +269,15 @@ int main(int argc, char** argv) {
     std::printf("serve.batch_fill: p50=%.2f p95=%.2f (1.0 = full batch)\n",
                 fill->percentile(0.5), fill->percentile(0.95));
   }
-  return ok.load() > 0 && failed.load() == 0 ? 0 : 1;
+  const int single_rc = ok.load() > 0 && failed.load() == 0 ? 0 : 1;
+
+  const int multi_rc =
+      run_multi_reference_phase(registry, clients, per_client);
+
+  if (!metrics_path.empty()) {
+    std::ofstream metrics_out(metrics_path);
+    pim::obs::write_json_lines(registry.scrape(), metrics_out);
+    std::printf("wrote metrics to %s\n", metrics_path.c_str());
+  }
+  return single_rc == 0 && multi_rc == 0 ? 0 : 1;
 }

@@ -10,6 +10,8 @@
 //
 //   ./fastq_to_sam ref.fasta reads.fastq out.sam [threads] [max_diffs]
 //                  [shards] [--metrics=PATH] [--pim-chips=N]
+//                  [--save-index=PATH]
+//   ./fastq_to_sam --index=PATH reads.fastq out.sam [...]
 //
 // --metrics=PATH  installs the S40 observability registry end to end and
 //                 writes the stage-resolved snapshot (stream.*, sched.*,
@@ -18,6 +20,12 @@
 // --pim-chips=N   aligns on a simulated N-chip SOT-MRAM fleet (PimChipFleet)
 //                 instead of software shards. Cycle/energy-accurate and
 //                 correspondingly slow — use small read counts.
+// --save-index=PATH  after building the index from ref.fasta, persist it as
+//                 a v2 artifact (S42) so later runs can skip the SA-IS/BWT
+//                 pre-computation entirely.
+// --index=PATH    load (mmap when possible) a persisted index instead of
+//                 building from FASTA; ref.fasta is then omitted. Mutually
+//                 exclusive with --save-index (exit 2).
 //
 // With no arguments, runs a self-contained demo: generates a synthetic
 // reference and ART-like FASTQ reads (with quality ramp), writes them to
@@ -35,7 +43,10 @@
 #include "src/align/streaming_pipeline.h"
 #include "src/genome/fasta.h"
 #include "src/genome/fastq.h"
+#include "src/genome/multi_reference.h"
 #include "src/genome/synthetic_genome.h"
+#include "src/index/index_io.h"
+#include "src/index/mapped_index.h"
 #include "src/obs/metrics.h"
 #include "src/obs/reporter.h"
 #include "src/obs/trace.h"
@@ -48,21 +59,52 @@ namespace {
 int run(const std::string& ref_path, const std::string& fastq_path,
         const std::string& sam_path, std::size_t threads,
         std::uint32_t max_diffs, std::size_t shards,
-        const std::string& metrics_path, std::size_t pim_chips) {
+        const std::string& metrics_path, std::size_t pim_chips,
+        const std::string& index_path, const std::string& save_index_path) {
   using namespace pim;
 
-  const auto refs = genome::read_fasta_file(ref_path);
-  if (refs.empty()) {
-    std::fprintf(stderr, "no FASTA records in %s\n", ref_path.c_str());
-    return 1;
-  }
-  const auto& reference = refs[0].sequence;
-  std::printf("reference: %s (%zu bp)\n", refs[0].name.c_str(),
-              reference.size());
+  // The index either comes from a persisted artifact (--index: skip the
+  // FASTA -> SA-IS -> BWT pre-computation) or is built from ref.fasta
+  // (optionally persisted via --save-index for the next run).
+  index::MappedIndex mapped;
+  index::FmIndex built;
+  genome::PackedSequence built_reference;
+  const index::FmIndex* fm = nullptr;
+  const genome::PackedSequence* reference = nullptr;
+  std::string ref_name = "ref";
 
-  const auto fm = index::FmIndex::build(reference, {.bucket_width = 128});
-  std::printf("index built (%zu B resident)\n",
-              fm.memory_footprint().total());
+  if (!index_path.empty()) {
+    mapped = index::MappedIndex::open(index_path);
+    fm = &mapped.index();
+    reference = &mapped.reference();
+    if (!mapped.chromosomes().empty()) ref_name = mapped.chromosomes()[0].name;
+    std::printf("index: %s (%s, %zu bp reference, %zu B resident)\n",
+                index_path.c_str(),
+                mapped.mapped() ? "mapped" : "stream-loaded",
+                reference->size(), fm->memory_footprint().total());
+  } else {
+    const auto refs = genome::read_fasta_file(ref_path);
+    if (refs.empty()) {
+      std::fprintf(stderr, "no FASTA records in %s\n", ref_path.c_str());
+      return 1;
+    }
+    built_reference = refs[0].sequence;
+    reference = &built_reference;
+    ref_name = refs[0].name.substr(0, refs[0].name.find(' '));
+    if (ref_name.empty()) ref_name = "ref";
+    std::printf("reference: %s (%zu bp)\n", refs[0].name.c_str(),
+                reference->size());
+    built = index::FmIndex::build(*reference, {.bucket_width = 128});
+    fm = &built;
+    std::printf("index built (%zu B resident)\n",
+                fm->memory_footprint().total());
+    if (!save_index_path.empty()) {
+      const std::vector<genome::Chromosome> chromosomes{
+          {ref_name, 0, reference->size()}};
+      index::save_index_file(save_index_path, built, *reference, chromosomes);
+      std::printf("index saved -> %s\n", save_index_path.c_str());
+    }
+  }
 
   align::AlignerOptions options;
   options.inexact.max_diffs = max_diffs;
@@ -77,10 +119,7 @@ int run(const std::string& ref_path, const std::string& fastq_path,
     std::fprintf(stderr, "cannot write %s\n", sam_path.c_str());
     return 1;
   }
-  // Use the first whitespace-delimited token of the header as the name.
-  std::string ref_name = refs[0].name.substr(0, refs[0].name.find(' '));
-  if (ref_name.empty()) ref_name = "ref";
-  align::SamWriter writer(sam_out, ref_name, reference);
+  align::SamWriter writer(sam_out, ref_name, *reference);
   writer.write_header();
 
   // Stream: FASTQ records never all live at once. The producer packs the
@@ -109,7 +148,7 @@ int run(const std::string& ref_path, const std::string& fastq_path,
     // tallies), and the sharded seam streams per-chip completions into the
     // SAM writer exactly like the software path.
     const hw::TimingEnergyModel timing;
-    hw::PimChipFleet fleet(fm, timing, pim_chips, options, {},
+    hw::PimChipFleet fleet(*fm, timing, pim_chips, options, {},
                            hw::AddPlacement::kMethodI, shard_opts);
     stats = align::StreamingPipeline(fleet.engine(), sopts).run(reader,
                                                                 writer);
@@ -128,7 +167,7 @@ int run(const std::string& ref_path, const std::string& fastq_path,
     // with boundaries rebalanced from the measured wall-time skew.
     std::vector<std::unique_ptr<align::AlignmentEngine>> chips;
     for (std::size_t s = 0; s < shards; ++s) {
-      chips.push_back(std::make_unique<align::SoftwareEngine>(fm, options));
+      chips.push_back(std::make_unique<align::SoftwareEngine>(*fm, options));
     }
     const align::ShardedEngine engine(std::move(chips), shard_opts);
     stats = align::StreamingPipeline(engine, sopts).run(reader, writer);
@@ -139,7 +178,7 @@ int run(const std::string& ref_path, const std::string& fastq_path,
                   static_cast<unsigned long long>(s.hits), s.wall_ms);
     }
   } else {
-    const align::SoftwareEngine engine(fm, options);
+    const align::SoftwareEngine engine(*fm, options);
     stats = align::StreamingPipeline(engine, sopts).run(reader, writer);
   }
 
@@ -203,7 +242,7 @@ int run_demo(const std::string& metrics_path, std::size_t pim_chips) {
                      metrics_path.empty()
                          ? "/tmp/pim_aligner_demo_metrics.jsonl"
                          : metrics_path,
-                     pim_chips);
+                     pim_chips, /*index_path=*/"", /*save_index_path=*/"");
   if (rc != 0) return rc;
 
   std::printf("\nfirst SAM lines:\n");
@@ -220,8 +259,11 @@ int run_demo(const std::string& metrics_path, std::size_t pim_chips) {
 void print_usage(const char* prog) {
   std::fprintf(stderr,
                "usage: %s ref.fasta reads.fastq out.sam [threads] "
+               "[max_diffs] [shards] [--metrics=PATH] [--pim-chips=N] "
+               "[--save-index=PATH]\n"
+               "       %s --index=PATH reads.fastq out.sam [threads] "
                "[max_diffs] [shards] [--metrics=PATH] [--pim-chips=N]\n",
-               prog);
+               prog, prog);
 }
 
 int main(int argc, char** argv) {
@@ -229,6 +271,8 @@ int main(int argc, char** argv) {
   // unrecognized --flag is an error, not a silently ignored positional —
   // a typo like --metrcs=x must not run the demo with metrics off.
   std::string metrics_path;
+  std::string index_path;
+  std::string save_index_path;
   std::size_t pim_chips = 0;
   std::vector<std::string> positional;
   for (int i = 1; i < argc; ++i) {
@@ -237,6 +281,10 @@ int main(int argc, char** argv) {
       metrics_path = arg.substr(10);
     } else if (arg.rfind("--pim-chips=", 0) == 0) {
       pim_chips = static_cast<std::size_t>(std::stoul(arg.substr(12)));
+    } else if (arg.rfind("--index=", 0) == 0) {
+      index_path = arg.substr(8);
+    } else if (arg.rfind("--save-index=", 0) == 0) {
+      save_index_path = arg.substr(13);
     } else if (arg.rfind("--", 0) == 0) {
       std::fprintf(stderr, "%s: unknown flag '%s'\n", argv[0], arg.c_str());
       print_usage(argv[0]);
@@ -245,7 +293,22 @@ int main(int argc, char** argv) {
       positional.push_back(arg);
     }
   }
+  if (!index_path.empty() && !save_index_path.empty()) {
+    // Contradictory: --index promises no build, --save-index requires one.
+    std::fprintf(stderr, "%s: --index and --save-index are mutually "
+                         "exclusive\n", argv[0]);
+    print_usage(argv[0]);
+    return 2;
+  }
   if (positional.empty()) return run_demo(metrics_path, pim_chips);
+  if (!index_path.empty()) {
+    // ref.fasta is replaced by the artifact: positionals shift left.
+    if (positional.size() < 2) {
+      print_usage(argv[0]);
+      return 2;
+    }
+    positional.insert(positional.begin(), "");
+  }
   if (positional.size() < 3) {
     print_usage(argv[0]);
     return 2;
@@ -263,5 +326,5 @@ int main(int argc, char** argv) {
           ? static_cast<std::size_t>(std::stoul(positional[5]))
           : 1;
   return run(positional[0], positional[1], positional[2], threads, max_diffs,
-             shards, metrics_path, pim_chips);
+             shards, metrics_path, pim_chips, index_path, save_index_path);
 }

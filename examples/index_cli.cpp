@@ -1,25 +1,33 @@
 // Index-once, align-many CLI — the production workflow around the
-// serialized FM-index.
+// serialized FM-index (format v2, S42).
 //
 //   ./index_cli build <ref.fasta> <index.pim>         # pre-computation
+//   ./index_cli info  <index.pim>                     # headers only
+//   ./index_cli verify <index.pim>                    # full checksum pass
 //   ./index_cli align <index.pim> <reads.fastq> <out.sam>
-//   ./index_cli info  <index.pim>
 //   ./index_cli                                        # self-contained demo
 //
 // `build` runs the paper's Fig. 2 pre-computation (SA-IS, BWT, Marker
-// Table, SA) and persists it; `align` loads it back (skipping SA-IS) and
-// runs the multithreaded two-stage pipeline.
+// Table, SA) over the concatenation of *all* FASTA records and persists a
+// v2 artifact including the per-chromosome table; `info` inspects the
+// section layout without loading payloads; `verify` proves integrity by
+// running both loaders (stream + mmap) over every checksummed section;
+// `align` mmaps the artifact (zero-copy, no rebuild) and runs the
+// multithreaded two-stage pipeline.
 #include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <string>
+#include <vector>
 
 #include "src/align/parallel_aligner.h"
 #include "src/align/sam_writer.h"
 #include "src/genome/fasta.h"
 #include "src/genome/fastq.h"
+#include "src/genome/multi_reference.h"
 #include "src/genome/synthetic_genome.h"
 #include "src/index/index_io.h"
+#include "src/index/mapped_index.h"
 #include "src/readsim/read_simulator.h"
 
 namespace {
@@ -37,40 +45,83 @@ int cmd_build(const std::string& fasta_path, const std::string& index_path) {
     std::fprintf(stderr, "no FASTA records in %s\n", fasta_path.c_str());
     return 1;
   }
-  const auto& reference = records[0].sequence;
-  std::printf("building index for %s (%zu bp)...\n", records[0].name.c_str(),
-              reference.size());
+  const auto multi = genome::MultiReference::from_fasta_records(records);
+  std::printf("building index over %zu chromosome(s), %llu bp total...\n",
+              multi.chromosomes().size(),
+              static_cast<unsigned long long>(multi.total_length()));
   const auto t0 = std::chrono::steady_clock::now();
-  const auto fm = index::FmIndex::build(reference, {.bucket_width = 128});
+  const auto fm =
+      index::FmIndex::build(multi.concatenated(), {.bucket_width = 128});
   std::printf("  built in %.2f s\n", seconds_since(t0));
-  index::save_index_file(index_path, fm, reference);
+  index::save_index_file(index_path, fm, multi.concatenated(),
+                         multi.chromosomes());
   std::ifstream probe(index_path, std::ios::binary | std::ios::ate);
-  std::printf("  saved %s (%lld bytes)\n", index_path.c_str(),
-              static_cast<long long>(probe.tellg()));
+  std::printf("  saved %s (%lld bytes, format v%u)\n", index_path.c_str(),
+              static_cast<long long>(probe.tellg()), index::kIndexVersion);
   return 0;
 }
 
 int cmd_info(const std::string& index_path) {
   using namespace pim;
-  const auto loaded = index::load_index_file(index_path);
-  const auto fp = loaded.index.memory_footprint();
+  const auto info = index::inspect_index_file(index_path);
   std::printf("index: %s\n", index_path.c_str());
-  std::printf("  reference: %llu bp\n",
-              static_cast<unsigned long long>(loaded.index.reference_size()));
-  std::printf("  bucket width d: %u, SA sample rate: %u\n",
-              loaded.index.config().bucket_width,
-              loaded.index.config().sa_sample_rate);
-  std::printf("  resident: BWT %zu B, MT %zu B, SA %zu B (total %zu B)\n",
-              fp.bwt_bytes, fp.marker_bytes, fp.sa_bytes, fp.total());
+  std::printf("  format: v%u, %llu bytes\n", info.version,
+              static_cast<unsigned long long>(info.file_bytes));
+  std::printf("  reference: %llu bp, %zu chromosome(s)\n",
+              static_cast<unsigned long long>(info.reference_bases),
+              info.num_chromosomes);
+  std::printf("  bucket width d: %u, SA sample rate: %u\n", info.bucket_width,
+              info.sa_sample_rate);
+  for (const auto& section : info.sections) {
+    std::printf("  section %-12s offset %8llu  %10llu B  fnv1a %016llx\n",
+                section.name.c_str(),
+                static_cast<unsigned long long>(section.offset),
+                static_cast<unsigned long long>(section.payload_bytes),
+                static_cast<unsigned long long>(section.checksum));
+  }
   return 0;
+}
+
+int cmd_verify(const std::string& index_path) {
+  using namespace pim;
+  // Both loaders exercise every stored checksum: the stream loader while
+  // reading sections into owned buffers, the mapped loader over the mmap
+  // region. Agreement of the two proves the artifact and the zero-copy
+  // assembly path.
+  try {
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto loaded = index::load_index_file(index_path);
+    const double stream_s = seconds_since(t0);
+    const auto t1 = std::chrono::steady_clock::now();
+    const auto mapped = index::MappedIndex::open(index_path);
+    const double map_s = seconds_since(t1);
+    if (mapped.index().num_rows() != loaded.index.num_rows() ||
+        !(mapped.reference() == loaded.reference) ||
+        mapped.chromosomes().size() != loaded.chromosomes.size()) {
+      std::fprintf(stderr, "FAIL: stream and mapped loads disagree\n");
+      return 1;
+    }
+    std::printf("OK: %s (%llu bp, %zu chromosome(s); stream %.3f s, "
+                "%s %.3f s)\n",
+                index_path.c_str(),
+                static_cast<unsigned long long>(
+                    loaded.index.reference_size()),
+                loaded.chromosomes.size(), stream_s,
+                mapped.mapped() ? "mmap" : "stream-fallback", map_s);
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "FAIL: %s\n", e.what());
+    return 1;
+  }
 }
 
 int cmd_align(const std::string& index_path, const std::string& fastq_path,
               const std::string& sam_path) {
   using namespace pim;
   auto t0 = std::chrono::steady_clock::now();
-  const auto loaded = index::load_index_file(index_path);
-  std::printf("index loaded in %.2f s (no SA-IS rebuild)\n",
+  const auto mapped = index::MappedIndex::open(index_path);
+  std::printf("index %s in %.3f s (no SA-IS rebuild)\n",
+              mapped.mapped() ? "mapped" : "stream-loaded",
               seconds_since(t0));
 
   const auto reads = genome::read_fastq_file(fastq_path);
@@ -80,14 +131,17 @@ int cmd_align(const std::string& index_path, const std::string& fastq_path,
 
   align::AlignerOptions options;
   options.inexact.max_diffs = 2;
-  const align::Aligner aligner(loaded.index, options);
+  const align::Aligner aligner(mapped.index(), options);
   align::AlignerStats stats;
   t0 = std::chrono::steady_clock::now();
   const auto results = align::align_batch_parallel(aligner, bases, 0, &stats);
   const double align_s = seconds_since(t0);
 
   std::ofstream out(sam_path);
-  align::SamWriter writer(out, "ref", loaded.reference);
+  const std::string ref_name = mapped.chromosomes().empty()
+                                   ? "ref"
+                                   : mapped.chromosomes()[0].name;
+  align::SamWriter writer(out, ref_name, mapped.reference());
   writer.write_header();
   for (std::size_t i = 0; i < reads.size(); ++i) {
     writer.write_alignment(reads[i].name.substr(0, reads[i].name.find(' ')),
@@ -106,7 +160,8 @@ int cmd_align(const std::string& index_path, const std::string& fastq_path,
 
 int demo() {
   using namespace pim;
-  std::printf("no arguments: running the build -> info -> align demo\n\n");
+  std::printf(
+      "no arguments: running the build -> info -> verify -> align demo\n\n");
   genome::SyntheticGenomeSpec gspec;
   gspec.length = 80000;
   gspec.seed = 31;
@@ -125,6 +180,8 @@ int demo() {
   if (rc != 0) return rc;
   rc = cmd_info("/tmp/pim_cli.index");
   if (rc != 0) return rc;
+  rc = cmd_verify("/tmp/pim_cli.index");
+  if (rc != 0) return rc;
   return cmd_align("/tmp/pim_cli.index", "/tmp/pim_cli_reads.fastq",
                    "/tmp/pim_cli.sam");
 }
@@ -136,12 +193,14 @@ int main(int argc, char** argv) {
   const std::string cmd = argv[1];
   if (cmd == "build" && argc == 4) return cmd_build(argv[2], argv[3]);
   if (cmd == "info" && argc == 3) return cmd_info(argv[2]);
+  if (cmd == "verify" && argc == 3) return cmd_verify(argv[2]);
   if (cmd == "align" && argc == 5) {
     return cmd_align(argv[2], argv[3], argv[4]);
   }
   std::fprintf(stderr,
                "usage:\n  %s build <ref.fasta> <index>\n  %s info <index>\n"
+               "  %s verify <index>\n"
                "  %s align <index> <reads.fastq> <out.sam>\n",
-               argv[0], argv[0], argv[0]);
+               argv[0], argv[0], argv[0], argv[0]);
   return 2;
 }

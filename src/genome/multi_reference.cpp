@@ -21,6 +21,28 @@ MultiReference MultiReference::from_parts(
   return ref;
 }
 
+MultiReference MultiReference::from_concatenated(
+    PackedSequence concatenated, std::vector<Chromosome> chromosomes) {
+  std::uint64_t expected_offset = 0;
+  for (const auto& chrom : chromosomes) {
+    if (chrom.offset != expected_offset) {
+      throw std::invalid_argument(
+          "MultiReference::from_concatenated: chromosome offsets not "
+          "contiguous");
+    }
+    expected_offset += chrom.length;
+  }
+  if (expected_offset != concatenated.size()) {
+    throw std::invalid_argument(
+        "MultiReference::from_concatenated: chromosome lengths do not tile "
+        "the concatenation");
+  }
+  MultiReference ref;
+  ref.concatenated_ = std::move(concatenated);
+  ref.chromosomes_ = std::move(chromosomes);
+  return ref;
+}
+
 MultiReference MultiReference::from_fasta_records(
     const std::vector<FastaRecord>& records) {
   std::vector<std::pair<std::string, PackedSequence>> parts;

@@ -40,6 +40,14 @@ class MultiReference {
   static MultiReference from_fasta_records(
       const std::vector<FastaRecord>& records);
 
+  /// Reassemble from an already-concatenated sequence and its coordinate
+  /// table (the shape a v2 index artifact stores) without re-packing bases.
+  /// The chromosome table must tile `concatenated` exactly: offsets
+  /// contiguous from 0, lengths summing to its size. Throws
+  /// std::invalid_argument otherwise.
+  static MultiReference from_concatenated(PackedSequence concatenated,
+                                          std::vector<Chromosome> chromosomes);
+
   const PackedSequence& concatenated() const { return concatenated_; }
   const std::vector<Chromosome>& chromosomes() const { return chromosomes_; }
   std::uint64_t total_length() const { return concatenated_.size(); }

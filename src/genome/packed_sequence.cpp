@@ -4,25 +4,57 @@
 
 namespace pim::genome {
 
+namespace {
+constexpr std::size_t words_for(std::size_t bases) { return (bases + 31) / 32; }
+}  // namespace
+
 PackedSequence::PackedSequence(const std::vector<Base>& bases) {
-  words_.reserve((bases.size() + 31) / 32);
+  words_.vec().reserve(words_for(bases.size()));
   for (const auto b : bases) push_back(b);
 }
 
 PackedSequence::PackedSequence(std::string_view ascii)
     : PackedSequence(encode(ascii)) {}
 
+PackedSequence PackedSequence::borrowed(const std::uint64_t* words,
+                                        std::size_t num_bases) {
+  return from_words(
+      util::Storage<std::uint64_t>::borrowed(words, words_for(num_bases)),
+      num_bases);
+}
+
+PackedSequence PackedSequence::from_words(util::Storage<std::uint64_t> words,
+                                          std::size_t num_bases) {
+  if (words.size() != words_for(num_bases)) {
+    throw std::invalid_argument(
+        "PackedSequence::from_words: word count mismatch");
+  }
+  if (num_bases % 32 != 0 && !words.empty()) {
+    const std::uint64_t tail = words[words.size() - 1];
+    if ((tail & ~((1ULL << ((num_bases & 31) * 2)) - 1)) != 0) {
+      throw std::invalid_argument(
+          "PackedSequence::from_words: nonzero bits past the end");
+    }
+  }
+  PackedSequence seq;
+  seq.size_ = num_bases;
+  seq.words_ = std::move(words);
+  return seq;
+}
+
 void PackedSequence::push_back(Base b) {
-  if (size_ % 32 == 0) words_.push_back(0);
-  words_.back() |= static_cast<std::uint64_t>(b) << ((size_ & 31) * 2);
+  auto& words = words_.vec();
+  if (size_ % 32 == 0) words.push_back(0);
+  words.back() |= static_cast<std::uint64_t>(b) << ((size_ & 31) * 2);
   ++size_;
 }
 
 void PackedSequence::set(std::size_t i, Base b) {
   if (i >= size_) throw std::out_of_range("PackedSequence::set");
   const std::size_t shift = (i & 31) * 2;
-  words_[i >> 5] &= ~(std::uint64_t{0b11} << shift);
-  words_[i >> 5] |= static_cast<std::uint64_t>(b) << shift;
+  auto& words = words_.vec();
+  words[i >> 5] &= ~(std::uint64_t{0b11} << shift);
+  words[i >> 5] |= static_cast<std::uint64_t>(b) << shift;
 }
 
 std::vector<Base> PackedSequence::slice(std::size_t begin, std::size_t end) const {

@@ -4,15 +4,21 @@
 // paper's sub-array layout likewise stores 128 bps per 256-bit word-line
 // (Fig. 6a). PackedSequence is the canonical in-memory representation used
 // by the index builders and the PIM mapping layer.
+//
+// Backed by Storage<uint64_t> (S42): built sequences own their words; load
+// paths may borrow a read-only word region (a section of a mapped index
+// artifact) zero-copy. Mutation copies a borrowed region first.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
+#include <span>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "src/genome/alphabet.h"
+#include "src/util/storage.h"
 
 namespace pim::genome {
 
@@ -22,11 +28,26 @@ class PackedSequence {
   explicit PackedSequence(const std::vector<Base>& bases);
   explicit PackedSequence(std::string_view ascii);
 
+  /// Borrow `num_bases` 2-bit bases over a read-only word region of
+  /// (num_bases + 31) / 32 words that must outlive the sequence. Throws
+  /// std::invalid_argument if the unused tail bits of the last word are not
+  /// zero (owned sequences keep them zero; a nonzero tail means the region
+  /// is not a serialized PackedSequence).
+  static PackedSequence borrowed(const std::uint64_t* words,
+                                 std::size_t num_bases);
+
+  /// Adopt a word buffer (owned or borrowed Storage) as `num_bases` bases.
+  /// Throws std::invalid_argument on a word-count mismatch or nonzero tail
+  /// bits. This is the deserialization entry point: the stream loader passes
+  /// owned words, the mapped loader borrowed ones.
+  static PackedSequence from_words(util::Storage<std::uint64_t> words,
+                                   std::size_t num_bases);
+
   std::size_t size() const { return size_; }
   bool empty() const { return size_ == 0; }
 
   Base at(std::size_t i) const {
-    return static_cast<Base>((words_[i >> 5] >> ((i & 31) * 2)) & 0b11);
+    return static_cast<Base>((words_.data()[i >> 5] >> ((i & 31) * 2)) & 0b11);
   }
 
   void push_back(Base b);
@@ -39,13 +60,19 @@ class PackedSequence {
 
   bool operator==(const PackedSequence& other) const;
 
-  /// Approximate heap footprint in bytes (used for the off-chip-memory
-  /// accounting of Fig. 10a).
+  /// Raw packed words (32 bases each), for serialization.
+  std::span<const std::uint64_t> words() const { return words_.span(); }
+  /// True when the words are owned (heap) rather than borrowed (mapped).
+  bool owns_storage() const { return words_.owned(); }
+
+  /// Approximate resident footprint in bytes (used for the off-chip-memory
+  /// accounting of Fig. 10a). Mapped storage counts the same — the pages
+  /// are resident while searched.
   std::size_t memory_bytes() const { return words_.size() * sizeof(std::uint64_t); }
 
  private:
   std::size_t size_ = 0;
-  std::vector<std::uint64_t> words_;  // 32 bases per 64-bit word
+  util::Storage<std::uint64_t> words_;  // 32 bases per 64-bit word
 };
 
 }  // namespace pim::genome

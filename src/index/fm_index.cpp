@@ -1,6 +1,7 @@
 #include "src/index/fm_index.h"
 
 #include <algorithm>
+#include <stdexcept>
 
 namespace pim::index {
 
@@ -19,6 +20,37 @@ FmIndex FmIndex::build_from_sa(const genome::PackedSequence& reference,
   index.markers_ = MarkerTable(index.bwt_, index.counts_, config.bucket_width);
   index.sampled_sa_ =
       SampledSuffixArray(sa, index.bwt_, index.counts_, config.sa_sample_rate);
+  return index;
+}
+
+FmIndex FmIndex::from_parts(const FmIndexConfig& config, Bwt bwt,
+                            CountTable counts, MarkerTable markers,
+                            SampledSuffixArray sampled_sa) {
+  if (bwt.size() == 0) {
+    throw std::invalid_argument("FmIndex::from_parts: empty BWT");
+  }
+  if (bwt.primary >= bwt.size()) {
+    throw std::invalid_argument(
+        "FmIndex::from_parts: primary row out of range");
+  }
+  if (markers.bucket_width() != config.bucket_width) {
+    throw std::invalid_argument(
+        "FmIndex::from_parts: marker bucket width != config");
+  }
+  if (markers.num_checkpoints() != bwt.size() / config.bucket_width + 1) {
+    throw std::invalid_argument(
+        "FmIndex::from_parts: marker row count inconsistent with BWT");
+  }
+  if (sampled_sa.sampled_rows().size() != bwt.size()) {
+    throw std::invalid_argument(
+        "FmIndex::from_parts: sampled-SA row count inconsistent with BWT");
+  }
+  FmIndex index;
+  index.config_ = config;
+  index.bwt_ = std::move(bwt);
+  index.counts_ = std::move(counts);
+  index.markers_ = std::move(markers);
+  index.sampled_sa_ = std::move(sampled_sa);
   return index;
 }
 

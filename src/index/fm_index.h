@@ -52,6 +52,16 @@ class FmIndex {
                                const SuffixArray& sa,
                                const FmIndexConfig& config = {});
 
+  /// Reassemble from persisted structures without rebuilding anything —
+  /// the zero-copy load path (S42): every part may borrow its buffers from
+  /// a mapped index artifact. Performs structural consistency checks
+  /// (marker row count, sampled-row count, primary in range) and throws
+  /// std::invalid_argument on mismatch; it does NOT re-derive the parts, so
+  /// a checksummed artifact is the integrity story.
+  static FmIndex from_parts(const FmIndexConfig& config, Bwt bwt,
+                            CountTable counts, MarkerTable markers,
+                            SampledSuffixArray sampled_sa);
+
   /// Number of bases in the reference (n); BWT rows are n+1.
   std::uint64_t reference_size() const { return bwt_.size() - 1; }
   std::uint64_t num_rows() const { return bwt_.size(); }
@@ -59,6 +69,7 @@ class FmIndex {
   const Bwt& bwt() const { return bwt_; }
   const CountTable& counts() const { return counts_; }
   const MarkerTable& markers() const { return markers_; }
+  const SampledSuffixArray& sampled_sa() const { return sampled_sa_; }
   const FmIndexConfig& config() const { return config_; }
 
   /// Occ(nt, i) — computed from the marker table (marker - Count + residual).

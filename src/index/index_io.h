@@ -1,41 +1,181 @@
-// Binary serialization of the FM-index.
+// Binary serialization of the FM-index — format v2 (S42).
 //
 // Index construction is the one-time pre-computation of Fig. 2; production
-// aligners build once and reuse. The format stores exactly the structures
-// the paper persists — BWT (+primary), Marker Table parameters, sampled SA
-// — plus a magic/version header and length-prefixed sections so corrupt or
-// foreign files fail loudly instead of loading garbage.
+// aligners build once and reuse. Format v2 stores *every* persisted
+// structure the paper names (BWT, Marker Table, SA) plus the packed
+// reference and a per-chromosome table, laid out as 8-byte-aligned,
+// length-prefixed, checksummed sections so that
 //
-// The marker table and count table are *rebuilt* from the BWT at load time
-// (cheaper than their disk footprint at d=128), so the file holds the BWT,
-// the SA samples, and the configuration.
+//   * a corrupt or foreign file fails loudly, naming the failing section;
+//   * every table is directly mappable in place: MappedIndex (see
+//     mapped_index.h) mmaps the file and assembles an FmIndex whose
+//     structures *borrow* the mapped bytes — zero copies, instant start,
+//     page sharing across server processes.
+//
+// Layout (little-endian, all section offsets 8-byte aligned):
+//
+//   FileHeaderV2   magic/version/sizes, FM config, n, primary,
+//                  Count table, header checksum
+//   SectionEntry[] id, offset, payload bytes, FNV-1a checksum
+//                  (+ trailing table checksum)
+//   sections       reference | bwt | markers | sa-samples | sa-rows |
+//                  sa-ranks | chromosomes   (zero-padded to 8 bytes)
+//
+// Format v1 (BWT + SA dump, marker/count tables rebuilt at load) is still
+// *loaded* transparently — load_index dispatches on the version field —
+// and save_index_v1 keeps the writer around for compatibility tests.
 #pragma once
 
 #include <cstdint>
 #include <iosfwd>
 #include <string>
+#include <vector>
 
+#include "src/genome/multi_reference.h"
 #include "src/index/fm_index.h"
+#include "src/obs/metrics.h"
 
 namespace pim::index {
 
 inline constexpr std::uint32_t kIndexMagic = 0x50494D41;  // "PIMA"
-inline constexpr std::uint32_t kIndexVersion = 1;
+inline constexpr std::uint32_t kIndexVersionV1 = 1;
+inline constexpr std::uint32_t kIndexVersion = 2;
 
-/// Serialize to a binary stream. Throws std::runtime_error on I/O failure.
+/// Serialize to a binary stream in format v2. `chromosomes` (optional) is
+/// the per-chromosome coordinate table of a MultiReference built over
+/// `reference`; pass multi.chromosomes() to make the artifact round-trip a
+/// multi-reference. Throws std::runtime_error on I/O failure,
+/// std::invalid_argument on an index/reference mismatch or an empty
+/// reference.
 void save_index(std::ostream& out, const FmIndex& index,
-                const genome::PackedSequence& reference);
+                const genome::PackedSequence& reference,
+                const std::vector<genome::Chromosome>& chromosomes = {});
 void save_index_file(const std::string& path, const FmIndex& index,
-                     const genome::PackedSequence& reference);
+                     const genome::PackedSequence& reference,
+                     const std::vector<genome::Chromosome>& chromosomes = {});
+
+/// The legacy v1 writer (BWT + full SA dump; marker/count tables rebuilt at
+/// load). Kept so the v1 load path stays testable; new artifacts should be
+/// v2.
+void save_index_v1(std::ostream& out, const FmIndex& index,
+                   const genome::PackedSequence& reference);
 
 struct LoadedIndex {
   FmIndex index;
   genome::PackedSequence reference;
+  /// Per-chromosome table when the artifact stored one (v2), else empty.
+  std::vector<genome::Chromosome> chromosomes;
+
+  /// Rebuild the MultiReference coordinate map (empty when no chromosome
+  /// table was stored).
+  genome::MultiReference multi_reference() const;
 };
 
-/// Deserialize; throws std::runtime_error on bad magic, version mismatch,
-/// truncation, or checksum failure.
-LoadedIndex load_index(std::istream& in);
-LoadedIndex load_index_file(const std::string& path);
+/// Deserialize either format version into owned structures. Throws
+/// std::runtime_error naming the failing section on bad magic, unsupported
+/// version, truncation, size inconsistency, or checksum failure.
+///
+/// When `metrics` is set, the load publishes its cost split so cold-start
+/// claims are observable rather than asserted (see bench/index_load):
+///   index.load.read_ms     — time spent reading + checksumming sections
+///   index.load.rebuild_ms  — time spent *rebuilding* derived tables
+///                            (v1 only: marker/count tables are not stored)
+///   index.load.stream_ms   — total stream-load wall time
+LoadedIndex load_index(std::istream& in,
+                       obs::MetricsRegistry* metrics = nullptr);
+LoadedIndex load_index_file(const std::string& path,
+                            obs::MetricsRegistry* metrics = nullptr);
+
+/// Section descriptor of a v2 file, for inspect/verify tooling.
+struct IndexSectionInfo {
+  std::string name;
+  std::uint64_t offset = 0;
+  std::uint64_t payload_bytes = 0;
+  std::uint64_t checksum = 0;
+};
+
+struct IndexFileInfo {
+  std::uint32_t version = 0;
+  std::uint32_t bucket_width = 0;
+  std::uint32_t sa_sample_rate = 0;
+  std::uint64_t reference_bases = 0;
+  std::uint64_t file_bytes = 0;
+  std::size_t num_chromosomes = 0;
+  /// v2 only (v1 has no section table).
+  std::vector<IndexSectionInfo> sections;
+};
+
+/// Parse headers + section table without loading payloads (v2) or scan the
+/// v1 layout. Validates header integrity but not section payloads — use
+/// load_index / MappedIndex::open with verification for that.
+IndexFileInfo inspect_index_file(const std::string& path);
+
+namespace detail {
+
+/// FNV-1a over a byte range; the checksum every section carries.
+std::uint64_t fnv1a(std::uint64_t hash, const void* data, std::size_t bytes);
+inline constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+
+/// Fixed v2 file header. Trivially copyable — written/read/mapped verbatim.
+struct FileHeaderV2 {
+  std::uint32_t magic = 0;
+  std::uint32_t version = 0;
+  std::uint64_t header_bytes = 0;  ///< sizeof(FileHeaderV2), extension room.
+  std::uint64_t file_bytes = 0;    ///< Total artifact size, for bounds checks.
+  std::uint32_t bucket_width = 0;
+  std::uint32_t sa_sample_rate = 0;
+  std::uint64_t reference_bases = 0;  ///< n; BWT rows are n+1.
+  std::uint32_t primary = 0;          ///< Sentinel row of the BWT.
+  std::uint32_t num_sections = 0;
+  std::uint64_t counts[genome::kNumBases] = {};       ///< Count table.
+  std::uint64_t occurrences[genome::kNumBases] = {};  ///< Base tallies.
+  std::uint64_t header_checksum = 0;  ///< FNV-1a over all preceding bytes.
+};
+static_assert(sizeof(FileHeaderV2) % 8 == 0);
+
+enum class SectionId : std::uint32_t {
+  kReference = 1,
+  kBwt = 2,
+  kMarkers = 3,
+  kSaSamples = 4,
+  kSaRows = 5,
+  kSaRanks = 6,
+  kChromosomes = 7,
+};
+
+struct SectionEntry {
+  std::uint32_t id = 0;
+  std::uint32_t reserved = 0;
+  std::uint64_t offset = 0;         ///< From file start; 8-byte aligned.
+  std::uint64_t payload_bytes = 0;  ///< Unpadded payload length.
+  std::uint64_t checksum = 0;       ///< FNV-1a over the payload bytes.
+};
+static_assert(sizeof(SectionEntry) % 8 == 0);
+
+const char* section_name(SectionId id);
+
+/// Validate a v2 header + section table held in memory (the first
+/// `table_end(header)` bytes of the file). Returns the section entries.
+/// Throws std::runtime_error naming the failing piece.
+std::vector<SectionEntry> validate_v2_layout(const FileHeaderV2& header,
+                                             const SectionEntry* table,
+                                             std::uint64_t actual_file_bytes);
+
+/// Assemble an FmIndex + reference from v2 section buffers (owned or
+/// borrowed Storage). Shared by the stream loader and MappedIndex.
+LoadedIndex assemble_v2(const FileHeaderV2& header,
+                        util::Storage<std::uint64_t> reference_words,
+                        util::Storage<std::uint64_t> bwt_words,
+                        util::Storage<OccCheckpoint> markers,
+                        util::Storage<std::uint32_t> sa_samples,
+                        util::Storage<std::uint64_t> sa_row_words,
+                        util::Storage<std::uint32_t> sa_ranks,
+                        std::vector<genome::Chromosome> chromosomes);
+
+/// Decode the chromosomes section payload.
+std::vector<genome::Chromosome> parse_chromosomes(const unsigned char* data,
+                                                  std::size_t bytes);
+
+}  // namespace detail
 
 }  // namespace pim::index

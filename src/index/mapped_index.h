@@ -1,0 +1,90 @@
+// Zero-copy index loading: mmap a v2 index artifact and assemble an FmIndex
+// whose persisted structures (reference, BWT, marker rows, sampled SA)
+// *borrow* the mapped bytes through the S42 Storage seam.
+//
+// Why this exists: the v1 load path deserializes the reference + SA and then
+// REBUILDS the marker/count tables — O(n) work and ~2x transient memory
+// before the first query. A mapped v2 artifact starts serving immediately:
+// the kernel pages sections in on demand, clean pages are shared across
+// every process mapping the same file, and cold-start cost collapses to
+// header + section-table validation (see bench/index_load).
+//
+// Platform: mmap on POSIX (__unix__ / __APPLE__); elsewhere — or when the
+// mapping fails — MappedIndex transparently falls back to the owned stream
+// loader, so callers never need a platform branch. A v1 file handed to
+// MappedIndex::open also falls back to the stream loader (v1 cannot be
+// mapped: its tables are not stored).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/index/index_io.h"
+
+namespace pim::index {
+
+struct MappedIndexOptions {
+  /// Verify every section's FNV-1a checksum at open. Costs one sequential
+  /// pass over the file; catches on-disk corruption before it becomes a
+  /// wrong alignment. Off = trust the artifact, open in O(header).
+  bool verify_checksums = true;
+  /// After verifying a section, advise the kernel to drop its pages
+  /// (MADV_DONTNEED) so the verification pass does not leave the whole file
+  /// resident: peak RSS at open stays ~one section, and pages fault back in
+  /// lazily as queries touch them. No effect when not verifying or not
+  /// mapped.
+  bool drop_pages_after_verify = false;
+};
+
+/// RAII owner of one mapped index artifact: the mapping and the FmIndex
+/// borrowing from it live and die as one unit. Move-only.
+class MappedIndex {
+ public:
+  MappedIndex() = default;
+  ~MappedIndex();
+  MappedIndex(MappedIndex&& other) noexcept;
+  MappedIndex& operator=(MappedIndex&& other) noexcept;
+  MappedIndex(const MappedIndex&) = delete;
+  MappedIndex& operator=(const MappedIndex&) = delete;
+
+  /// Open and validate an artifact. Throws std::runtime_error (same error
+  /// vocabulary as load_index: names the failing section) on a corrupt or
+  /// foreign file. When `metrics` is set, publishes index.load.map_ms
+  /// (mapped path) — the stream fallback publishes the index.load.* metrics
+  /// of load_index instead.
+  static MappedIndex open(const std::string& path,
+                          const MappedIndexOptions& options = {},
+                          obs::MetricsRegistry* metrics = nullptr);
+
+  const FmIndex& index() const { return loaded_.index; }
+  const genome::PackedSequence& reference() const { return loaded_.reference; }
+  const std::vector<genome::Chromosome>& chromosomes() const {
+    return loaded_.chromosomes;
+  }
+  /// See LoadedIndex::multi_reference — the result borrows from the mapping
+  /// (when mapped) and must not outlive this MappedIndex.
+  genome::MultiReference multi_reference() const {
+    return loaded_.multi_reference();
+  }
+
+  /// True when the index borrows an mmap region; false on the stream-load
+  /// fallback (owned structures).
+  bool mapped() const { return map_base_ != nullptr; }
+  std::uint64_t file_bytes() const { return file_bytes_; }
+
+  /// Bytes this index keeps addressable: the mapping size when mapped
+  /// (an upper bound on residency — pages fault in on demand), else the
+  /// owned structures' heap bytes. The cache accounts residency with this.
+  std::uint64_t resident_bytes() const;
+
+ private:
+  LoadedIndex loaded_;
+  void* map_base_ = nullptr;
+  std::size_t map_bytes_ = 0;
+  std::uint64_t file_bytes_ = 0;
+
+  void unmap() noexcept;
+};
+
+}  // namespace pim::index

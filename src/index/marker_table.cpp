@@ -11,15 +11,27 @@ MarkerTable::MarkerTable(const Bwt& bwt, const CountTable& counts,
     throw std::invalid_argument("MarkerTable: bucket width must be > 0");
   }
   const SampledOccTable sampled(bwt, bucket_width);
-  markers_.resize(sampled.num_checkpoints());
-  for (std::size_t k = 0; k < markers_.size(); ++k) {
+  auto& markers = markers_.vec();
+  markers.resize(sampled.num_checkpoints());
+  for (std::size_t k = 0; k < markers.size(); ++k) {
     for (const auto nt : genome::kAllBases) {
       const std::uint64_t value =
           counts.count(nt) + sampled.checkpoint(nt, k);
-      markers_[k][static_cast<std::size_t>(nt)] =
+      markers[k][static_cast<std::size_t>(nt)] =
           static_cast<std::uint32_t>(value);
     }
   }
+}
+
+MarkerTable MarkerTable::from_parts(std::uint32_t bucket_width,
+                                    util::Storage<OccCheckpoint> markers) {
+  if (bucket_width == 0) {
+    throw std::invalid_argument("MarkerTable: bucket width must be > 0");
+  }
+  MarkerTable table;
+  table.d_ = bucket_width;
+  table.markers_ = std::move(markers);
+  return table;
 }
 
 std::uint64_t MarkerTable::lfm(const Bwt& bwt, genome::Base nt,

@@ -7,13 +7,18 @@
 // directly:
 //     LFM(MT, nt, id) == Count(nt) + Occ(nt, id)
 // which is the classic LF-mapping backward-search update.
+//
+// Marker rows live in Storage<OccCheckpoint> (S42): built tables own them;
+// from_parts() lets the index loader borrow the marker section of a mapped
+// artifact zero-copy.
 #pragma once
 
 #include <cstdint>
-#include <vector>
+#include <span>
 
 #include "src/index/bwt.h"
 #include "src/index/occ_table.h"
+#include "src/util/storage.h"
 
 namespace pim::index {
 
@@ -22,6 +27,12 @@ class MarkerTable {
   MarkerTable() = default;
   MarkerTable(const Bwt& bwt, const CountTable& counts,
               std::uint32_t bucket_width);
+
+  /// Reassemble from persisted marker rows (owned or borrowed). The row
+  /// count must match the BWT the table will be queried with
+  /// (bwt.size() / bucket_width + 1) — checked by FmIndex::from_parts.
+  static MarkerTable from_parts(std::uint32_t bucket_width,
+                                util::Storage<OccCheckpoint> markers);
 
   std::uint32_t bucket_width() const { return d_; }
   std::size_t num_checkpoints() const { return markers_.size(); }
@@ -37,13 +48,16 @@ class MarkerTable {
   /// count over at most d-1 BWT symbols.
   std::uint64_t lfm(const Bwt& bwt, genome::Base nt, std::size_t id) const;
 
+  /// Raw marker rows, for serialization.
+  std::span<const OccCheckpoint> rows() const { return markers_.span(); }
+
   std::size_t memory_bytes() const {
-    return markers_.size() * sizeof(markers_[0]);
+    return markers_.size() * sizeof(OccCheckpoint);
   }
 
  private:
   std::uint32_t d_ = 0;
-  std::vector<std::array<std::uint32_t, genome::kNumBases>> markers_;
+  util::Storage<OccCheckpoint> markers_;
 };
 
 }  // namespace pim::index

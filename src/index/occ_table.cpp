@@ -34,15 +34,16 @@ SampledOccTable::SampledOccTable(const Bwt& bwt, std::uint32_t bucket_width)
     throw std::invalid_argument("SampledOccTable: bucket width must be > 0");
   }
   const std::size_t num_checkpoints = bwt.size() / d_ + 1;
-  checkpoints_.resize(num_checkpoints);
-  std::array<std::uint32_t, genome::kNumBases> running{};
-  checkpoints_[0] = running;
+  auto& checkpoints = checkpoints_.vec();
+  checkpoints.resize(num_checkpoints);
+  OccCheckpoint running{};
+  checkpoints[0] = running;
   for (std::size_t i = 0; i < bwt.size(); ++i) {
     if (!bwt.is_sentinel(i)) {
       ++running[static_cast<std::size_t>(bwt.symbols.at(i))];
     }
     if ((i + 1) % d_ == 0) {
-      checkpoints_[(i + 1) / d_] = running;
+      checkpoints[(i + 1) / d_] = running;
     }
   }
 }

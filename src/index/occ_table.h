@@ -19,13 +19,24 @@
 #include <vector>
 
 #include "src/index/bwt.h"
+#include "src/util/storage.h"
 
 namespace pim::index {
+
+/// One checkpoint row: the per-base occurrence counts at a bucket boundary.
+/// 16 bytes, no padding — serialized verbatim into the v2 index artifact
+/// (and mapped back, so the layout is part of the on-disk format).
+using OccCheckpoint = std::array<std::uint32_t, genome::kNumBases>;
+static_assert(sizeof(OccCheckpoint) == genome::kNumBases * sizeof(std::uint32_t));
 
 class CountTable {
  public:
   CountTable() = default;
   explicit CountTable(const Bwt& bwt);
+  /// Reassemble from persisted arrays (v2 index artifact header).
+  CountTable(const std::array<std::uint64_t, genome::kNumBases>& counts,
+             const std::array<std::uint64_t, genome::kNumBases>& occurrences)
+      : counts_(counts), occurrences_(occurrences) {}
 
   /// Symbols in reference$ smaller than `nt` (includes the sentinel).
   std::uint64_t count(genome::Base nt) const {
@@ -34,6 +45,13 @@ class CountTable {
   /// Total occurrences of `nt` in the reference.
   std::uint64_t occurrences(genome::Base nt) const {
     return occurrences_[static_cast<std::size_t>(nt)];
+  }
+
+  const std::array<std::uint64_t, genome::kNumBases>& counts_raw() const {
+    return counts_;
+  }
+  const std::array<std::uint64_t, genome::kNumBases>& occurrences_raw() const {
+    return occurrences_;
   }
 
  private:
@@ -73,6 +91,10 @@ class SampledOccTable {
     return checkpoints_[k][static_cast<std::size_t>(nt)];
   }
 
+  std::span<const OccCheckpoint> checkpoints() const {
+    return checkpoints_.span();
+  }
+
   /// Exact occ(nt, i) = checkpoint + residual scan of at most d-1 symbols.
   /// The residual scan is the software twin of the hardware XNOR_Match +
   /// DPU popcount.
@@ -89,7 +111,7 @@ class SampledOccTable {
 
  private:
   std::uint32_t d_ = 0;
-  std::vector<std::array<std::uint32_t, genome::kNumBases>> checkpoints_;
+  util::Storage<OccCheckpoint> checkpoints_;
 };
 
 }  // namespace pim::index

@@ -1,5 +1,6 @@
 #include "src/index/sampled_sa.h"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace pim::index {
@@ -21,22 +22,55 @@ SampledSuffixArray::SampledSuffixArray(const SuffixArray& sa, const Bwt& bwt,
       sampled_rows_.set(row, true);
     }
   }
-  samples_.reserve(sa.size() / rate_ + 2);
+  auto& samples = samples_.vec();
+  samples.reserve(sa.size() / rate_ + 2);
   for (std::size_t row = 0; row < sa.size(); ++row) {
-    if (sampled_rows_.get(row)) samples_.push_back(sa[row]);
+    if (sampled_rows_.get(row)) samples.push_back(sa[row]);
   }
   // Rank directory: cumulative sampled count at each block boundary.
   const std::size_t blocks = sa.size() / kRankBlockBits + 1;
-  rank_blocks_.resize(blocks + 1, 0);
+  auto& rank_blocks = rank_blocks_.vec();
+  rank_blocks.resize(blocks + 1, 0);
   std::uint32_t running = 0;
   for (std::size_t b = 0; b < blocks; ++b) {
-    rank_blocks_[b] = running;
+    rank_blocks[b] = running;
     const std::size_t begin = b * kRankBlockBits;
     const std::size_t end = std::min(begin + kRankBlockBits, sa.size());
     running +=
         static_cast<std::uint32_t>(sampled_rows_.popcount_range(begin, end));
   }
-  rank_blocks_[blocks] = running;
+  rank_blocks[blocks] = running;
+}
+
+SampledSuffixArray SampledSuffixArray::from_parts(
+    std::uint32_t rate, util::BitVector sampled_rows,
+    util::Storage<std::uint32_t> rank_blocks,
+    util::Storage<std::uint32_t> samples) {
+  if (rate == 0) throw std::invalid_argument("SampledSuffixArray: rate 0");
+  if (samples.size() != sampled_rows.popcount()) {
+    throw std::invalid_argument(
+        "SampledSuffixArray: samples/sampled-row count mismatch");
+  }
+  const std::size_t blocks = sampled_rows.size() / kRankBlockBits + 1;
+  if (rank_blocks.size() != blocks + 1) {
+    throw std::invalid_argument(
+        "SampledSuffixArray: rank directory size mismatch");
+  }
+  if (rank_blocks.size() > 0 &&
+      rank_blocks[rank_blocks.size() - 1] != samples.size()) {
+    throw std::invalid_argument(
+        "SampledSuffixArray: rank directory total mismatch");
+  }
+  if (!sampled_rows.empty() && !sampled_rows.get(0)) {
+    throw std::invalid_argument(
+        "SampledSuffixArray: row 0 must be sampled (LF walk terminator)");
+  }
+  SampledSuffixArray sa;
+  sa.rate_ = rate;
+  sa.sampled_rows_ = std::move(sampled_rows);
+  sa.rank_blocks_ = std::move(rank_blocks);
+  sa.samples_ = std::move(samples);
+  return sa;
 }
 
 std::size_t SampledSuffixArray::rank_sampled(std::size_t row) const {

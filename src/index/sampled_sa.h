@@ -6,15 +6,20 @@
 // SA[i] % rate == 0, mark those rows in a rank-indexed bit vector, and
 // recover unsampled rows by walking the LF mapping (each step moves one
 // position back in the text, so at most rate-1 steps).
+//
+// All three member structures sit behind the S42 storage seam: built tables
+// own their buffers, from_parts() borrows the samples / row-marks / rank
+// directory straight out of a mapped index artifact.
 #pragma once
 
 #include <cstdint>
-#include <vector>
+#include <span>
 
 #include "src/index/bwt.h"
 #include "src/index/occ_table.h"
 #include "src/index/suffix_array.h"
 #include "src/util/bit_vector.h"
+#include "src/util/storage.h"
 
 namespace pim::index {
 
@@ -25,6 +30,16 @@ class SampledSuffixArray {
   /// rate == 1 stores the full SA (the paper's configuration).
   SampledSuffixArray(const SuffixArray& sa, const Bwt& bwt,
                      const CountTable& counts, std::uint32_t rate);
+
+  /// Reassemble from persisted parts (owned or borrowed). `sampled_rows`
+  /// must have one bit per SA row, `samples` one entry per set bit, and
+  /// `rank_blocks` the cumulative popcount directory the sampling
+  /// constructor builds (num_rows / 512 + 2 entries). Throws
+  /// std::invalid_argument on inconsistent part sizes.
+  static SampledSuffixArray from_parts(std::uint32_t rate,
+                                       util::BitVector sampled_rows,
+                                       util::Storage<std::uint32_t> rank_blocks,
+                                       util::Storage<std::uint32_t> samples);
 
   std::uint32_t rate() const { return rate_; }
 
@@ -58,16 +73,25 @@ class SampledSuffixArray {
            sampled_rows_.size() / 8 + rank_blocks_.size() * sizeof(std::uint32_t);
   }
 
+  // Raw parts, for serialization.
+  const util::BitVector& sampled_rows() const { return sampled_rows_; }
+  std::span<const std::uint32_t> rank_blocks() const {
+    return rank_blocks_.span();
+  }
+  std::span<const std::uint32_t> samples() const { return samples_.span(); }
+
+  static constexpr std::size_t kRankBlockBits = 512;
+
  private:
   /// Number of sampled rows strictly before `row` == index into samples_.
   std::size_t rank_sampled(std::size_t row) const;
 
-  static constexpr std::size_t kRankBlockBits = 512;
-
   std::uint32_t rate_ = 1;
   util::BitVector sampled_rows_;
-  std::vector<std::uint32_t> rank_blocks_;  ///< Cumulative popcount per block.
-  std::vector<std::uint32_t> samples_;      ///< SA values at sampled rows.
+  /// Cumulative popcount per block.
+  util::Storage<std::uint32_t> rank_blocks_;
+  /// SA values at sampled rows.
+  util::Storage<std::uint32_t> samples_;
 };
 
 }  // namespace pim::index

@@ -45,6 +45,12 @@ struct AlignRequest {
   /// Reads to align, in request order (the response's results index
   /// matches). An empty request is legal and completes immediately.
   std::vector<std::vector<genome::Base>> reads;
+  /// Which reference to align against (S42 multi-reference serving). On a
+  /// multi-reference service this selects the lane (and faults the mapped
+  /// index in through the IndexCache); it must name a registered reference
+  /// and must not be empty. On a single-engine service it must be empty —
+  /// the engine is fixed. Violations fail fast with kRejected.
+  std::string reference_id;
   RequestPriority priority = RequestPriority::kBatch;
   /// Absolute deadline. Enforced at dequeue: a request whose deadline has
   /// passed before its batch is assembled fails fast with kExpired instead

@@ -21,11 +21,16 @@
 #pragma once
 
 #include <cstddef>
+#include <map>
 #include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
 
 #include "src/align/engine.h"
 #include "src/obs/metrics.h"
 #include "src/serve/batcher.h"
+#include "src/serve/index_cache.h"
 #include "src/serve/request_queue.h"
 
 namespace pim::serve {
@@ -43,6 +48,17 @@ struct ServiceOptions {
   obs::MetricsRegistry* metrics = nullptr;
 };
 
+/// Configuration of a multi-reference service (S42): how each per-reference
+/// lane aligns and serves.
+struct MultiReferenceOptions {
+  /// Two-stage pipeline configuration for every lane's SoftwareEngine.
+  align::AlignerOptions aligner;
+  /// Admission/batching/metrics applied to every lane (and, for metrics,
+  /// the routing layer itself). Lanes share one registry, so the serve.*
+  /// series aggregates across references.
+  ServiceOptions service;
+};
+
 class AlignmentService {
  public:
   /// `engine` must outlive the service. The engine is driven from the
@@ -52,6 +68,18 @@ class AlignmentService {
   /// batching.parallel.
   explicit AlignmentService(const align::AlignmentEngine& engine,
                             ServiceOptions options = {});
+
+  /// Multi-reference mode (S42): requests carry a reference_id and are
+  /// routed to a per-reference lane — a SoftwareEngine over the cache's
+  /// MappedIndex plus a dedicated queue/batcher — created on first use.
+  /// `cache` must outlive the service and decides residency: when it evicts
+  /// a reference, the service retires that lane (draining it) on the next
+  /// submit, so engine memory follows the cache's LRU policy. Results are
+  /// bit-identical to a single-reference service over the same artifact
+  /// (asserted in tests/test_serve.cpp).
+  explicit AlignmentService(IndexCache& cache,
+                            MultiReferenceOptions options = {});
+
   /// Graceful: drains admitted requests before stopping.
   ~AlignmentService();
 
@@ -75,22 +103,50 @@ class AlignmentService {
   /// block until the batcher thread has exited.
   void shutdown(ShutdownMode mode = ShutdownMode::kDrain);
 
-  ServiceCounters::Snapshot counters() const { return counters_.snapshot(); }
-  std::size_t queue_depth() const { return queue_->depth(); }
-  std::size_t queued_reads() const { return queue_->queued_reads(); }
-  /// Merged engine counters across every batch served so far.
-  align::EngineStats engine_stats() const { return batcher_->engine_stats(); }
+  /// Single mode: this service's tallies. Multi-reference mode: routing
+  /// rejections plus the merged tallies of every lane, including lanes
+  /// already retired by eviction or shutdown.
+  ServiceCounters::Snapshot counters() const;
+  std::size_t queue_depth() const;
+  std::size_t queued_reads() const;
+  /// Merged engine counters across every batch served so far (all lanes in
+  /// multi-reference mode).
+  align::EngineStats engine_stats() const;
 
+  /// True when constructed over an IndexCache.
+  bool multi_reference() const { return cache_ != nullptr; }
+  /// reference_ids with a live lane (multi-reference mode; empty otherwise).
+  std::vector<std::string> active_lanes() const;
+
+  /// Single mode only (multi-reference services have one engine per lane).
   const align::AlignmentEngine& engine() const { return *engine_; }
   const ServiceOptions& options() const { return options_; }
 
  private:
-  const align::AlignmentEngine* engine_;
+  struct Lane;
+
+  ResponseFuture fail_fast(RequestStatus status, std::string reason);
+  ResponseFuture route_and_submit(AlignRequest request);
+  void retire_lanes(std::vector<std::shared_ptr<Lane>> retired,
+                    ShutdownMode mode);
+
+  const align::AlignmentEngine* engine_ = nullptr;
   ServiceOptions options_;
   ServiceCounters counters_;
   ServeMetrics metrics_;
   std::unique_ptr<RequestQueue> queue_;
   std::unique_ptr<DynamicBatcher> batcher_;
+
+  // Multi-reference mode (null/empty in single mode).
+  IndexCache* cache_ = nullptr;
+  MultiReferenceOptions multi_options_;
+  mutable std::mutex lanes_mu_;
+  bool accepting_ = true;  ///< Guarded by lanes_mu_ (multi mode only).
+  std::map<std::string, std::shared_ptr<Lane>> lanes_;
+  /// Final tallies of retired lanes (guarded by lanes_mu_), so counters()
+  /// and engine_stats() stay complete across evictions and shutdown.
+  ServiceCounters::Snapshot retired_tally_;
+  align::EngineStats retired_engine_stats_;
 };
 
 }  // namespace pim::serve

@@ -2,6 +2,7 @@
 
 #include <bit>
 #include <stdexcept>
+#include <vector>
 
 namespace pim::util {
 
@@ -11,63 +12,92 @@ constexpr std::size_t words_for(std::size_t bits) { return (bits + 63) / 64; }
 
 BitVector::BitVector(std::size_t num_bits, bool value)
     : num_bits_(num_bits),
-      words_(words_for(num_bits), value ? ~0ULL : 0ULL) {
+      words_(std::vector<std::uint64_t>(words_for(num_bits),
+                                        value ? ~0ULL : 0ULL)) {
   trim_tail();
+}
+
+BitVector BitVector::borrowed(const std::uint64_t* words,
+                              std::size_t num_bits) {
+  return from_words(Storage<std::uint64_t>::borrowed(words, words_for(num_bits)),
+                    num_bits);
+}
+
+BitVector BitVector::from_words(Storage<std::uint64_t> words,
+                                std::size_t num_bits) {
+  if (words.size() != words_for(num_bits)) {
+    throw std::invalid_argument("BitVector::from_words: word count mismatch");
+  }
+  if (num_bits % 64 != 0 && !words.empty()) {
+    const std::uint64_t tail = words[words.size() - 1];
+    if ((tail & ~((1ULL << (num_bits & 63)) - 1)) != 0) {
+      throw std::invalid_argument(
+          "BitVector::from_words: nonzero bits past the end");
+    }
+  }
+  BitVector v;
+  v.num_bits_ = num_bits;
+  v.words_ = std::move(words);
+  return v;
 }
 
 void BitVector::resize(std::size_t num_bits, bool value) {
   const std::size_t old_bits = num_bits_;
   num_bits_ = num_bits;
-  words_.resize(words_for(num_bits), value ? ~0ULL : 0ULL);
+  auto& words = words_.vec();
+  words.resize(words_for(num_bits), value ? ~0ULL : 0ULL);
   if (value && num_bits > old_bits && old_bits % 64 != 0) {
     // Fill the tail of the previously-last word.
-    words_[old_bits >> 6] |= ~0ULL << (old_bits & 63);
+    words[old_bits >> 6] |= ~0ULL << (old_bits & 63);
   }
   trim_tail();
 }
 
 void BitVector::clear_all() {
-  for (auto& w : words_) w = 0;
+  for (auto& w : words_.vec()) w = 0;
 }
 
 void BitVector::set_all() {
-  for (auto& w : words_) w = ~0ULL;
+  for (auto& w : words_.vec()) w = ~0ULL;
   trim_tail();
 }
 
 void BitVector::trim_tail() {
   if (num_bits_ % 64 != 0 && !words_.empty()) {
-    words_.back() &= (1ULL << (num_bits_ & 63)) - 1;
+    words_.vec().back() &= (1ULL << (num_bits_ & 63)) - 1;
   }
 }
 
 std::size_t BitVector::popcount() const {
   std::size_t total = 0;
-  for (const auto w : words_) total += static_cast<std::size_t>(std::popcount(w));
+  for (const auto w : words_.span()) {
+    total += static_cast<std::size_t>(std::popcount(w));
+  }
   return total;
 }
 
 std::size_t BitVector::popcount_range(std::size_t begin, std::size_t end) const {
   if (begin >= end) return 0;
   if (end > num_bits_) throw std::out_of_range("popcount_range past end");
+  const std::uint64_t* words = words_.data();
   std::size_t total = 0;
   std::size_t first_word = begin >> 6;
   std::size_t last_word = (end - 1) >> 6;
   if (first_word == last_word) {
-    std::uint64_t w = words_[first_word];
+    std::uint64_t w = words[first_word];
     w >>= (begin & 63);
     const std::size_t span = end - begin;
     if (span < 64) w &= (1ULL << span) - 1;
     return static_cast<std::size_t>(std::popcount(w));
   }
   // Head word.
-  total += static_cast<std::size_t>(std::popcount(words_[first_word] >> (begin & 63)));
+  total += static_cast<std::size_t>(std::popcount(words[first_word] >> (begin & 63)));
   // Middle words.
   for (std::size_t i = first_word + 1; i < last_word; ++i) {
-    total += static_cast<std::size_t>(std::popcount(words_[i]));
+    total += static_cast<std::size_t>(std::popcount(words[i]));
   }
   // Tail word.
-  std::uint64_t tail = words_[last_word];
+  std::uint64_t tail = words[last_word];
   const std::size_t tail_bits = ((end - 1) & 63) + 1;
   if (tail_bits < 64) tail &= (1ULL << tail_bits) - 1;
   total += static_cast<std::size_t>(std::popcount(tail));
@@ -97,23 +127,26 @@ BitVector BitVector::operator^(const BitVector& other) const {
 }
 BitVector BitVector::operator~() const {
   BitVector result = *this;
-  for (auto& w : result.words_) w = ~w;
+  for (auto& w : result.words_.vec()) w = ~w;
   result.trim_tail();
   return result;
 }
 BitVector& BitVector::operator&=(const BitVector& other) {
   check_same_size(*this, other);
-  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= other.words_[i];
+  auto& words = words_.vec();
+  for (std::size_t i = 0; i < words.size(); ++i) words[i] &= other.words_[i];
   return *this;
 }
 BitVector& BitVector::operator|=(const BitVector& other) {
   check_same_size(*this, other);
-  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
+  auto& words = words_.vec();
+  for (std::size_t i = 0; i < words.size(); ++i) words[i] |= other.words_[i];
   return *this;
 }
 BitVector& BitVector::operator^=(const BitVector& other) {
   check_same_size(*this, other);
-  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] ^= other.words_[i];
+  auto& words = words_.vec();
+  for (std::size_t i = 0; i < words.size(); ++i) words[i] ^= other.words_[i];
   return *this;
 }
 
@@ -126,11 +159,12 @@ BitVector BitVector::majority3(const BitVector& a, const BitVector& b,
   check_same_size(a, b);
   check_same_size(b, c);
   BitVector result(a.num_bits_);
-  for (std::size_t i = 0; i < result.words_.size(); ++i) {
+  auto& out = result.words_.vec();
+  for (std::size_t i = 0; i < out.size(); ++i) {
     const std::uint64_t x = a.words_[i];
     const std::uint64_t y = b.words_[i];
     const std::uint64_t z = c.words_[i];
-    result.words_[i] = (x & y) | (y & z) | (x & z);
+    out[i] = (x & y) | (y & z) | (x & z);
   }
   return result;
 }
@@ -140,8 +174,9 @@ BitVector BitVector::xor3(const BitVector& a, const BitVector& b,
   check_same_size(a, b);
   check_same_size(b, c);
   BitVector result(a.num_bits_);
-  for (std::size_t i = 0; i < result.words_.size(); ++i) {
-    result.words_[i] = a.words_[i] ^ b.words_[i] ^ c.words_[i];
+  auto& out = result.words_.vec();
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = a.words_[i] ^ b.words_[i] ^ c.words_[i];
   }
   return result;
 }
@@ -151,8 +186,9 @@ BitVector BitVector::and3(const BitVector& a, const BitVector& b,
   check_same_size(a, b);
   check_same_size(b, c);
   BitVector result(a.num_bits_);
-  for (std::size_t i = 0; i < result.words_.size(); ++i) {
-    result.words_[i] = a.words_[i] & b.words_[i] & c.words_[i];
+  auto& out = result.words_.vec();
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = a.words_[i] & b.words_[i] & c.words_[i];
   }
   return result;
 }
@@ -162,8 +198,9 @@ BitVector BitVector::or3(const BitVector& a, const BitVector& b,
   check_same_size(a, b);
   check_same_size(b, c);
   BitVector result(a.num_bits_);
-  for (std::size_t i = 0; i < result.words_.size(); ++i) {
-    result.words_[i] = a.words_[i] | b.words_[i] | c.words_[i];
+  auto& out = result.words_.vec();
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = a.words_[i] | b.words_[i] | c.words_[i];
   }
   return result;
 }

@@ -1,0 +1,91 @@
+// Storage<T> — the owned-or-borrowed buffer seam behind every persisted
+// index structure (S42).
+//
+// Construction paths (SA-IS, BWT build, marker folding) own their buffers
+// as plain std::vectors, exactly as before. Load paths may instead *borrow*
+// a read-only region — in practice a section of an mmap-ed index artifact —
+// so a genome-scale index is searchable without copying a byte off disk.
+// Accessors branch on the mode (one perfectly-predicted branch per word
+// access); mutation transparently copies a borrowed region into an owned
+// vector first (copy-on-write), so no caller has to care which mode a
+// structure is in.
+//
+// A borrowed Storage never outlives its region by contract: MappedIndex
+// owns the mapping and the FmIndex borrowing from it as one unit.
+#pragma once
+
+#include <cstddef>
+#include <cstring>
+#include <span>
+#include <type_traits>
+#include <vector>
+
+namespace pim::util {
+
+template <typename T>
+class Storage {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "Storage requires trivially copyable elements (they may be "
+                "mapped straight from disk)");
+
+ public:
+  Storage() = default;
+  /// Owned mode: adopt the vector. Implicit, so existing `vec_ = {...}`
+  /// call sites keep compiling unchanged.
+  Storage(std::vector<T> values) : vec_(std::move(values)) {}
+
+  /// Borrowed mode: a read-only view over `count` elements at `data`
+  /// (e.g. a section of a mapped file). The region must outlive this
+  /// Storage and every copy of it.
+  static Storage borrowed(const T* data, std::size_t count) {
+    Storage s;
+    s.borrowed_ = true;
+    s.ext_ = data;
+    s.ext_size_ = count;
+    return s;
+  }
+
+  bool owned() const { return !borrowed_; }
+  const T* data() const { return borrowed_ ? ext_ : vec_.data(); }
+  std::size_t size() const { return borrowed_ ? ext_size_ : vec_.size(); }
+  bool empty() const { return size() == 0; }
+  const T& operator[](std::size_t i) const { return data()[i]; }
+  std::span<const T> span() const { return {data(), size()}; }
+
+  /// Heap bytes owned by this Storage (0 while borrowed — the bytes belong
+  /// to the mapping). Resident-footprint accounting should use
+  /// size() * sizeof(T) instead.
+  std::size_t owned_bytes() const {
+    return borrowed_ ? 0 : vec_.capacity() * sizeof(T);
+  }
+
+  /// Copy-on-write: after this call the Storage owns its elements. A no-op
+  /// when already owned.
+  void ensure_owned() {
+    if (!borrowed_) return;
+    vec_.assign(ext_, ext_ + ext_size_);
+    borrowed_ = false;
+    ext_ = nullptr;
+    ext_size_ = 0;
+  }
+
+  /// Mutable owned vector; converts a borrowed region first.
+  std::vector<T>& vec() {
+    ensure_owned();
+    return vec_;
+  }
+
+  bool operator==(const Storage& other) const {
+    if (size() != other.size()) return false;
+    return size() == 0 ||
+           std::memcmp(data(), other.data(), size() * sizeof(T)) == 0;
+  }
+
+ private:
+  std::vector<T> vec_;
+  const T* ext_ = nullptr;
+  std::size_t ext_size_ = 0;
+  bool borrowed_ = false;
+};
+
+}  // namespace pim::util

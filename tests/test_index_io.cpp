@@ -2,10 +2,14 @@
 
 #include <gtest/gtest.h>
 
+#include <cstring>
+#include <fstream>
 #include <sstream>
+#include <string>
 
 #include "src/align/backward_search.h"
 #include "src/genome/synthetic_genome.h"
+#include "src/index/mapped_index.h"
 #include "src/util/rng.h"
 
 namespace pim::index {
@@ -103,6 +107,280 @@ TEST(IndexIo, FileRoundTrip) {
   EXPECT_TRUE(loaded.reference == f.reference);
   EXPECT_THROW(load_index_file("/tmp/definitely_missing_index_file.bin"),
                std::runtime_error);
+}
+
+TEST(IndexIo, V1ArtifactsStillLoad) {
+  Fixture f(4);
+  std::stringstream buffer;
+  save_index_v1(buffer, f.fm, f.reference);
+  const LoadedIndex loaded = load_index(buffer);
+  EXPECT_TRUE(loaded.reference == f.reference);
+  EXPECT_TRUE(loaded.chromosomes.empty());  // v1 has no chromosome table
+  EXPECT_EQ(loaded.index.config().sa_sample_rate, 4U);
+  for (std::size_t row = 0; row < f.fm.num_rows(); row += 101) {
+    EXPECT_EQ(loaded.index.locate(row), f.fm.locate(row));
+  }
+}
+
+TEST(IndexIo, ChromosomeTableRoundTrips) {
+  Fixture f;
+  const std::vector<genome::Chromosome> chromosomes = {
+      {"chr1", 0, 3000}, {"chr2", 3000, 2000}};
+  std::stringstream buffer;
+  save_index(buffer, f.fm, f.reference, chromosomes);
+  const LoadedIndex loaded = load_index(buffer);
+  ASSERT_EQ(loaded.chromosomes.size(), 2U);
+  EXPECT_EQ(loaded.chromosomes[0].name, "chr1");
+  EXPECT_EQ(loaded.chromosomes[1].offset, 3000U);
+  EXPECT_EQ(loaded.chromosomes[1].length, 2000U);
+  const auto multi = loaded.multi_reference();
+  EXPECT_EQ(multi.chromosomes().size(), 2U);
+  EXPECT_TRUE(multi.concatenated() == f.reference);
+}
+
+TEST(IndexIo, NonContiguousChromosomesRejectedOnSave) {
+  Fixture f;
+  std::stringstream buffer;
+  EXPECT_THROW(
+      save_index(buffer, f.fm, f.reference, {{"chr1", 0, 1000}}),
+      std::invalid_argument);
+  EXPECT_THROW(save_index(buffer, f.fm, f.reference,
+                          {{"chr1", 0, 1000}, {"chr2", 1500, 3500}}),
+               std::invalid_argument);
+}
+
+TEST(IndexIo, InspectReportsSections) {
+  Fixture f;
+  const std::string path = "/tmp/pim_aligner_test_inspect.bin";
+  save_index_file(path, f.fm, f.reference, {{"only", 0, 5000}});
+  const auto info = inspect_index_file(path);
+  EXPECT_EQ(info.version, kIndexVersion);
+  EXPECT_EQ(info.reference_bases, 5000U);
+  EXPECT_EQ(info.num_chromosomes, 1U);
+  EXPECT_EQ(info.sections.size(), 7U);
+  std::uint64_t payload_total = 0;
+  for (const auto& section : info.sections) {
+    payload_total += section.payload_bytes;
+    EXPECT_EQ(section.offset % 8, 0U) << section.name;
+  }
+  EXPECT_LE(payload_total, info.file_bytes);
+}
+
+// ---------------------------------------------------------------------------
+// Hardening matrix (S42): every corruption class must fail loudly — a
+// runtime_error naming the failing section — through BOTH loaders.
+// ---------------------------------------------------------------------------
+
+std::string v2_bytes(const Fixture& f) {
+  std::stringstream buffer;
+  save_index(buffer, f.fm, f.reference, {{"chr", 0, 5000}});
+  return buffer.str();
+}
+
+/// Runs `bytes` through the stream loader and (via a temp file) the mapped
+/// loader, expecting both to throw a runtime_error mentioning `needle`.
+void expect_both_loaders_reject(const std::string& bytes,
+                                const std::string& needle,
+                                const std::string& tag) {
+  std::stringstream stream(bytes);
+  try {
+    load_index(stream);
+    FAIL() << tag << ": stream loader accepted corrupt bytes";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+        << tag << ": stream error was: " << e.what();
+  }
+  const std::string path = "/tmp/pim_aligner_corrupt_" + tag + ".bin";
+  {
+    std::ofstream out(path, std::ios::binary);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+  try {
+    MappedIndex::open(path);
+    FAIL() << tag << ": mapped loader accepted corrupt bytes";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+        << tag << ": mapped error was: " << e.what();
+  }
+}
+
+TEST(IndexIoHardening, BadMagicBothLoaders) {
+  Fixture f;
+  std::string bytes = v2_bytes(f);
+  bytes[0] = 'X';
+  expect_both_loaders_reject(bytes, "bad magic", "magic");
+}
+
+TEST(IndexIoHardening, UnsupportedVersionBothLoaders) {
+  Fixture f;
+  std::string bytes = v2_bytes(f);
+  const std::uint32_t version = 99;
+  std::memcpy(bytes.data() + 4, &version, sizeof(version));
+  // The mapped loader falls through to the stream loader for any version it
+  // does not map, so both paths report the same canonical error.
+  expect_both_loaders_reject(bytes, "unsupported index version", "version");
+}
+
+TEST(IndexIoHardening, TruncatedSectionBothLoaders) {
+  Fixture f;
+  const std::string bytes = v2_bytes(f);
+  // Cut mid-way through the payloads: the file-size check reports it as a
+  // truncated file before any section read.
+  expect_both_loaders_reject(bytes.substr(0, bytes.size() * 3 / 4),
+                             "truncated", "truncated");
+}
+
+TEST(IndexIoHardening, FlippedPayloadByteNamesSection) {
+  Fixture f;
+  std::string bytes = v2_bytes(f);
+  const auto info = [&] {
+    const std::string path = "/tmp/pim_aligner_hardening_layout.bin";
+    std::ofstream out(path, std::ios::binary);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    out.close();
+    return inspect_index_file(path);
+  }();
+  // Flip one byte inside each section in turn; the error must name it.
+  for (const auto& section : info.sections) {
+    std::string corrupt = bytes;
+    corrupt[section.offset + section.payload_bytes / 2] ^= 0x01;
+    expect_both_loaders_reject(
+        corrupt, "section '" + section.name + "': checksum mismatch",
+        "flip_" + section.name);
+  }
+}
+
+TEST(IndexIoHardening, ZeroLengthReferenceBothLoaders) {
+  Fixture f;
+  std::string bytes = v2_bytes(f);
+  // reference_bases lives in the v2 header; re-seal the header checksum so
+  // the zero-length check (not the checksum) is what fires.
+  detail::FileHeaderV2 header;
+  std::memcpy(&header, bytes.data(), sizeof(header));
+  header.reference_bases = 0;
+  header.header_checksum = 0;
+  header.header_checksum = detail::fnv1a(detail::kFnvOffset, &header,
+                                         sizeof(header) - sizeof(std::uint64_t));
+  std::memcpy(bytes.data(), &header, sizeof(header));
+  expect_both_loaders_reject(bytes, "zero-length reference", "zeroref");
+}
+
+TEST(IndexIoHardening, ZeroLengthReferenceV1) {
+  // Hand-craft the v1 prefix: magic, version, config, then n = 0. The
+  // loader rejects before reaching the trailing checksum.
+  std::stringstream buffer;
+  const std::uint32_t magic = kIndexMagic;
+  const std::uint32_t version = kIndexVersionV1;
+  const std::uint32_t bucket_width = 64;
+  const std::uint32_t sa_rate = 1;
+  const std::uint64_t n = 0;
+  buffer.write(reinterpret_cast<const char*>(&magic), sizeof(magic));
+  buffer.write(reinterpret_cast<const char*>(&version), sizeof(version));
+  buffer.write(reinterpret_cast<const char*>(&bucket_width),
+               sizeof(bucket_width));
+  buffer.write(reinterpret_cast<const char*>(&sa_rate), sizeof(sa_rate));
+  buffer.write(reinterpret_cast<const char*>(&n), sizeof(n));
+  try {
+    load_index(buffer);
+    FAIL() << "v1 loader accepted a zero-length reference";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("zero-length reference"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(IndexIoHardening, HeaderChecksumCoversHeaderFields) {
+  Fixture f;
+  std::string bytes = v2_bytes(f);
+  // Corrupt primary without re-sealing: the header checksum must fire.
+  detail::FileHeaderV2 header;
+  std::memcpy(&header, bytes.data(), sizeof(header));
+  header.primary ^= 1;
+  std::memcpy(bytes.data(), &header, sizeof(header));
+  expect_both_loaders_reject(bytes, "header checksum", "header");
+}
+
+// ---------------------------------------------------------------------------
+// Bit-identity: built vs stream-loaded vs mapped must be indistinguishable.
+// ---------------------------------------------------------------------------
+
+TEST(IndexIoIdentity, BuiltStreamAndMappedAgree) {
+  Fixture f(4);
+  const std::string path = "/tmp/pim_aligner_identity.bin";
+  save_index_file(path, f.fm, f.reference, {{"chr", 0, 5000}});
+  const LoadedIndex streamed = load_index_file(path);
+  const MappedIndex mapped = MappedIndex::open(path);
+
+  EXPECT_TRUE(streamed.reference == f.reference);
+  EXPECT_TRUE(mapped.reference() == f.reference);
+  ASSERT_EQ(mapped.chromosomes().size(), 1U);
+  EXPECT_EQ(mapped.chromosomes()[0].name, "chr");
+
+  util::Xoshiro256 rng(17);
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::size_t len = 20 + rng.bounded(30);
+    const std::size_t start = rng.bounded(f.reference.size() - len);
+    const auto read = f.reference.slice(start, start + len);
+    const auto a = align::exact_search(f.fm, read);
+    const auto b = align::exact_search(streamed.index, read);
+    const auto c = align::exact_search(mapped.index(), read);
+    EXPECT_EQ(a.interval, b.interval);
+    EXPECT_EQ(a.interval, c.interval);
+  }
+  for (std::size_t row = 0; row < f.fm.num_rows(); row += 37) {
+    EXPECT_EQ(f.fm.locate(row), streamed.index.locate(row));
+    EXPECT_EQ(f.fm.locate(row), mapped.index().locate(row));
+  }
+}
+
+TEST(IndexIoIdentity, MappedIndexMoveKeepsBorrowsValid) {
+  Fixture f;
+  const std::string path = "/tmp/pim_aligner_identity_move.bin";
+  save_index_file(path, f.fm, f.reference);
+  MappedIndex first = MappedIndex::open(path);
+  const auto before = first.index().locate(11);
+  MappedIndex second = std::move(first);
+  EXPECT_EQ(second.index().locate(11), before);
+  MappedIndex third;
+  third = std::move(second);
+  EXPECT_EQ(third.index().locate(11), before);
+}
+
+TEST(IndexIoIdentity, MappedOpenOfV1FallsBackToStream) {
+  Fixture f;
+  const std::string path = "/tmp/pim_aligner_v1_fallback.bin";
+  {
+    std::ofstream out(path, std::ios::binary);
+    save_index_v1(out, f.fm, f.reference);
+  }
+  const MappedIndex mapped = MappedIndex::open(path);
+  EXPECT_FALSE(mapped.mapped());  // v1 tables are rebuilt, not mappable
+  EXPECT_TRUE(mapped.reference() == f.reference);
+  EXPECT_EQ(mapped.index().num_rows(), f.fm.num_rows());
+}
+
+TEST(IndexIoIdentity, LoadMetricsDistinguishRebuildFromMap) {
+  Fixture f;
+  const std::string v1_path = "/tmp/pim_aligner_metrics_v1.bin";
+  const std::string v2_path = "/tmp/pim_aligner_metrics_v2.bin";
+  {
+    std::ofstream out(v1_path, std::ios::binary);
+    save_index_v1(out, f.fm, f.reference);
+  }
+  save_index_file(v2_path, f.fm, f.reference);
+
+  obs::MetricsRegistry registry;
+  (void)MappedIndex::open(v1_path, {}, &registry);
+  (void)MappedIndex::open(v2_path, {}, &registry);
+  const auto snapshot = registry.scrape();
+  const auto* rebuild = snapshot.histogram("index.load.rebuild_ms");
+  ASSERT_NE(rebuild, nullptr);
+  EXPECT_EQ(rebuild->count, 1U);  // only the v1 fallback rebuilds
+  const auto* map_ms = snapshot.histogram("index.load.map_ms");
+  if (map_ms != nullptr) {  // absent only on platforms without mmap
+    EXPECT_EQ(map_ms->count, 1U);
+  }
 }
 
 }  // namespace

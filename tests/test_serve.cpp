@@ -28,7 +28,9 @@
 #include "src/align/chunk_demux.h"
 #include "src/align/sharded_engine.h"
 #include "src/genome/synthetic_genome.h"
+#include "src/index/index_io.h"
 #include "src/obs/metrics.h"
+#include "src/serve/index_cache.h"
 #include "src/util/rng.h"
 
 namespace pim::serve {
@@ -751,6 +753,246 @@ TEST(AlignmentService, ConcurrentSubmittersEachGetTheirOwnResults) {
   EXPECT_EQ(latency->count, counters.completed);
   EXPECT_LE(latency->p50, latency->p99);
   EXPECT_DOUBLE_EQ(latency->percentile(0.5), latency->p50);
+}
+
+// ---------------------------------------------------------------------------
+// Multi-reference routing (S42): an AlignmentService over an IndexCache
+// routes by reference_id, lanes follow cache residency, and results stay
+// bit-identical to a single-reference service over the same index.
+// ---------------------------------------------------------------------------
+
+struct MultiRefFixture {
+  struct Ref {
+    std::string id;
+    std::string path;
+    genome::PackedSequence reference;
+    index::FmIndex fm;
+    std::vector<std::vector<genome::Base>> reads;
+  };
+  std::vector<Ref> refs;
+  align::AlignerOptions aligner;
+
+  explicit MultiRefFixture(std::size_t count = 3) {
+    aligner.inexact.max_diffs = 2;
+    for (std::size_t i = 0; i < count; ++i) {
+      Ref r;
+      r.id = "genome" + std::to_string(i);
+      r.path = "/tmp/pim_serve_test_" + r.id + ".index";
+      genome::SyntheticGenomeSpec spec;
+      spec.length = 20000;
+      spec.seed = 500 + i;
+      r.reference = genome::generate_reference(spec);
+      r.fm = index::FmIndex::build(r.reference, {.bucket_width = 128});
+      index::save_index_file(r.path, r.fm, r.reference,
+                             {{r.id, 0, r.reference.size()}});
+      r.reads = make_read_mix(r.reference, 40, 70 + i);
+      refs.push_back(std::move(r));
+    }
+  }
+
+  IndexCacheOptions cache_options(std::size_t max_resident) const {
+    IndexCacheOptions options;
+    options.max_resident = max_resident;
+    return options;
+  }
+
+  MultiReferenceOptions service_options() const {
+    MultiReferenceOptions options;
+    options.aligner = aligner;
+    return options;
+  }
+
+  /// Ground truth for reference `r` over `some_reads`.
+  std::vector<align::AlignmentResult> direct(
+      const Ref& r,
+      const std::vector<std::vector<genome::Base>>& some_reads) const {
+    align::SoftwareEngine engine(r.fm, aligner);
+    align::ReadBatch batch = align::ReadBatch::from_reads(some_reads);
+    align::BatchResult result;
+    engine.align_batch(batch, result);
+    return result.to_results();
+  }
+};
+
+TEST(MultiReferenceService, RoutesAcrossThreeReferences) {
+  MultiRefFixture f(3);
+  IndexCache cache(f.cache_options(3));  // all resident: no eviction noise
+  for (const auto& r : f.refs) cache.add_reference(r.id, r.path);
+  AlignmentService service(cache, f.service_options());
+  EXPECT_TRUE(service.multi_reference());
+
+  // Interleave submissions across all three references, then verify each
+  // response against the matching reference's ground truth.
+  std::vector<std::pair<std::size_t, ResponseFuture>> pending;
+  for (std::size_t round = 0; round < 4; ++round) {
+    for (std::size_t r = 0; r < f.refs.size(); ++r) {
+      AlignRequest request;
+      request.reference_id = f.refs[r].id;
+      request.reads = slice_reads(f.refs[r].reads, round * 10, round * 10 + 10);
+      pending.emplace_back(r, service.submit(std::move(request)));
+    }
+  }
+  for (auto& [r, future] : pending) {
+    auto response = future.get();
+    ASSERT_TRUE(response.ok()) << response.reason;
+    ASSERT_EQ(response.results.size(), 10U);
+  }
+  EXPECT_EQ(service.active_lanes().size(), 3U);
+  service.shutdown();
+
+  const auto counters = service.counters();
+  EXPECT_EQ(counters.submitted, 12U);
+  EXPECT_EQ(counters.completed, 12U);
+  EXPECT_EQ(counters.rejected, 0U);
+}
+
+TEST(MultiReferenceService, BitIdenticalToSingleReferenceService) {
+  MultiRefFixture f(2);
+  IndexCache cache(f.cache_options(2));
+  for (const auto& r : f.refs) cache.add_reference(r.id, r.path);
+  AlignmentService service(cache, f.service_options());
+
+  for (const auto& r : f.refs) {
+    const auto want = f.direct(r, r.reads);
+    AlignRequest request;
+    request.reference_id = r.id;
+    request.reads = r.reads;
+    auto response = service.submit(std::move(request)).get();
+    ASSERT_TRUE(response.ok()) << response.reason;
+    ASSERT_EQ(response.results.size(), want.size());
+    for (std::size_t i = 0; i < want.size(); ++i) {
+      expect_identical(want[i], response.results[i], i, r.id.c_str());
+    }
+  }
+  service.shutdown();
+}
+
+TEST(MultiReferenceService, RejectsUnroutableRequests) {
+  MultiRefFixture f(1);
+  IndexCache cache(f.cache_options(1));
+  cache.add_reference(f.refs[0].id, f.refs[0].path);
+  AlignmentService service(cache, f.service_options());
+
+  AlignRequest missing;
+  missing.reads = slice_reads(f.refs[0].reads, 0, 4);
+  auto no_id = service.align(std::move(missing));
+  EXPECT_EQ(no_id.status, RequestStatus::kRejected);
+  EXPECT_NE(no_id.reason.find("missing reference_id"), std::string::npos);
+
+  AlignRequest unknown;
+  unknown.reference_id = "nope";
+  unknown.reads = slice_reads(f.refs[0].reads, 0, 4);
+  auto bad_id = service.align(std::move(unknown));
+  EXPECT_EQ(bad_id.status, RequestStatus::kRejected);
+  EXPECT_NE(bad_id.reason.find("unknown reference_id"), std::string::npos);
+
+  // Rejections are visible in the routing layer's counters.
+  EXPECT_EQ(service.counters().rejected, 2U);
+  service.shutdown();
+
+  AlignRequest late;
+  late.reference_id = f.refs[0].id;
+  late.reads = slice_reads(f.refs[0].reads, 0, 4);
+  EXPECT_EQ(service.align(std::move(late)).status, RequestStatus::kShutdown);
+}
+
+TEST(MultiReferenceService, SingleEngineServiceRejectsRoutedRequests) {
+  Fixture f;
+  align::SoftwareEngine engine(f.fm, f.options);
+  AlignmentService service(engine, {});
+  EXPECT_FALSE(service.multi_reference());
+  AlignRequest request;
+  request.reference_id = "anything";
+  request.reads = slice_reads(f.reads, 0, 4);
+  auto response = service.align(std::move(request));
+  EXPECT_EQ(response.status, RequestStatus::kRejected);
+  EXPECT_NE(response.reason.find("fixed engine"), std::string::npos);
+  service.shutdown();
+}
+
+TEST(MultiReferenceService, LanesFollowCacheEviction) {
+  MultiRefFixture f(3);
+  IndexCache cache(f.cache_options(2));  // third reference forces eviction
+  for (const auto& r : f.refs) cache.add_reference(r.id, r.path);
+  AlignmentService service(cache, f.service_options());
+
+  // Serve all three references round-robin; every response must still be
+  // correct even though lanes are being retired and rebuilt under us.
+  for (std::size_t round = 0; round < 3; ++round) {
+    for (const auto& r : f.refs) {
+      const auto some = slice_reads(r.reads, round * 8, round * 8 + 8);
+      const auto want = f.direct(r, some);
+      AlignRequest request;
+      request.reference_id = r.id;
+      request.reads = some;
+      auto response = service.submit(std::move(request)).get();
+      ASSERT_TRUE(response.ok()) << r.id << ": " << response.reason;
+      ASSERT_EQ(response.results.size(), want.size());
+      for (std::size_t i = 0; i < want.size(); ++i) {
+        expect_identical(want[i], response.results[i], i, r.id.c_str());
+      }
+    }
+  }
+  // The cache cycled: more misses than references, evictions happened, and
+  // the service retired evicted lanes (active set bounded by residency).
+  const auto stats = cache.stats();
+  EXPECT_GT(stats.misses, 3U);
+  EXPECT_GT(stats.evictions, 0U);
+  EXPECT_LE(service.active_lanes().size(), 3U);
+  service.shutdown();
+}
+
+TEST(MultiReferenceService, ConcurrentRoutedSubmitters) {
+  MultiRefFixture f(3);
+  obs::MetricsRegistry registry;
+  IndexCache cache([&] {
+    auto options = f.cache_options(2);
+    options.metrics = &registry;
+    return options;
+  }());
+  for (const auto& r : f.refs) cache.add_reference(r.id, r.path);
+  auto options = f.service_options();
+  options.service.metrics = &registry;
+  AlignmentService service(cache, options);
+
+  constexpr std::size_t kThreads = 4;
+  constexpr std::size_t kPerThread = 12;
+  std::atomic<std::uint64_t> mismatches{0};
+  std::vector<std::thread> submitters;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    submitters.emplace_back([&, t] {
+      util::Xoshiro256 rng(800 + t);
+      for (std::size_t i = 0; i < kPerThread; ++i) {
+        const std::size_t r = (t + i) % f.refs.size();
+        const std::size_t begin = rng.bounded(f.refs[r].reads.size() - 6);
+        const auto some = slice_reads(f.refs[r].reads, begin, begin + 6);
+        AlignRequest request;
+        request.reference_id = f.refs[r].id;
+        request.reads = some;
+        auto response = service.submit(std::move(request)).get();
+        if (!response.ok() || response.results.size() != some.size()) {
+          mismatches.fetch_add(1);
+          continue;
+        }
+        const auto want = f.direct(f.refs[r], some);
+        for (std::size_t k = 0; k < want.size(); ++k) {
+          if (response.results[k].stage != want[k].stage ||
+              response.results[k].hits.size() != want[k].hits.size()) {
+            mismatches.fetch_add(1);
+            break;
+          }
+        }
+      }
+    });
+  }
+  for (auto& thread : submitters) thread.join();
+  EXPECT_EQ(mismatches.load(), 0U);
+  service.shutdown();
+
+  const auto snapshot = registry.scrape();
+  EXPECT_GE(snapshot.counter_value("service.index_cache.misses"), 3U);
+  EXPECT_EQ(snapshot.counter_value("serve.submitted"),
+            kThreads * kPerThread);
 }
 
 }  // namespace

@@ -1,0 +1,133 @@
+#include "src/util/storage.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "src/genome/packed_sequence.h"
+#include "src/util/bit_vector.h"
+
+namespace pim::util {
+namespace {
+
+TEST(Storage, DefaultIsEmptyOwned) {
+  Storage<std::uint64_t> s;
+  EXPECT_TRUE(s.owned());
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.size(), 0U);
+  EXPECT_EQ(s.owned_bytes(), 0U);
+}
+
+TEST(Storage, OwnedAdoptsVector) {
+  std::vector<std::uint32_t> values = {1, 2, 3};
+  const auto* before = values.data();
+  Storage<std::uint32_t> s(std::move(values));
+  EXPECT_TRUE(s.owned());
+  EXPECT_EQ(s.size(), 3U);
+  EXPECT_EQ(s.data(), before);  // moved, not copied
+  EXPECT_EQ(s[1], 2U);
+  EXPECT_GE(s.owned_bytes(), 3 * sizeof(std::uint32_t));
+}
+
+TEST(Storage, BorrowedViewsWithoutCopying) {
+  const std::uint64_t region[4] = {10, 20, 30, 40};
+  auto s = Storage<std::uint64_t>::borrowed(region, 4);
+  EXPECT_FALSE(s.owned());
+  EXPECT_EQ(s.data(), region);
+  EXPECT_EQ(s.size(), 4U);
+  EXPECT_EQ(s[3], 40U);
+  EXPECT_EQ(s.owned_bytes(), 0U);  // bytes belong to the region
+  EXPECT_EQ(s.span().size(), 4U);
+}
+
+TEST(Storage, EnsureOwnedCopiesOutOfRegion) {
+  std::uint32_t region[3] = {7, 8, 9};
+  auto s = Storage<std::uint32_t>::borrowed(region, 3);
+  s.ensure_owned();
+  EXPECT_TRUE(s.owned());
+  EXPECT_NE(s.data(), region);
+  region[0] = 999;  // mutating the region no longer affects the storage
+  EXPECT_EQ(s[0], 7U);
+}
+
+TEST(Storage, VecIsCopyOnWrite) {
+  const std::uint32_t region[2] = {1, 2};
+  auto s = Storage<std::uint32_t>::borrowed(region, 2);
+  s.vec().push_back(3);
+  EXPECT_TRUE(s.owned());
+  EXPECT_EQ(s.size(), 3U);
+  EXPECT_EQ(s[0], 1U);
+  EXPECT_EQ(s[2], 3U);
+}
+
+TEST(Storage, EqualityComparesContentAcrossModes) {
+  const std::uint64_t region[2] = {5, 6};
+  auto borrowed = Storage<std::uint64_t>::borrowed(region, 2);
+  Storage<std::uint64_t> owned(std::vector<std::uint64_t>{5, 6});
+  Storage<std::uint64_t> different(std::vector<std::uint64_t>{5, 7});
+  EXPECT_TRUE(borrowed == owned);
+  EXPECT_FALSE(borrowed == different);
+  EXPECT_FALSE(owned == Storage<std::uint64_t>());
+}
+
+// --- from_words adopters: the loaders' entry points into BitVector and
+// PackedSequence, in both modes, with tail-bit validation. ---
+
+TEST(FromWords, BitVectorOwnedRoundTrip) {
+  BitVector bits(130);
+  bits.set(0, true);
+  bits.set(129, true);
+  std::vector<std::uint64_t> words(bits.words().begin(), bits.words().end());
+  const auto adopted = BitVector::from_words(std::move(words), 130);
+  EXPECT_EQ(adopted.size(), 130U);
+  EXPECT_TRUE(adopted.get(0));
+  EXPECT_TRUE(adopted.get(129));
+  EXPECT_EQ(adopted.popcount(), 2U);
+}
+
+TEST(FromWords, BitVectorWordCountMismatchThrows) {
+  EXPECT_THROW(
+      BitVector::from_words(std::vector<std::uint64_t>{1, 2, 3}, 64),
+      std::invalid_argument);
+  EXPECT_THROW(BitVector::from_words(std::vector<std::uint64_t>{}, 1),
+               std::invalid_argument);
+}
+
+TEST(FromWords, BitVectorNonzeroTailBitsThrow) {
+  // 65 bits occupy two words; any bit above index 0 of the second word is
+  // past the end.
+  EXPECT_THROW(
+      BitVector::from_words(std::vector<std::uint64_t>{0, 0b10}, 65),
+      std::invalid_argument);
+  EXPECT_NO_THROW(
+      BitVector::from_words(std::vector<std::uint64_t>{0, 0b1}, 65));
+}
+
+TEST(FromWords, PackedSequenceBothModes) {
+  const genome::PackedSequence seq("ACGTACGTACGTACGTACGTACGTACGTACGTACG");
+  std::vector<std::uint64_t> words(seq.words().begin(), seq.words().end());
+  const auto owned =
+      genome::PackedSequence::from_words(words, seq.size());
+  EXPECT_TRUE(owned == seq);
+  const auto borrowed = genome::PackedSequence::from_words(
+      util::Storage<std::uint64_t>::borrowed(seq.words().data(),
+                                             seq.words().size()),
+      seq.size());
+  EXPECT_TRUE(borrowed == seq);
+  EXPECT_EQ(borrowed.words().data(), seq.words().data());
+}
+
+TEST(FromWords, PackedSequenceTailBasesValidated) {
+  // 33 bases use 66 bits of two words; base slot 33 (bits 66..67) must be 0.
+  std::vector<std::uint64_t> words = {0, 0b100};
+  EXPECT_THROW(genome::PackedSequence::from_words(words, 33),
+               std::invalid_argument);
+  EXPECT_THROW(
+      genome::PackedSequence::from_words(std::vector<std::uint64_t>{1}, 33),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pim::util

@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Gate the S40 JSON-line metrics schema (see src/obs/reporter.h).
 
-Usage: check_metrics_schema.py FILE [FILE...]
+Usage: check_metrics_schema.py [--require-prefix=PREFIX ...] FILE [FILE...]
 
 Each FILE holds JSON lines as emitted by obs::write_json_lines (metric and
 trace lines; non-JSON lines are rejected). The schema is the interface CI
@@ -19,6 +19,13 @@ Checks, per line:
     duration_ms;
   * histogram percentiles are ordered (p50 <= p90 <= p95 <= p99) and
     clamped to [min, max]; counters are non-negative integers.
+
+--require-prefix=PREFIX (repeatable) additionally asserts that at least one
+metric whose name starts with PREFIX appears across the given files — CI
+uses it to prove whole series exist (e.g. service.index_cache. for the S42
+multi-reference serving path), not just that whatever was emitted is
+well-formed.
+
 Exits non-zero on the first violating file, printing every violation.
 """
 
@@ -37,7 +44,7 @@ METRIC_FIELDS = {
 TRACE_FIELDS = ["trace", "seq", "thread", "depth", "start_ms", "duration_ms"]
 
 
-def check_line(line, lineno, errors):
+def check_line(line, lineno, errors, seen_metrics):
     try:
         obj = json.loads(line)
     except json.JSONDecodeError as e:
@@ -48,6 +55,8 @@ def check_line(line, lineno, errors):
         return
 
     if "metric" in obj:
+        if isinstance(obj["metric"], str):
+            seen_metrics.add(obj["metric"])
         mtype = obj.get("type")
         want = METRIC_FIELDS.get(mtype)
         if want is None:
@@ -90,7 +99,7 @@ def check_line(line, lineno, errors):
         errors.append(f"line {lineno}: neither a metric nor a trace line")
 
 
-def check_file(path):
+def check_file(path, seen_metrics):
     errors = []
     lines = 0
     with open(path, encoding="utf-8") as f:
@@ -99,19 +108,27 @@ def check_file(path):
             if not line:
                 continue
             lines += 1
-            check_line(line, lineno, errors)
+            check_line(line, lineno, errors, seen_metrics)
     if lines == 0:
         errors.append("file is empty (expected at least one metric line)")
     return lines, errors
 
 
 def main(argv):
-    if len(argv) < 2:
+    prefixes = []
+    paths = []
+    for arg in argv[1:]:
+        if arg.startswith("--require-prefix="):
+            prefixes.append(arg[len("--require-prefix="):])
+        else:
+            paths.append(arg)
+    if not paths:
         print(__doc__.strip(), file=sys.stderr)
         return 2
     failed = False
-    for path in argv[1:]:
-        lines, errors = check_file(path)
+    seen_metrics = set()
+    for path in paths:
+        lines, errors = check_file(path, seen_metrics)
         if errors:
             failed = True
             print(f"{path}: SCHEMA VIOLATIONS")
@@ -119,6 +136,14 @@ def main(argv):
                 print(f"  {error}")
         else:
             print(f"{path}: {lines} lines OK")
+    for prefix in prefixes:
+        matches = sorted(m for m in seen_metrics if m.startswith(prefix))
+        if matches:
+            print(f"prefix {prefix!r}: {len(matches)} metrics present")
+        else:
+            failed = True
+            print(f"prefix {prefix!r}: NO metrics found across "
+                  f"{len(paths)} file(s)")
     return 1 if failed else 0
 
 
