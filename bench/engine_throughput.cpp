@@ -18,6 +18,12 @@
 // curve, one invocation) and a metrics-overhead pass (instrumented vs bare
 // chunked scheduler; the registry must cost < 2%).
 //
+// The S43 section sweeps the host->chip staging bandwidth around the
+// measured critical point, emitting compute-bound AND transfer-bound
+// operating points as JSON lines, and asserts (into the exit code) that
+// double-buffered staging strictly beats the non-overlapped transfer +
+// compute sum at the default bandwidth.
+//
 // Usage: engine_throughput [max_reads] [metrics.jsonl]  (default 100000;
 // CI's sanitizer job passes a small count so the bench smoke-runs under
 // ASan). With a second argument, the registry snapshots behind the S40
@@ -541,11 +547,117 @@ int main(int argc, char** argv) {
         per_chip.c_str());
   }
 
+  // --- Transfer-bandwidth sweep (S43) -------------------------------------
+  // The fleet now charges host->chip staging (the pre-S43 numbers assumed
+  // the batch teleported in for free). Sweep the per-chip link bandwidth
+  // around the measured critical point bw* = bytes-per-generation /
+  // compute-per-generation of the slowest chip, so the emitted operating
+  // points are guaranteed to cover BOTH regimes: transfer-bound below bw*,
+  // compute-bound above. Every point runs two generations (two align_batch
+  // calls over the same batch) so double buffering has a previous compute
+  // to hide under. Asserted into the exit code: at the default bandwidth
+  // the double-buffered modeled end-to-end time is strictly below the
+  // non-overlapped transfer + compute sum, and the single-buffer
+  // counterfactual equals that sum exactly.
+  std::printf("\n=== Transfer-bandwidth sweep (S43): %zu reads x 2 "
+              "generations, 2 chips (JSON lines) ===\n",
+              pim_reads);
+  bool transfer_ok = true;
+  const auto run_transfer_point = [&](double bandwidth_gbs,
+                                      bool double_buffer) {
+    pim::util::Config cfg;
+    cfg.set_double("HostLinkBandwidthGBs", bandwidth_gbs);
+    pim::hw::TransferOptions topts;
+    topts.double_buffer = double_buffer;
+    topts.config = cfg;
+    pim::hw::PimChipFleet tf(w.fm, timing, 2, options, {},
+                             pim::hw::AddPlacement::kMethodI, {}, topts);
+    pim::align::BatchResult r1;
+    tf.engine().align_batch(pim_batch, r1);
+    pim::align::BatchResult r2;
+    tf.engine().align_batch(pim_batch, r2);
+    transfer_ok = transfer_ok && r1.stats().hits_total == pim_want_hits &&
+                  r2.stats().hits_total == pim_want_hits;
+    return tf.transfer_report();
+  };
+
+  // Probe at the default bandwidth to locate the critical point.
+  const auto probe = run_transfer_point(16.0, true);
+  double probe_bytes_per_gen = 0.0;
+  double probe_compute_per_gen = 0.0;
+  for (const auto& chip : probe.chips) {
+    if (chip.generations == 0) continue;
+    const double gens = static_cast<double>(chip.generations);
+    // The slowest chip sets the fleet's operating point.
+    if (chip.compute_ns / gens > probe_compute_per_gen) {
+      probe_compute_per_gen = chip.compute_ns / gens;
+      probe_bytes_per_gen = static_cast<double>(chip.staged_bytes) / gens;
+    }
+  }
+  // bw* in bytes/ns == GB/s; guard tiny batches (compute ~ 0).
+  const double critical_gbs =
+      probe_compute_per_gen > 1.0
+          ? probe_bytes_per_gen / probe_compute_per_gen
+          : 1.0;
+  bool saw_transfer_bound = false;
+  bool saw_compute_bound = false;
+  const double sweep_points[] = {critical_gbs * 0.25, critical_gbs,
+                                 critical_gbs * 4.0, 16.0};
+  for (const double gbs : sweep_points) {
+    const auto report = run_transfer_point(gbs, true);
+    // Steady-state regime of the slowest chip: link-paced when one
+    // generation's staging exceeds its compute.
+    double t_per_gen = 0.0;
+    double c_per_gen = 0.0;
+    for (const auto& chip : report.chips) {
+      if (chip.generations == 0) continue;
+      const double gens = static_cast<double>(chip.generations);
+      if (chip.compute_ns / gens >= c_per_gen) {
+        c_per_gen = chip.compute_ns / gens;
+        t_per_gen = chip.staging_ns / gens;
+      }
+    }
+    const bool transfer_bound = t_per_gen > c_per_gen;
+    saw_transfer_bound = saw_transfer_bound || transfer_bound;
+    saw_compute_bound = saw_compute_bound || !transfer_bound;
+    std::printf(
+        "{\"bench\":\"transfer_sweep\",\"bandwidth_gbs\":%.6g,"
+        "\"chips\":2,\"reads\":%zu,\"generations\":%llu,"
+        "\"staged_bytes\":%llu,\"staging_ns\":%.0f,\"compute_ns\":%.0f,"
+        "\"stall_ns\":%.0f,\"overlapped_ns\":%.0f,\"serial_ns\":%.0f,"
+        "\"overlap_ratio\":%.3f,\"energy_pj\":%.0f,\"bound\":\"%s\"}\n",
+        gbs, pim_batch.size(),
+        static_cast<unsigned long long>(report.generations),
+        static_cast<unsigned long long>(report.staged_bytes),
+        report.staging_ns, report.compute_ns, report.stall_ns,
+        report.overlapped_ns, report.serial_ns, report.overlap_ratio,
+        report.energy_pj, transfer_bound ? "transfer" : "compute");
+  }
+  // The S43 acceptance assert: overlap must pay off at the default
+  // bandwidth, and turning double buffering off must cost exactly the
+  // serial sum.
+  const auto overlapped = run_transfer_point(16.0, true);
+  const auto serial = run_transfer_point(16.0, false);
+  const bool overlap_wins = overlapped.overlapped_ns < overlapped.serial_ns;
+  const bool serial_exact = serial.overlapped_ns == serial.serial_ns;
+  transfer_ok = transfer_ok && overlap_wins && serial_exact &&
+                saw_transfer_bound && saw_compute_bound;
+  std::printf("{\"bench\":\"transfer_overlap\",\"bandwidth_gbs\":16.0,"
+              "\"double_buffered_ns\":%.0f,\"serial_ns\":%.0f,"
+              "\"saved_ns\":%.0f,\"overlap_wins\":%s,"
+              "\"single_buffer_matches_serial\":%s,"
+              "\"both_regimes_seen\":%s}\n",
+              overlapped.overlapped_ns, overlapped.serial_ns,
+              overlapped.serial_ns - overlapped.overlapped_ns,
+              overlap_wins ? "true" : "false",
+              serial_exact ? "true" : "false",
+              saw_transfer_bound && saw_compute_bound ? "true" : "false");
+
   if (!metrics_path.empty()) {
     std::ofstream metrics_out(metrics_path);
     pim::obs::write_json_lines(sched_registry.scrape(), metrics_out);
     pim::obs::write_json_lines(fleet_registry.scrape(), metrics_out);
     std::printf("\nregistry snapshots -> %s\n", metrics_path.c_str());
   }
-  return (ok && fleet_ok && stream_ok && scaling_ok) ? 0 : 1;
+  return (ok && fleet_ok && stream_ok && scaling_ok && transfer_ok) ? 0 : 1;
 }

@@ -1,8 +1,10 @@
 #include "src/accel/chip_sim.h"
 
 #include <algorithm>
+#include <cmath>
 #include <queue>
 #include <stdexcept>
+#include <utility>
 
 #include "src/util/stats.h"
 
@@ -21,17 +23,28 @@ struct Event {
 ChipSimReport simulate_chip(const ChipSimConfig& config) {
   if (config.groups == 0 || config.concurrent_reads == 0 ||
       config.lfm_per_read == 0 || config.service_ns <= 0.0 ||
-      config.reads_to_complete == 0) {
+      config.reads_to_complete == 0 ||
+      !(config.warmup_fraction >= 0.0 && config.warmup_fraction < 1.0)) {
     throw std::invalid_argument("simulate_chip: bad config");
   }
   util::Xoshiro256 rng(config.seed);
+
+  // S43 warm-up: the first completions ride the t = 0 cold-start ramp and
+  // are discarded; tallies start at the end of the last warm-up read.
+  const auto warmup_target = static_cast<std::uint64_t>(std::ceil(
+      config.warmup_fraction * static_cast<double>(config.reads_to_complete)));
+  const std::uint64_t total_target = warmup_target + config.reads_to_complete;
 
   // Per-read state: remaining LFMs and start time of the current pass.
   std::vector<std::uint32_t> remaining(config.concurrent_reads,
                                        config.lfm_per_read);
   std::vector<double> started(config.concurrent_reads, 0.0);
   std::vector<double> group_free(config.groups, 0.0);
-  std::vector<double> group_busy(config.groups, 0.0);
+  double busy_measured = 0.0;  // service time inside the measurement window
+  // Services issued before t_warm is known; clipped against it afterwards.
+  // (Service end times are not monotone in issue order, so a service issued
+  // during warm-up can spill past t_warm — the spill counts as measured.)
+  std::vector<std::pair<double, double>> pending_busy;
 
   // Min-heap of "read ready to issue its next LFM" events.
   std::priority_queue<Event, std::vector<Event>, std::greater<Event>> ready;
@@ -43,8 +56,10 @@ ChipSimReport simulate_chip(const ChipSimConfig& config) {
   latencies.reserve(config.reads_to_complete);
   std::uint64_t completed = 0;
   double wall = 0.0;
+  double warm_ns = 0.0;  // measurement-window start; 0 until warm-up ends
+  bool warm = warmup_target == 0;
 
-  while (completed < config.reads_to_complete) {
+  while (completed < total_target) {
     const Event ev = ready.top();
     ready.pop();
     const std::uint32_t r = ev.read_id;
@@ -54,12 +69,27 @@ ChipSimReport simulate_chip(const ChipSimConfig& config) {
     const double start = std::max(ev.time_ns, group_free[g]);
     const double end = start + config.service_ns;
     group_free[g] = end;
-    group_busy[g] += config.service_ns;
+    if (warm) {
+      busy_measured += end - std::max(start, warm_ns);
+    } else {
+      pending_busy.emplace_back(start, end);
+    }
     wall = std::max(wall, end);
 
     if (--remaining[r] == 0) {
-      latencies.push_back(end - started[r]);
       ++completed;
+      if (warm) {
+        latencies.push_back(end - started[r]);
+      } else if (completed == warmup_target) {
+        // Warm-up ends here: clip the buffered services to the window.
+        warm = true;
+        warm_ns = end;
+        for (const auto& [s, e] : pending_busy) {
+          if (e > warm_ns) busy_measured += e - std::max(s, warm_ns);
+        }
+        pending_busy.clear();
+        pending_busy.shrink_to_fit();
+      }
       // The slot recirculates immediately with a fresh read.
       remaining[r] = config.lfm_per_read;
       started[r] = end;
@@ -67,14 +97,16 @@ ChipSimReport simulate_chip(const ChipSimConfig& config) {
     ready.push(Event{end, r});
   }
 
+  const std::uint64_t measured = completed - warmup_target;
+  const double window_ns = wall - warm_ns;
   ChipSimReport report;
   report.wall_ns = wall;
-  report.reads_completed = completed;
-  report.throughput_qps = static_cast<double>(completed) / (wall * 1e-9);
-  double busy_total = 0.0;
-  for (const auto b : group_busy) busy_total += b;
+  report.reads_completed = measured;
+  report.warmup_reads = warmup_target;
+  report.warmup_ns = warm_ns;
+  report.throughput_qps = static_cast<double>(measured) / (window_ns * 1e-9);
   report.mean_group_utilization =
-      busy_total / (wall * static_cast<double>(config.groups));
+      busy_measured / (window_ns * static_cast<double>(config.groups));
   double latency_sum = 0.0;
   for (const auto l : latencies) latency_sum += l;
   report.mean_read_latency_ns =
@@ -82,8 +114,8 @@ ChipSimReport simulate_chip(const ChipSimConfig& config) {
   report.p50_latency_ns = util::quantile(latencies, 0.50);
   report.p95_latency_ns = util::quantile(latencies, 0.95);
   report.p99_latency_ns = util::quantile(latencies, 0.99);
-  // Little's law: C = X * R with X in reads/ns.
-  const double x_per_ns = static_cast<double>(completed) / wall;
+  // Little's law: C = X * R with X in reads/ns, over the measured window.
+  const double x_per_ns = static_cast<double>(measured) / window_ns;
   const double implied_c = x_per_ns * report.mean_read_latency_ns;
   report.littles_law_residual =
       std::abs(implied_c - static_cast<double>(config.concurrent_reads)) /

@@ -28,8 +28,14 @@ std::vector<MeasuredChipLoad> measured_loads(
 
 std::vector<MeasuredChipLoad> measured_loads(const hw::PimChipFleet& fleet) {
   auto loads = measured_loads(fleet.engine().shard_stats());
+  const hw::TransferReport transfer = fleet.transfer_report();
   for (std::size_t c = 0; c < loads.size() && c < fleet.num_chips(); ++c) {
     loads[c].lfm_calls = fleet.chip_stats(c).lfm_calls;
+    if (c < transfer.chips.size()) {
+      loads[c].staged_bytes = transfer.chips[c].staged_bytes;
+      loads[c].staging_ns = transfer.chips[c].staging_ns;
+      loads[c].stall_ns = transfer.chips[c].stall_ns;
+    }
   }
   return loads;
 }

@@ -32,6 +32,13 @@ struct MeasuredChipLoad {
   /// hardware tally), in which case consumers keep their assumed demand.
   std::uint64_t lfm_calls = 0;
   double wall_ms = 0.0;
+  /// Host->chip staging measured by the fleet's TransferModel (S43); zero
+  /// for software shards and transfer-disabled fleets. staging_ns is the
+  /// charged transfer time, stall_ns the part double-buffering could not
+  /// hide under compute.
+  std::uint64_t staged_bytes = 0;
+  double staging_ns = 0.0;
+  double stall_ns = 0.0;
 
   /// Average LFM invocations per read; `fallback` when unmeasured.
   double lfm_per_read(double fallback = 0.0) const;

@@ -74,7 +74,9 @@ struct ShardedOptions {
   obs::MetricsRegistry* metrics = nullptr;
 };
 
-class ShardedEngine final : public AlignmentEngine {
+// Not final: pim::hw::PimChipFleet derives a transfer-charging engine (S43)
+// that brackets the fan-out with host->chip staging accounting.
+class ShardedEngine : public AlignmentEngine {
  public:
   /// Owning: the sharded engine keeps the backend instances alive.
   explicit ShardedEngine(std::vector<std::unique_ptr<AlignmentEngine>> shards,

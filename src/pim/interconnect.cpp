@@ -1,8 +1,37 @@
 #include "src/pim/interconnect.h"
 
+#include <cmath>
 #include <stdexcept>
+#include <string>
 
 namespace pim::hw {
+
+namespace {
+
+/// Per-key validation so a bad override is rejected with the offending key
+/// named, whether it arrives through the merged ctor path or any future
+/// construction route. Latencies must be finite and strictly positive
+/// (words_per_ns divides by them); energies finite and non-negative. Note
+/// NaN fails both `<= 0` and `< 0` comparisons, so the pre-S43 checks let
+/// a NaN override through — hence std::isfinite here.
+double checked(const util::Config& cfg, const std::string& key,
+               bool is_latency) {
+  const double value = cfg.get_double(key);
+  if (!std::isfinite(value) || (is_latency ? value <= 0.0 : value < 0.0)) {
+    throw std::invalid_argument(
+        "InterconnectModel: bad constant " + key + " = " +
+        std::to_string(value) +
+        (is_latency ? " (need finite > 0)" : " (need finite >= 0)"));
+  }
+  return value;
+}
+
+OpCost checked_cost(const util::Config& cfg, const std::string& level) {
+  return {checked(cfg, level + "WordLatencyNs", /*is_latency=*/true),
+          checked(cfg, level + "WordEnergyPj", /*is_latency=*/false)};
+}
+
+}  // namespace
 
 util::Config InterconnectModel::default_config() {
   // 45 nm, CACTI/NVSim-class wire numbers for a DRAM-style hierarchy:
@@ -22,21 +51,14 @@ util::Config InterconnectModel::default_config() {
 
 InterconnectModel::InterconnectModel(const util::Config& overrides) {
   const util::Config cfg = default_config().merged_with(overrides);
-  intra_bank_ = {cfg.get_double("IntraBankWordLatencyNs"),
-                 cfg.get_double("IntraBankWordEnergyPj")};
-  inter_bank_ = {cfg.get_double("InterBankWordLatencyNs"),
-                 cfg.get_double("InterBankWordEnergyPj")};
-  off_chip_ = {cfg.get_double("OffChipWordLatencyNs"),
-               cfg.get_double("OffChipWordEnergyPj")};
-  for (const auto* c : {&intra_bank_, &inter_bank_, &off_chip_}) {
-    if (c->latency_ns <= 0.0 || c->energy_pj < 0.0) {
-      throw std::invalid_argument("InterconnectModel: bad constants");
-    }
-  }
+  intra_bank_ = checked_cost(cfg, "IntraBank");
+  inter_bank_ = checked_cost(cfg, "InterBank");
+  off_chip_ = checked_cost(cfg, "OffChip");
 }
 
 OpCost InterconnectModel::transfer_cost(std::uint64_t words,
                                         HopLevel level) const {
+  if (words == 0) return OpCost{};  // priced no-op, exactly zero
   const OpCost* per_word = nullptr;
   switch (level) {
     case HopLevel::kIntraBank: per_word = &intra_bank_; break;

@@ -29,9 +29,14 @@ class InterconnectModel {
 
   static util::Config default_config();
 
-  /// Cost of moving `words` 32-bit words at the given level.
+  /// Cost of moving `words` 32-bit words at the given level. `words == 0`
+  /// is a priced no-op: an exact {0 ns, 0 pJ}, never a rounding artifact of
+  /// multiplying per-word constants by zero.
   OpCost transfer_cost(std::uint64_t words, HopLevel level) const;
 
+  /// Sustained word rate of the level; always finite and positive (the
+  /// constructor rejects any override that zeroes or corrupts a latency,
+  /// so the division here cannot produce inf/NaN).
   double words_per_ns(HopLevel level) const;
 
  private:

@@ -19,6 +19,12 @@ void PimEngine::align_range(const align::ReadBatch& batch, std::size_t begin,
       out.stats().inexact_searches += both ? 2 : 1;
     }
     out.add_read(result.stage, result.hits);
+    // Publish the hardware tallies at every read boundary (S43): this
+    // thread is the platform's single driver, so the seqlock store is
+    // race-free, and a concurrent PimChipFleet::publish_metrics scrape
+    // sees tallies at most one read stale instead of racing the raw
+    // per-tile counters.
+    platform_->publish_stats_snapshot();
   }
 }
 

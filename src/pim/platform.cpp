@@ -153,6 +153,7 @@ void PimAlignerPlatform::reset_stats() {
   lfm_calls_ = 0;
   boundary_marker_hits_ = 0;
   sa_mem_reads_ = 0;
+  publish_stats_snapshot();  // a reset between measured batches shows through
 }
 
 }  // namespace pim::hw

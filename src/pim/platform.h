@@ -22,6 +22,7 @@
 #include "src/pim/mapping.h"
 #include "src/pim/pipeline.h"
 #include "src/pim/timing_energy.h"
+#include "src/util/seqlock.h"
 
 namespace pim::hw {
 
@@ -66,6 +67,20 @@ class PimAlignerPlatform {
     std::uint64_t sa_mem_reads = 0;
   };
   AggregateStats aggregate_stats() const;
+
+  /// Mid-run-safe view of aggregate_stats() (S43). The tallies themselves
+  /// are plain fields written by the platform's single driving thread —
+  /// aggregate_stats() while that thread is aligning is a data race. The
+  /// driver instead calls publish_stats_snapshot() at read boundaries
+  /// (PimEngine::align_range does, per read), and any OTHER thread — a
+  /// PeriodicReporter scraping PimChipFleet::publish_metrics — reads the
+  /// seqlock-published copy here. At quiescence (driver joined) the
+  /// snapshot equals aggregate_stats() exactly.
+  AggregateStats stats_snapshot() const { return snapshot_.load(); }
+  /// Publish the current tallies; must be called by the (single) thread
+  /// driving this platform. Cost: one tile sweep + a wait-free seqlock
+  /// store — per-read, not per-operation.
+  void publish_stats_snapshot() { snapshot_.store(aggregate_stats()); }
   SubArrayStats aggregate_load_stats() const;
   /// Method-II only: ops executed on the duplicate (add-side) tiles.
   /// Included in aggregate_stats(); exposed separately so the measured
@@ -93,6 +108,8 @@ class PimAlignerPlatform {
   std::uint64_t lfm_calls_ = 0;
   std::uint64_t boundary_marker_hits_ = 0;
   std::uint64_t sa_mem_reads_ = 0;
+  /// Seqlock-published copy of the tallies for cross-thread scraping (S43).
+  util::Seqlock<AggregateStats> snapshot_;
 };
 
 /// Seed-and-extend long-read alignment driven by the platform's in-memory

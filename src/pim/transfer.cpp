@@ -1,0 +1,99 @@
+#include "src/pim/transfer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+namespace pim::hw {
+
+namespace {
+
+double checked_double(const util::Config& cfg, const std::string& key,
+                      bool strictly_positive) {
+  const double value = cfg.get_double(key);
+  if (!std::isfinite(value) ||
+      (strictly_positive ? value <= 0.0 : value < 0.0)) {
+    throw std::invalid_argument(
+        "TransferModel: bad constant " + key + " = " + std::to_string(value) +
+        (strictly_positive ? " (need finite > 0)" : " (need finite >= 0)"));
+  }
+  return value;
+}
+
+}  // namespace
+
+util::Config TransferModel::default_config() {
+  // Per-chip staging link, DDR/PCIe-class:
+  //  * HostLinkBandwidthGBs: sustained per-chip host->chip bandwidth. The
+  //    UPMEM study measures ~16 GB/s aggregate host->DPU copy bandwidth on
+  //    a loaded rank; we give each chip that class of link (1 GB/s ==
+  //    1 byte/ns, so the unit doubles as bytes-per-ns).
+  //  * BatchSerializationNs: fixed cost per staged shard — driver call,
+  //    scatter-gather setup, DMA descriptor ring. ~1.5 us is the floor the
+  //    UPMEM host library pays per rank copy.
+  //  * PerReadHeaderBytes: the descriptor shipped with each read (length +
+  //    slot id), on top of the 2-bit-packed bases.
+  // InterconnectModel defaults ride along; its OffChip* keys price the
+  // per-word wire energy.
+  util::Config cfg = InterconnectModel::default_config();
+  cfg.set_double("HostLinkBandwidthGBs", 16.0);
+  cfg.set_double("BatchSerializationNs", 1500.0);
+  cfg.set_int("PerReadHeaderBytes", 8);
+  return cfg;
+}
+
+TransferModel::TransferModel(const util::Config& overrides)
+    : interconnect_(overrides) {
+  const util::Config cfg = default_config().merged_with(overrides);
+  bandwidth_gbs_ =
+      checked_double(cfg, "HostLinkBandwidthGBs", /*strictly_positive=*/true);
+  serialization_ns_ =
+      checked_double(cfg, "BatchSerializationNs", /*strictly_positive=*/false);
+  const std::int64_t header = cfg.get_int("PerReadHeaderBytes");
+  if (header < 0) {
+    throw std::invalid_argument("TransferModel: PerReadHeaderBytes < 0");
+  }
+  per_read_header_bytes_ = static_cast<std::uint64_t>(header);
+}
+
+StagingCost TransferModel::staging_cost(std::uint64_t payload_bytes) const {
+  StagingCost cost;
+  if (payload_bytes == 0) return cost;  // no DMA issued: priced no-op
+  cost.bytes = payload_bytes;
+  cost.words = (payload_bytes + 3) / 4;
+  cost.serialization_ns = serialization_ns_;
+  // GB/s == bytes/ns, so wire time is a plain division.
+  cost.wire_ns = static_cast<double>(payload_bytes) / bandwidth_gbs_;
+  cost.latency_ns = cost.serialization_ns + cost.wire_ns;
+  cost.energy_pj =
+      interconnect_.transfer_cost(cost.words, HopLevel::kOffChip).energy_pj;
+  return cost;
+}
+
+StagingTimeline::Generation StagingTimeline::advance(double transfer_ns,
+                                                     double compute_ns) {
+  Generation gen;
+  if (double_buffer_) {
+    // The landing buffer alternates; its previous occupant was generation
+    // g-2, so staging waits on the link AND that compute finishing.
+    gen.transfer_start_ns = std::max(transfer_end_, compute_end_g2_);
+  } else {
+    // One shared buffer: the chip reads from it while computing, so the
+    // next staging cannot start until the previous compute is done.
+    gen.transfer_start_ns = std::max(transfer_end_, compute_end_g1_);
+  }
+  gen.transfer_end_ns = gen.transfer_start_ns + transfer_ns;
+  gen.compute_start_ns = std::max(compute_end_g1_, gen.transfer_end_ns);
+  gen.stall_ns = gen.compute_start_ns - compute_end_g1_;
+  gen.compute_end_ns = gen.compute_start_ns + compute_ns;
+
+  transfer_end_ = gen.transfer_end_ns;
+  compute_end_g2_ = compute_end_g1_;
+  compute_end_g1_ = gen.compute_end_ns;
+  serial_sum_ns_ += transfer_ns + compute_ns;
+  ++generations_;
+  return gen;
+}
+
+}  // namespace pim::hw

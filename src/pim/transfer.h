@@ -1,0 +1,134 @@
+// Host↔PIM staging cost model + double-buffered staging timeline (S43).
+//
+// Until S43 the fleet let read batches teleport into the chips' sub-arrays
+// for free, so every fleet-scale number was silently optimistic about the
+// one path Diab et al. (PAPERS.md, arXiv 2208.01243) measure as the real
+// bottleneck on PIM systems: host↔memory transfer. This module prices that
+// path and models how much of it a double-buffered host runtime can hide:
+//
+//   * TransferModel — what staging a shard costs. A read shipped to a chip
+//     is its 2-bit-packed bases plus a fixed per-read descriptor; a staged
+//     batch pays a fixed serialization cost (driver + DMA setup) plus wire
+//     time at the per-chip host-link bandwidth. Per-word wire ENERGY reuses
+//     InterconnectModel::transfer_cost at HopLevel::kOffChip — the same
+//     CACTI/NVSim-class constants the chip model charges for every other
+//     cross-hierarchy byte, so the host link is priced in the same currency.
+//
+//   * StagingTimeline — when the staged bytes arrive. One timeline per chip
+//     advances generation by generation in modeled nanoseconds: with double
+//     buffering, generation N+1's transfer overlaps generation N's compute
+//     (the UPMEM mram_sequential_reader buffered-access idiom, lifted to the
+//     host link); single-buffered, the chip sits idle for every transfer.
+//     The per-generation stall — compute idle waiting on data — is exactly
+//     the quantity the fleet surfaces as fleet.transfer.*.stall_ns.
+//
+// Everything here is deterministic model time (derived from byte counts and
+// the chips' modeled busy_ns), never wall clock, so transfer numbers are
+// reproducible across reruns and hosts — asserted in tests/test_transfer.cpp.
+#pragma once
+
+#include <cstdint>
+
+#include "src/pim/interconnect.h"
+#include "src/util/config.h"
+
+namespace pim::hw {
+
+/// Cost of staging one shard's payload to one chip.
+struct StagingCost {
+  std::uint64_t bytes = 0;        ///< Payload actually serialized.
+  std::uint64_t words = 0;        ///< 32-bit words on the wire.
+  double serialization_ns = 0.0;  ///< Fixed per-staged-batch cost.
+  double wire_ns = 0.0;           ///< bytes / per-chip link bandwidth.
+  double latency_ns = 0.0;        ///< serialization_ns + wire_ns.
+  double energy_pj = 0.0;         ///< Off-chip word energy (interconnect).
+};
+
+class TransferModel {
+ public:
+  /// Defaults overlaid with `overrides`; InterconnectModel keys pass
+  /// through, so one Config configures both the link and the word pricing.
+  /// Throws std::invalid_argument (naming the key) on non-finite,
+  /// non-positive bandwidth or negative fixed costs.
+  explicit TransferModel(const util::Config& overrides = {});
+
+  static util::Config default_config();
+
+  /// Staging cost for `payload_bytes` to one chip. Zero bytes is a priced
+  /// no-op — no DMA is issued, so not even the serialization cost applies.
+  StagingCost staging_cost(std::uint64_t payload_bytes) const;
+
+  /// Wire bytes for one read of `bases` bases: 2-bit-packed payload
+  /// (ceil(bases / 4)) plus the per-read descriptor.
+  std::uint64_t read_bytes(std::uint64_t bases) const {
+    return (bases + 3) / 4 + per_read_header_bytes_;
+  }
+
+  /// Per-chip host-link staging bandwidth, GB/s (== bytes/ns).
+  double bandwidth_gbs() const { return bandwidth_gbs_; }
+  double serialization_ns() const { return serialization_ns_; }
+  std::uint64_t per_read_header_bytes() const {
+    return per_read_header_bytes_;
+  }
+  const InterconnectModel& interconnect() const { return interconnect_; }
+
+ private:
+  InterconnectModel interconnect_;
+  double bandwidth_gbs_ = 16.0;
+  double serialization_ns_ = 1500.0;
+  std::uint64_t per_read_header_bytes_ = 8;
+};
+
+/// Per-chip staging/compute pipeline clock in modeled nanoseconds.
+///
+/// advance(T, C) appends one generation whose staging takes T ns and whose
+/// compute takes C ns, and returns when the chip actually computed it:
+///
+///   double-buffered: staging of generation g starts once the link is free
+///     AND the landing buffer is free (its previous occupant, generation
+///     g-2, has been consumed); compute starts when the data has landed and
+///     the previous generation's compute finished. Steady state approaches
+///     max(T, C) per generation.
+///   single-buffered: the chip and the link share the one buffer, so every
+///     generation serializes to T + C.
+///
+/// stall_ns is the compute idle time waiting on data — generation 0's
+/// pipeline fill is a true stall and is counted (the first batch can never
+/// be hidden).
+class StagingTimeline {
+ public:
+  explicit StagingTimeline(bool double_buffer = true)
+      : double_buffer_(double_buffer) {}
+
+  struct Generation {
+    double transfer_start_ns = 0.0;
+    double transfer_end_ns = 0.0;
+    double compute_start_ns = 0.0;
+    double compute_end_ns = 0.0;
+    double stall_ns = 0.0;  ///< compute_start - previous compute_end.
+  };
+
+  Generation advance(double transfer_ns, double compute_ns);
+
+  /// Modeled end-to-end time so far (last generation's compute end).
+  double makespan_ns() const { return compute_end_g1_; }
+  /// The non-overlapped counterfactual: sum of every generation's T + C.
+  double serial_sum_ns() const { return serial_sum_ns_; }
+  std::uint64_t generations() const { return generations_; }
+  bool double_buffered() const { return double_buffer_; }
+
+  void reset() {
+    transfer_end_ = compute_end_g1_ = compute_end_g2_ = serial_sum_ns_ = 0.0;
+    generations_ = 0;
+  }
+
+ private:
+  bool double_buffer_;
+  double transfer_end_ = 0.0;     ///< When the link last went idle.
+  double compute_end_g1_ = 0.0;   ///< Compute end of generation g-1.
+  double compute_end_g2_ = 0.0;   ///< Compute end of generation g-2.
+  double serial_sum_ns_ = 0.0;
+  std::uint64_t generations_ = 0;
+};
+
+}  // namespace pim::hw

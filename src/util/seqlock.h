@@ -1,0 +1,94 @@
+// Single-writer seqlock over a trivially copyable payload (S43).
+//
+// The fleet's per-chip hardware tallies and transfer tallies are written by
+// exactly one thread (the chip's shard thread, or the fleet's driver) but
+// scraped by observers at arbitrary times — a PeriodicReporter calling
+// PimChipFleet::publish_metrics mid-run. A mutex on the tally write path
+// would serialize chips against the scraper; plain fields would be a data
+// race (the pre-S43 pim_fleet.h documented exactly that race). A seqlock
+// gives wait-free writes and consistent snapshots: the writer bumps a
+// sequence counter to odd, publishes the payload, bumps it to even; a
+// reader retries until it observes the same even sequence on both sides of
+// its copy.
+//
+// TSan-clean by construction: the payload is stored through relaxed atomic
+// words (never through the raw struct), so there is no racing non-atomic
+// access for the sanitizer to flag — the sequence counter's acquire/release
+// pairs order the payload words. This is the "per-chip seqlock" option of
+// the S43 design (the alternative — making every sub-array tally an atomic
+// — would put an atomic RMW on the per-operation hot path).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <type_traits>
+
+namespace pim::util {
+
+template <typename T>
+class Seqlock {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "Seqlock payload must be trivially copyable");
+
+ public:
+  Seqlock() { store(T{}); }
+  explicit Seqlock(const T& initial) { store(initial); }
+  Seqlock(const Seqlock&) = delete;
+  Seqlock& operator=(const Seqlock&) = delete;
+
+  /// Publish a new payload. Wait-free; must be called by ONE thread at a
+  /// time (the single-writer contract — concurrent writers would interleave
+  /// sequence bumps).
+  void store(const T& value) {
+    Words staged;
+    staged.fill(0);  // zero the tail padding of the last word
+    // void* casts: the payload is statically checked trivially copyable, so
+    // byte copies are well-defined and -Wclass-memaccess has nothing to say.
+    std::memcpy(staged.data(), static_cast<const void*>(&value), sizeof(T));
+    const std::uint32_t seq = seq_.load(std::memory_order_relaxed);
+    seq_.store(seq + 1, std::memory_order_relaxed);  // odd: write in flight
+    std::atomic_thread_fence(std::memory_order_release);
+    for (std::size_t i = 0; i < kWords; ++i) {
+      words_[i].store(staged[i], std::memory_order_relaxed);
+    }
+    seq_.store(seq + 2, std::memory_order_release);  // even: consistent
+  }
+
+  /// Consistent snapshot of the last store(). Lock-free for the writer;
+  /// the reader spins only while a store is in flight (stores are short:
+  /// a fixed number of relaxed word stores).
+  T load() const {
+    Words staged;
+    for (;;) {
+      const std::uint32_t s1 = seq_.load(std::memory_order_acquire);
+      if (s1 & 1U) continue;  // writer mid-publish
+      for (std::size_t i = 0; i < kWords; ++i) {
+        staged[i] = words_[i].load(std::memory_order_relaxed);
+      }
+      std::atomic_thread_fence(std::memory_order_acquire);
+      if (seq_.load(std::memory_order_relaxed) == s1) break;
+    }
+    T value;
+    std::memcpy(static_cast<void*>(&value), staged.data(), sizeof(T));
+    return value;
+  }
+
+ private:
+  static constexpr std::size_t kWords =
+      (sizeof(T) + sizeof(std::uint64_t) - 1) / sizeof(std::uint64_t);
+  struct Words {
+    std::uint64_t w[kWords];
+    std::uint64_t& operator[](std::size_t i) { return w[i]; }
+    std::uint64_t* data() { return w; }
+    void fill(std::uint64_t v) {
+      for (std::size_t i = 0; i < kWords; ++i) w[i] = v;
+    }
+  };
+
+  std::atomic<std::uint32_t> seq_{0};
+  std::atomic<std::uint64_t> words_[kWords];
+};
+
+}  // namespace pim::util

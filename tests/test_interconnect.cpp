@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
 #include <stdexcept>
+#include <string>
 
 namespace pim::hw {
 namespace {
@@ -49,6 +52,58 @@ TEST(Interconnect, BadConstantsRejected) {
   util::Config negative;
   negative.set_double("OffChipWordEnergyPj", -1.0);
   EXPECT_THROW(InterconnectModel{negative}, std::invalid_argument);
+}
+
+TEST(Interconnect, ZeroWordsIsPricedNoOpAtEveryLevel) {
+  // words == 0 must be the exact {0, 0} no-op even when the per-word
+  // constants are overridden — a zero-payload shard costs nothing.
+  util::Config over;
+  over.set_double("OffChipWordLatencyNs", 123.0);
+  const InterconnectModel bus(over);
+  for (const auto level :
+       {HopLevel::kIntraBank, HopLevel::kInterBank, HopLevel::kOffChip}) {
+    const auto cost = bus.transfer_cost(0, level);
+    EXPECT_DOUBLE_EQ(cost.latency_ns, 0.0);
+    EXPECT_DOUBLE_EQ(cost.energy_pj, 0.0);
+  }
+}
+
+TEST(Interconnect, ZeroedLatencyOverrideRejectedNamingKey) {
+  // An override zeroing a latency would make words_per_ns infinite; the
+  // constructor must reject it and say WHICH key is at fault.
+  util::Config over;
+  over.set_double("OffChipWordLatencyNs", 0.0);
+  try {
+    InterconnectModel bus(over);
+    FAIL() << "zeroed OffChipWordLatencyNs accepted";
+  } catch (const std::invalid_argument& err) {
+    EXPECT_NE(std::string(err.what()).find("OffChipWordLatencyNs"),
+              std::string::npos)
+        << err.what();
+  }
+}
+
+TEST(Interconnect, NonFiniteConstantsRejected) {
+  // NaN compares false against every bound, so the pre-S43 `<= 0` check
+  // silently accepted it; the validator must test finiteness explicitly.
+  util::Config nan_cfg;
+  nan_cfg.set_double("InterBankWordLatencyNs",
+                     std::numeric_limits<double>::quiet_NaN());
+  EXPECT_THROW(InterconnectModel{nan_cfg}, std::invalid_argument);
+  util::Config inf_cfg;
+  inf_cfg.set_double("IntraBankWordEnergyPj",
+                     std::numeric_limits<double>::infinity());
+  EXPECT_THROW(InterconnectModel{inf_cfg}, std::invalid_argument);
+}
+
+TEST(Interconnect, WordsPerNsFinitePositiveEverywhere) {
+  const InterconnectModel bus;
+  for (const auto level :
+       {HopLevel::kIntraBank, HopLevel::kInterBank, HopLevel::kOffChip}) {
+    const double rate = bus.words_per_ns(level);
+    EXPECT_TRUE(std::isfinite(rate));
+    EXPECT_GT(rate, 0.0);
+  }
 }
 
 TEST(Interconnect, OffChipDominatesLocalLfmEnergy) {
